@@ -1,0 +1,171 @@
+//! The Cosmos-driven speculation policy.
+
+use cosmos::{CosmosPredictor, MessagePredictor, PredTuple};
+use simx::SpeculationPolicy;
+use stache::{BlockAddr, MsgType, NodeId, Role};
+use std::collections::HashMap;
+use trace::MsgRecord;
+
+/// Drives the machine's speculative actions from live Cosmos predictors —
+/// one per directory and one per cache, trained on exactly the messages
+/// each agent receives, as §3.2 prescribes.
+///
+/// Speculation is deliberately *conservative*: an action fires only when
+/// the agent's predictor has an opinion and that opinion maps to the
+/// action. With no opinion the protocol runs unmodified, so the worst
+/// case degenerates to the baseline plus mispredicted actions.
+#[derive(Debug)]
+pub struct CosmosPolicy {
+    depth: usize,
+    directories: HashMap<NodeId, CosmosPredictor>,
+    caches: HashMap<NodeId, CosmosPredictor>,
+    /// Exclusive grants issued.
+    pub grants: u64,
+    /// Voluntary replacements issued.
+    pub replacements: u64,
+}
+
+impl CosmosPolicy {
+    /// Creates a policy whose predictors use the given MHR depth (the
+    /// paper's single-bit filter is always on: speculation should not
+    /// flip-flop on one noisy message).
+    pub fn new(depth: usize) -> Self {
+        CosmosPolicy {
+            depth,
+            directories: HashMap::new(),
+            caches: HashMap::new(),
+            grants: 0,
+            replacements: 0,
+        }
+    }
+
+    fn directory(&mut self, home: NodeId) -> &mut CosmosPredictor {
+        let depth = self.depth;
+        self.directories
+            .entry(home)
+            .or_insert_with(|| CosmosPredictor::new(depth, 1))
+    }
+
+    fn cache(&mut self, node: NodeId) -> &mut CosmosPredictor {
+        let depth = self.depth;
+        self.caches
+            .entry(node)
+            .or_insert_with(|| CosmosPredictor::new(depth, 1))
+    }
+}
+
+impl SpeculationPolicy for CosmosPolicy {
+    fn grant_exclusive(&mut self, home: NodeId, requester: NodeId, block: BlockAddr) -> bool {
+        // The directory predictor has already observed the get_ro_request
+        // (observe runs on every reception). If it now expects an
+        // upgrade_request from the same requester, grant exclusive.
+        let predicted = self.directory(home).predict(block);
+        let fire = predicted == Some(PredTuple::new(requester, MsgType::UpgradeRequest));
+        self.grants += u64::from(fire);
+        fire
+    }
+
+    fn self_invalidate(&mut self, node: NodeId, block: BlockAddr) -> bool {
+        // After the store, does this cache expect its copy to be recalled?
+        let predicted = self.cache(node).predict(block);
+        let fire = matches!(
+            predicted,
+            Some(PredTuple {
+                mtype: MsgType::InvalRwRequest,
+                ..
+            })
+        );
+        self.replacements += u64::from(fire);
+        fire
+    }
+
+    fn observe(&mut self, record: &MsgRecord) {
+        let tuple = PredTuple::new(record.sender, record.mtype);
+        match record.role {
+            Role::Directory => self.directory(record.node).observe(record.block, tuple),
+            Role::Cache => self.cache(record.node).observe(record.block, tuple),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rec(node: usize, role: Role, block: u64, sender: usize, mtype: MsgType) -> MsgRecord {
+        MsgRecord {
+            time_ns: 0,
+            node: NodeId::new(node),
+            role,
+            block: BlockAddr::new(block),
+            sender: NodeId::new(sender),
+            mtype,
+            iteration: 0,
+        }
+    }
+
+    #[test]
+    fn grants_after_learning_a_rmw_pattern() {
+        let mut p = CosmosPolicy::new(1);
+        // Train the directory at node 0: reader P1's get_ro is always
+        // followed by P1's upgrade.
+        for _ in 0..3 {
+            p.observe(&rec(0, Role::Directory, 5, 1, MsgType::GetRoRequest));
+            p.observe(&rec(0, Role::Directory, 5, 1, MsgType::UpgradeRequest));
+            p.observe(&rec(0, Role::Directory, 5, 2, MsgType::InvalRwResponse));
+        }
+        // A new get_ro_request arrives (the machine records it first)...
+        p.observe(&rec(0, Role::Directory, 5, 1, MsgType::GetRoRequest));
+        // ...and the policy grants exclusive.
+        assert!(p.grant_exclusive(NodeId::new(0), NodeId::new(1), BlockAddr::new(5)));
+        assert_eq!(p.grants, 1);
+    }
+
+    #[test]
+    fn does_not_grant_for_a_different_requester() {
+        let mut p = CosmosPolicy::new(1);
+        for _ in 0..3 {
+            p.observe(&rec(0, Role::Directory, 5, 1, MsgType::GetRoRequest));
+            p.observe(&rec(0, Role::Directory, 5, 1, MsgType::UpgradeRequest));
+            p.observe(&rec(0, Role::Directory, 5, 2, MsgType::InvalRwResponse));
+        }
+        p.observe(&rec(0, Role::Directory, 5, 1, MsgType::GetRoRequest));
+        // Prediction says P1 will upgrade; P3 asking must not be granted.
+        assert!(!p.grant_exclusive(NodeId::new(0), NodeId::new(3), BlockAddr::new(5)));
+    }
+
+    #[test]
+    fn self_invalidates_on_predicted_recall() {
+        let mut p = CosmosPolicy::new(1);
+        // Train the producer's cache: every exclusive fill is followed by
+        // a recall.
+        for _ in 0..3 {
+            p.observe(&rec(1, Role::Cache, 7, 0, MsgType::GetRwResponse));
+            p.observe(&rec(1, Role::Cache, 7, 0, MsgType::InvalRwRequest));
+        }
+        p.observe(&rec(1, Role::Cache, 7, 0, MsgType::GetRwResponse));
+        assert!(p.self_invalidate(NodeId::new(1), BlockAddr::new(7)));
+        assert_eq!(p.replacements, 1);
+    }
+
+    #[test]
+    fn cold_policy_never_speculates() {
+        let mut p = CosmosPolicy::new(2);
+        assert!(!p.grant_exclusive(NodeId::new(0), NodeId::new(1), BlockAddr::new(1)));
+        assert!(!p.self_invalidate(NodeId::new(1), BlockAddr::new(1)));
+        assert_eq!(p.grants + p.replacements, 0);
+    }
+
+    #[test]
+    fn agents_are_isolated() {
+        let mut p = CosmosPolicy::new(1);
+        // Directory 0 learns the pattern; directory 3 must not inherit it.
+        for _ in 0..3 {
+            p.observe(&rec(0, Role::Directory, 5, 1, MsgType::GetRoRequest));
+            p.observe(&rec(0, Role::Directory, 5, 1, MsgType::UpgradeRequest));
+            p.observe(&rec(0, Role::Directory, 5, 2, MsgType::InvalRwResponse));
+        }
+        p.observe(&rec(3, Role::Directory, 5, 1, MsgType::GetRoRequest));
+        assert!(!p.grant_exclusive(NodeId::new(3), NodeId::new(1), BlockAddr::new(5)));
+    }
+}

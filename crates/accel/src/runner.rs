@@ -1,0 +1,259 @@
+//! Running workloads with and without speculation and comparing outcomes.
+
+use simx::{driver, Machine, SimError, SpeculationPolicy, SystemConfig};
+use stache::ProtocolConfig;
+use std::fmt;
+use workloads::Workload;
+
+/// The outcome of one run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RunSummary {
+    /// Total coherence messages exchanged.
+    pub messages: u64,
+    /// Execution time (latest node clock) in ns.
+    pub execution_time_ns: u64,
+    /// Memory accesses that hit without coherence action.
+    pub hits: u64,
+    /// Total memory accesses executed (reads + writes).
+    pub accesses: u64,
+    /// Speculative exclusive grants the directory issued.
+    pub exclusive_grants: u64,
+    /// Voluntary replacements the caches issued.
+    pub voluntary_replacements: u64,
+}
+
+/// Baseline vs. accelerated, on identical access streams.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Comparison {
+    /// The run without speculation.
+    pub baseline: RunSummary,
+    /// The run with the policy installed.
+    pub accelerated: RunSummary,
+}
+
+impl Comparison {
+    /// Message reduction as a fraction of the baseline (negative when
+    /// speculation *added* traffic).
+    pub fn message_saving(&self) -> f64 {
+        if self.baseline.messages == 0 {
+            return 0.0;
+        }
+        1.0 - self.accelerated.messages as f64 / self.baseline.messages as f64
+    }
+
+    /// Execution-time speedup (baseline / accelerated).
+    pub fn speedup(&self) -> f64 {
+        if self.accelerated.execution_time_ns == 0 {
+            return 1.0;
+        }
+        self.baseline.execution_time_ns as f64 / self.accelerated.execution_time_ns as f64
+    }
+}
+
+impl fmt::Display for Comparison {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "messages {} -> {} ({:+.1}%), time {} -> {} ns ({:.2}x), \
+             {} grants, {} replacements",
+            self.baseline.messages,
+            self.accelerated.messages,
+            -100.0 * self.message_saving(),
+            self.baseline.execution_time_ns,
+            self.accelerated.execution_time_ns,
+            self.speedup(),
+            self.accelerated.exclusive_grants,
+            self.accelerated.voluntary_replacements,
+        )
+    }
+}
+
+/// Runs a workload on the paper's machine, optionally with a policy.
+///
+/// # Errors
+///
+/// Propagates any [`SimError`]; with a policy installed this additionally
+/// verifies that speculation preserved coherence.
+pub fn run_with_policy<W: Workload + ?Sized>(
+    workload: &mut W,
+    policy: Option<Box<dyn SpeculationPolicy>>,
+) -> Result<RunSummary, SimError> {
+    let mut machine = Machine::new(ProtocolConfig::paper(), SystemConfig::paper());
+    machine.set_app(workload.name(), workload.iterations());
+    if let Some(p) = policy {
+        machine.set_policy(p);
+    }
+    for it in 0..workload.iterations() {
+        let plan = workload.plan(it);
+        driver::run_iteration(&mut machine, &plan, it)?;
+    }
+    machine.verify_coherence()?;
+    let stats = machine.stats();
+    Ok(RunSummary {
+        messages: stats.messages_total(),
+        execution_time_ns: machine.execution_time_ns(),
+        hits: stats.hits,
+        accesses: stats.accesses(),
+        exclusive_grants: stats.exclusive_grants,
+        voluntary_replacements: stats.voluntary_replacements,
+    })
+}
+
+/// Runs the same workload twice — bare, then with `make_policy()` — and
+/// returns both summaries. The two workload instances must be
+/// identically-constructed (plans are pure functions of parameters, so
+/// the access streams match).
+///
+/// # Errors
+///
+/// Propagates any [`SimError`] from either run.
+pub fn compare<W: Workload + ?Sized>(
+    baseline_workload: &mut W,
+    accelerated_workload: &mut W,
+    make_policy: impl FnOnce() -> Box<dyn SpeculationPolicy>,
+) -> Result<Comparison, SimError> {
+    let baseline = run_with_policy(baseline_workload, None)?;
+    let accelerated = run_with_policy(accelerated_workload, Some(make_policy()))?;
+    Ok(Comparison {
+        baseline,
+        accelerated,
+    })
+}
+
+/// Runs a workload on the *concurrent* engine, optionally with a policy —
+/// the same study at the higher-fidelity execution model, where grants
+/// and voluntary replacements contend with real races.
+///
+/// # Errors
+///
+/// Propagates any [`SimError`].
+pub fn run_concurrent_with_policy<W: Workload + ?Sized>(
+    workload: &mut W,
+    policy: Option<Box<dyn SpeculationPolicy>>,
+) -> Result<RunSummary, SimError> {
+    let mut machine = simx::ConcurrentMachine::new(ProtocolConfig::paper(), SystemConfig::paper());
+    machine.set_app(workload.name(), workload.iterations());
+    if let Some(p) = policy {
+        machine.set_policy(p);
+    }
+    for it in 0..workload.iterations() {
+        let plan = workload.plan(it);
+        machine.run_plan(&plan, it)?;
+    }
+    machine.verify_coherence()?;
+    let stats = machine.stats();
+    Ok(RunSummary {
+        messages: stats.messages_total(),
+        execution_time_ns: machine.execution_time_ns(),
+        hits: stats.hits,
+        accesses: stats.accesses(),
+        exclusive_grants: stats.exclusive_grants,
+        voluntary_replacements: stats.voluntary_replacements,
+    })
+}
+
+/// [`compare`], on the concurrent engine.
+///
+/// # Errors
+///
+/// Propagates any [`SimError`] from either run.
+pub fn compare_concurrent<W: Workload + ?Sized>(
+    baseline_workload: &mut W,
+    accelerated_workload: &mut W,
+    make_policy: impl FnOnce() -> Box<dyn SpeculationPolicy>,
+) -> Result<Comparison, SimError> {
+    let baseline = run_concurrent_with_policy(baseline_workload, None)?;
+    let accelerated = run_concurrent_with_policy(accelerated_workload, Some(make_policy()))?;
+    Ok(Comparison {
+        baseline,
+        accelerated,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::directed_policy::DirectedPolicy;
+    use crate::CosmosPolicy;
+    use workloads::micro::{Migratory, ProducerConsumer};
+
+    #[test]
+    fn producer_consumer_gets_faster_with_cosmos() {
+        let make = || ProducerConsumer {
+            blocks: 2,
+            iterations: 20,
+            ..Default::default()
+        };
+        let c = compare(&mut make(), &mut make(), || Box::new(CosmosPolicy::new(2))).unwrap();
+        assert!(c.accelerated.voluntary_replacements > 0, "{c}");
+        assert!(c.accelerated.messages < c.baseline.messages, "{c}");
+        assert!(c.speedup() > 1.0, "{c}");
+    }
+
+    #[test]
+    fn migratory_grants_remove_upgrade_rounds() {
+        let make = || Migratory {
+            blocks: 2,
+            iterations: 20,
+            ..Default::default()
+        };
+        let c = compare(&mut make(), &mut make(), || Box::new(CosmosPolicy::new(2))).unwrap();
+        assert!(c.accelerated.exclusive_grants > 0, "{c}");
+        assert!(c.accelerated.messages < c.baseline.messages, "{c}");
+    }
+
+    #[test]
+    fn directed_policy_also_accelerates_its_own_patterns() {
+        let make = || ProducerConsumer {
+            blocks: 2,
+            iterations: 20,
+            ..Default::default()
+        };
+        let c = compare(&mut make(), &mut make(), || Box::new(DirectedPolicy::new())).unwrap();
+        assert!(c.accelerated.messages < c.baseline.messages, "{c}");
+    }
+
+    #[test]
+    fn concurrent_engine_speculation_stays_coherent_and_saves_messages() {
+        let make = || ProducerConsumer {
+            blocks: 2,
+            iterations: 20,
+            ..Default::default()
+        };
+        let c = compare_concurrent(&mut make(), &mut make(), || Box::new(CosmosPolicy::new(2)))
+            .unwrap();
+        assert!(c.accelerated.voluntary_replacements > 0, "{c}");
+        assert!(c.accelerated.messages < c.baseline.messages, "{c}");
+    }
+
+    #[test]
+    fn concurrent_grants_fire_on_migratory() {
+        let make = || Migratory {
+            blocks: 2,
+            iterations: 20,
+            ..Default::default()
+        };
+        let c = compare_concurrent(&mut make(), &mut make(), || Box::new(CosmosPolicy::new(2)))
+            .unwrap();
+        assert!(c.accelerated.exclusive_grants > 0, "{c}");
+        assert!(c.accelerated.messages < c.baseline.messages, "{c}");
+    }
+
+    #[test]
+    fn no_policy_compare_is_identity() {
+        let mut a = ProducerConsumer {
+            blocks: 1,
+            iterations: 5,
+            ..Default::default()
+        };
+        let mut b = ProducerConsumer {
+            blocks: 1,
+            iterations: 5,
+            ..Default::default()
+        };
+        let ra = run_with_policy(&mut a, None).unwrap();
+        let rb = run_with_policy(&mut b, None).unwrap();
+        assert_eq!(ra, rb);
+        assert_eq!(ra.exclusive_grants, 0);
+    }
+}

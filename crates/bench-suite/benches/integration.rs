@@ -1,0 +1,37 @@
+//! Times the §4/§8 integration machinery: machine throughput with a live
+//! Cosmos policy installed vs. the bare protocol — the per-transaction
+//! cost of consulting and training the predictors.
+
+use accel::{run_with_policy, CosmosPolicy};
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use workloads::micro::ProducerConsumer;
+
+fn bench_integration(c: &mut Criterion) {
+    let make = || ProducerConsumer {
+        blocks: 8,
+        iterations: 20,
+        ..Default::default()
+    };
+    let mut g = c.benchmark_group("integration");
+    g.bench_function("baseline_machine", |bench| {
+        bench.iter(|| {
+            let summary = run_with_policy(&mut make(), None).expect("clean run");
+            black_box(summary.messages)
+        });
+    });
+    g.bench_function("cosmos_policy_machine", |bench| {
+        bench.iter(|| {
+            let summary = run_with_policy(&mut make(), Some(Box::new(CosmosPolicy::new(2))))
+                .expect("clean run");
+            black_box(summary.messages)
+        });
+    });
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_integration
+}
+criterion_main!(benches);

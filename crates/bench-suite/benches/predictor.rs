@@ -1,0 +1,100 @@
+//! Microbenchmarks of the predictors themselves: predict+observe
+//! throughput per incoming message, across MHR depths and against the
+//! directed predictors. This is the operation that would sit on a
+//! directory/cache controller's critical path, so its cost matters for
+//! the §4 integration story.
+
+use cosmos::directed::{Composition, LastTuple, MigratoryPredictor};
+use cosmos::{CosmosPredictor, MessagePredictor, PredTuple};
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use stache::{BlockAddr, MsgType, NodeId, Role};
+
+/// A synthetic stream: `blocks` blocks, each cycling through a 3-message
+/// migratory signature from rotating senders.
+fn stream(blocks: u64, len: usize) -> Vec<(BlockAddr, PredTuple)> {
+    let cycle = [
+        MsgType::GetRoResponse,
+        MsgType::UpgradeResponse,
+        MsgType::InvalRwRequest,
+    ];
+    (0..len)
+        .map(|i| {
+            let b = BlockAddr::new(i as u64 % blocks);
+            let t = PredTuple::new(NodeId::new((i / 7) % 16), cycle[i % 3]);
+            (b, t)
+        })
+        .collect()
+}
+
+fn drive(p: &mut dyn MessagePredictor, s: &[(BlockAddr, PredTuple)]) -> u64 {
+    let mut hits = 0u64;
+    for &(b, t) in s {
+        if p.predict(b) == Some(t) {
+            hits += 1;
+        }
+        p.observe(b, t);
+    }
+    hits
+}
+
+fn bench_cosmos_depths(c: &mut Criterion) {
+    let s = stream(256, 10_000);
+    let mut g = c.benchmark_group("cosmos_predict_observe");
+    g.throughput(Throughput::Elements(s.len() as u64));
+    for depth in [1usize, 2, 3, 4] {
+        g.bench_with_input(BenchmarkId::from_parameter(depth), &depth, |bench, &d| {
+            bench.iter(|| {
+                let mut p = CosmosPredictor::new(d, 0);
+                black_box(drive(&mut p, &s))
+            });
+        });
+    }
+    g.finish();
+}
+
+fn bench_filters(c: &mut Criterion) {
+    let s = stream(256, 10_000);
+    let mut g = c.benchmark_group("cosmos_filter");
+    g.throughput(Throughput::Elements(s.len() as u64));
+    for fmax in [0u8, 1, 2] {
+        g.bench_with_input(BenchmarkId::from_parameter(fmax), &fmax, |bench, &f| {
+            bench.iter(|| {
+                let mut p = CosmosPredictor::new(1, f);
+                black_box(drive(&mut p, &s))
+            });
+        });
+    }
+    g.finish();
+}
+
+fn bench_directed(c: &mut Criterion) {
+    let s = stream(256, 10_000);
+    let mut g = c.benchmark_group("directed_predictors");
+    g.throughput(Throughput::Elements(s.len() as u64));
+    g.bench_function("migratory", |bench| {
+        bench.iter(|| {
+            let mut p = MigratoryPredictor::new(Role::Cache);
+            black_box(drive(&mut p, &s))
+        });
+    });
+    g.bench_function("composition", |bench| {
+        bench.iter(|| {
+            let mut p = Composition::new(Role::Cache);
+            black_box(drive(&mut p, &s))
+        });
+    });
+    g.bench_function("last_tuple", |bench| {
+        bench.iter(|| {
+            let mut p = LastTuple::new();
+            black_box(drive(&mut p, &s))
+        });
+    });
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_cosmos_depths, bench_filters, bench_directed
+}
+criterion_main!(benches);

@@ -1,0 +1,103 @@
+//! Benchmarks of the Stache protocol substrate: coherence-transaction
+//! throughput on the simulated machine, for the access mixes that dominate
+//! the five workloads.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+use simx::{Machine, SystemConfig};
+use stache::{BlockAddr, NodeId, ProcOp, ProtocolConfig};
+
+const OPS: usize = 10_000;
+
+fn machine() -> Machine {
+    Machine::new(ProtocolConfig::paper(), SystemConfig::paper())
+}
+
+fn bench_producer_consumer(c: &mut Criterion) {
+    let mut g = c.benchmark_group("protocol_transactions");
+    g.throughput(Throughput::Elements(OPS as u64));
+    g.bench_function("producer_consumer", |bench| {
+        bench.iter(|| {
+            let mut m = machine();
+            for i in 0..OPS {
+                let b = BlockAddr::new((i % 64) as u64);
+                if i % 2 == 0 {
+                    m.access(NodeId::new(1), b, ProcOp::Write, 0).unwrap();
+                } else {
+                    m.access(NodeId::new(2), b, ProcOp::Read, 0).unwrap();
+                }
+            }
+            black_box(m.stats().messages_total())
+        });
+    });
+    g.bench_function("migratory", |bench| {
+        bench.iter(|| {
+            let mut m = machine();
+            for i in 0..OPS / 2 {
+                let b = BlockAddr::new((i % 64) as u64);
+                let w = NodeId::new(1 + (i / 64) % 3);
+                m.access(w, b, ProcOp::Read, 0).unwrap();
+                m.access(w, b, ProcOp::Write, 0).unwrap();
+            }
+            black_box(m.stats().messages_total())
+        });
+    });
+    g.bench_function("local_hits", |bench| {
+        bench.iter(|| {
+            let mut m = machine();
+            for i in 0..OPS {
+                // Block 0 is homed on node 0: all local after the first.
+                m.access(
+                    NodeId::new(0),
+                    BlockAddr::new(0),
+                    if i == 0 { ProcOp::Write } else { ProcOp::Read },
+                    0,
+                )
+                .unwrap();
+            }
+            black_box(m.stats().hits)
+        });
+    });
+    g.finish();
+}
+
+fn bench_concurrent_engine(c: &mut Criterion) {
+    use simx::concurrent::ConcurrentMachine;
+    use simx::{Access, IterationPlan, Phase};
+    let mut g = c.benchmark_group("concurrent_engine");
+    g.bench_function("all_to_all_phase", |bench| {
+        bench.iter(|| {
+            let mut m = ConcurrentMachine::new(ProtocolConfig::paper(), SystemConfig::paper());
+            let mut plan = IterationPlan::new();
+            let mut publish = Phase::new(16);
+            for owner in 0..16usize {
+                publish.push(Access::write(
+                    NodeId::new(owner),
+                    BlockAddr::new(owner as u64 * 64),
+                ));
+            }
+            plan.push(publish);
+            let mut exchange = Phase::new(16);
+            for reader in 0..16usize {
+                for owner in 0..16usize {
+                    if owner != reader {
+                        exchange.push(Access::read(
+                            NodeId::new(reader),
+                            BlockAddr::new(owner as u64 * 64),
+                        ));
+                    }
+                }
+            }
+            plan.push(exchange);
+            m.run_plan(&plan, 0).unwrap();
+            black_box(m.trace().len())
+        });
+    });
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_producer_consumer, bench_concurrent_engine
+}
+criterion_main!(benches);

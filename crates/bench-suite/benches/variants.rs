@@ -1,0 +1,67 @@
+//! Times the predictor variants' per-message cost against plain Cosmos:
+//! macroblock grouping, confidence gating, the preallocated layout, and
+//! the evicting MHT all touch different data structures on the hot path.
+
+use cosmos::{
+    ConfidenceCosmos, CosmosPredictor, EvictingCosmos, MacroblockCosmos, MessagePredictor,
+    PreallocCosmos, PredTuple,
+};
+use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+use stache::{BlockAddr, MsgType, NodeId};
+
+fn stream(len: usize) -> Vec<(BlockAddr, PredTuple)> {
+    let cycle = [
+        MsgType::GetRoRequest,
+        MsgType::UpgradeRequest,
+        MsgType::InvalRwResponse,
+    ];
+    (0..len)
+        .map(|i| {
+            (
+                BlockAddr::new((i % 300) as u64),
+                PredTuple::new(NodeId::new((i / 11) % 16), cycle[i % 3]),
+            )
+        })
+        .collect()
+}
+
+fn drive(p: &mut dyn MessagePredictor, s: &[(BlockAddr, PredTuple)]) -> u64 {
+    let mut hits = 0;
+    for &(b, t) in s {
+        hits += u64::from(p.predict(b) == Some(t));
+        p.observe(b, t);
+    }
+    hits
+}
+
+fn bench_variants(c: &mut Criterion) {
+    let s = stream(10_000);
+    let mut g = c.benchmark_group("predictor_variants");
+    g.throughput(Throughput::Elements(s.len() as u64));
+    g.bench_function("plain", |bench| {
+        bench.iter(|| black_box(drive(&mut CosmosPredictor::new(2, 0), &s)));
+    });
+    g.bench_function("macroblock_x4", |bench| {
+        bench.iter(|| black_box(drive(&mut MacroblockCosmos::new(2, 0, 2), &s)));
+    });
+    g.bench_function("confidence", |bench| {
+        bench.iter(|| black_box(drive(&mut ConfidenceCosmos::new(2, 2), &s)));
+    });
+    g.bench_function("prealloc", |bench| {
+        bench.iter(|| black_box(drive(&mut PreallocCosmos::paper(2, 256), &s)));
+    });
+    g.bench_function("hybrid_1_3", |bench| {
+        bench.iter(|| black_box(drive(&mut cosmos::HybridCosmos::new(1, 3), &s)));
+    });
+    g.bench_function("evicting_128", |bench| {
+        bench.iter(|| black_box(drive(&mut EvictingCosmos::new(2, 0, 128), &s)));
+    });
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_variants
+}
+criterion_main!(benches);

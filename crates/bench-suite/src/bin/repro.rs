@@ -1,0 +1,213 @@
+//! Regenerates the paper's tables and figures from scratch.
+//!
+//! ```text
+//! repro [--small] [TARGET ...]
+//!
+//! TARGETS
+//!   table1 table2 table3 table4 table5 table6 table7 table8
+//!   fig5 fig6 fig7 fig8
+//!   sensitivity adaptation comparison ablation
+//!   integration variants persistence limitless scaling topology
+//!   all          (default) everything above
+//! ```
+//!
+//! `--small` uses the reduced workload sizes (for smoke runs); the default
+//! is the paper-calibrated scale. `--csv DIR` additionally writes
+//! machine-readable CSV files for the plottable artefacts (tables 5-8,
+//! figure 5) into DIR.
+
+use bench_suite::{extras, figures, tables, Scale, TraceSet};
+use simx::SystemConfig;
+use std::process::ExitCode;
+
+const TARGETS: &[&str] = &[
+    "table1",
+    "table2",
+    "table3",
+    "table4",
+    "table5",
+    "table6",
+    "table7",
+    "table8",
+    "fig5",
+    "fig6",
+    "fig7",
+    "fig8",
+    "sensitivity",
+    "adaptation",
+    "comparison",
+    "ablation",
+    "integration",
+    "variants",
+    "persistence",
+    "limitless",
+    "scaling",
+    "topology",
+    "engines",
+    "lookahead",
+    "seeds",
+];
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut scale = Scale::Paper;
+    let mut targets: Vec<String> = Vec::new();
+    let mut csv_dir: Option<std::path::PathBuf> = None;
+    let mut expect_csv_dir = false;
+    for a in &args {
+        if expect_csv_dir {
+            csv_dir = Some(std::path::PathBuf::from(a));
+            expect_csv_dir = false;
+            continue;
+        }
+        match a.as_str() {
+            "--small" => scale = Scale::Small,
+            "--csv" => expect_csv_dir = true,
+            "--help" | "-h" => {
+                println!("usage: repro [--small] [{}|all ...]", TARGETS.join("|"));
+                return ExitCode::SUCCESS;
+            }
+            "all" => targets.extend(TARGETS.iter().map(|s| s.to_string())),
+            t if TARGETS.contains(&t) => targets.push(t.to_string()),
+            other => {
+                eprintln!("unknown target `{other}`; try --help");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    if targets.is_empty() {
+        targets.extend(TARGETS.iter().map(|s| s.to_string()));
+    }
+
+    // Figures 6/7 share the same trace set as the tables; generate once.
+    let needs_set = targets.iter().any(|t| {
+        matches!(
+            t.as_str(),
+            "table5"
+                | "table6"
+                | "table7"
+                | "table8"
+                | "fig6"
+                | "fig7"
+                | "adaptation"
+                | "comparison"
+                | "ablation"
+                | "variants"
+                | "persistence"
+                | "lookahead"
+        )
+    });
+    let set = needs_set.then(|| {
+        eprintln!("generating traces ({scale:?} scale)...");
+        TraceSet::generate(scale)
+    });
+    let set = set.as_ref();
+
+    let mut fig67_done = false;
+    for t in &targets {
+        match t.as_str() {
+            "table1" => println!("{}", tables::table1()),
+            "table2" => println!("{}", tables::table2()),
+            "table3" => println!("{}", tables::table3(&SystemConfig::paper())),
+            "table4" => println!("{}", tables::table4()),
+            "table5" => {
+                let rows = tables::table5(set.unwrap());
+                println!("{}", tables::render_table5(&rows));
+                write_csv(&csv_dir, "table5.csv", &tables::csv_table5(&rows));
+            }
+            "table6" => {
+                let rows = tables::table6(set.unwrap());
+                println!("{}", tables::render_table6(&rows));
+                write_csv(&csv_dir, "table6.csv", &tables::csv_table6(&rows));
+            }
+            "table7" => {
+                let rows = tables::table7(set.unwrap());
+                println!("{}", tables::render_table7(&rows));
+                write_csv(&csv_dir, "table7.csv", &tables::csv_table7(&rows));
+            }
+            "table8" => {
+                let rows = tables::table8_from_set(set.unwrap());
+                println!("{}", tables::render_table8(&rows));
+                write_csv(&csv_dir, "table8.csv", &tables::csv_table8(&rows));
+            }
+            "fig5" => {
+                let series = figures::figure5();
+                println!("{}", figures::render_figure5(&series));
+                write_csv(&csv_dir, "figure5.csv", &figures::csv_figure5(&series));
+            }
+            "fig6" | "fig7" => {
+                if !fig67_done {
+                    println!("{}", figures::render_figures_6_7(set.unwrap()));
+                    fig67_done = true;
+                }
+            }
+            "fig8" => println!("{}", figures::render_figure8()),
+            "sensitivity" => {
+                let latencies = [40, 200, 1000];
+                let rows = extras::latency_sensitivity(scale, &latencies);
+                println!("{}", extras::render_latency_sensitivity(&rows, &latencies));
+            }
+            "adaptation" => {
+                println!(
+                    "{}",
+                    extras::render_adaptation(&extras::adaptation(set.unwrap()))
+                );
+            }
+            "comparison" => {
+                println!(
+                    "{}",
+                    extras::render_comparison(&extras::comparison(set.unwrap()))
+                );
+            }
+            "ablation" => {
+                println!("{}", extras::ablation_half_migratory(scale));
+                println!("{}", extras::ablation_sender(set.unwrap()));
+            }
+            "variants" => {
+                println!("{}", extras::variants(set.unwrap()));
+            }
+            "persistence" => {
+                println!("{}", extras::history_persistence(set.unwrap()));
+            }
+            "limitless" => {
+                println!("{}", extras::limitless(scale));
+            }
+            "scaling" => {
+                println!("{}", extras::scaling(scale));
+            }
+            "topology" => {
+                println!("{}", extras::topology_sensitivity(scale));
+            }
+            "engines" => {
+                println!("{}", extras::engines(scale));
+            }
+            "lookahead" => {
+                println!("{}", extras::lookahead(set.unwrap()));
+            }
+            "seeds" => {
+                println!("{}", extras::seed_robustness(scale));
+            }
+            "integration" => {
+                let rows = bench_suite::integration::integration(scale, 2);
+                println!("{}", bench_suite::integration::render_integration(&rows, 2));
+            }
+            _ => unreachable!("validated above"),
+        }
+    }
+    ExitCode::SUCCESS
+}
+
+/// Writes one CSV artefact when `--csv DIR` was given.
+fn write_csv(dir: &Option<std::path::PathBuf>, name: &str, contents: &str) {
+    if let Some(dir) = dir {
+        if let Err(e) = std::fs::create_dir_all(dir) {
+            eprintln!("creating {}: {e}", dir.display());
+            return;
+        }
+        let path = dir.join(name);
+        match std::fs::write(&path, contents) {
+            Ok(()) => eprintln!("wrote {}", path.display()),
+            Err(e) => eprintln!("writing {}: {e}", path.display()),
+        }
+    }
+}

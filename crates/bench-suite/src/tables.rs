@@ -1,0 +1,534 @@
+//! The paper's tables, regenerated.
+
+use crate::traces::TraceSet;
+use cosmos::eval::{evaluate, evaluate_cosmos, AccuracyReport, EvalOptions};
+use cosmos::memory::overhead_percent;
+use cosmos::{CosmosPredictor, MemoryFootprint};
+use simx::SystemConfig;
+use stache::msg::ALL_MSG_TYPES;
+use stache::{MsgType, Role};
+use std::fmt::Write as _;
+use trace::ArcKey;
+
+/// The MHR depths the paper evaluates.
+pub const DEPTHS: [usize; 4] = [1, 2, 3, 4];
+
+/// Table 1: the coherence message vocabulary.
+pub fn table1() -> String {
+    let mut out =
+        String::from("TABLE 1. Coherence messages of the full-map write-invalidate protocol\n");
+    let _ = writeln!(out, "{:<22} {:<10} pairs with", "message", "received");
+    for &t in &ALL_MSG_TYPES {
+        let pair = t
+            .response()
+            .map(|r| r.paper_name().to_string())
+            .unwrap_or_else(|| "-".to_string());
+        let _ = writeln!(
+            out,
+            "{:<22} {:<10} {}",
+            t.paper_name(),
+            t.receiver_role().to_string(),
+            pair
+        );
+    }
+    out
+}
+
+/// Table 2: the prediction-action pairs of §4.1, generated from the
+/// actual [`cosmos::actions::map_prediction`] mapping so the table can
+/// never drift from the code.
+pub fn table2() -> String {
+    use cosmos::actions::map_prediction;
+    use cosmos::PredTuple;
+    use stache::NodeId;
+    let mut out = String::from(
+        "TABLE 2. Prediction-action pairs (predicted next incoming message\n\
+         at an agent -> speculative action)\n",
+    );
+    let p = NodeId::new(1);
+    for role in [Role::Directory, Role::Cache] {
+        let _ = writeln!(out, "at the {role}:");
+        for &mtype in &ALL_MSG_TYPES {
+            if mtype.receiver_role() != role {
+                continue;
+            }
+            let action = map_prediction(role, PredTuple::new(p, mtype))
+                .map(|a| format!("{a:?}"))
+                .unwrap_or_else(|| "(no speculation)".to_string());
+            let _ = writeln!(out, "  predict {:<22} -> {}", mtype.paper_name(), action);
+        }
+    }
+    out
+}
+
+/// Table 3: the simulated machine's parameters.
+pub fn table3(sys: &SystemConfig) -> String {
+    let mut out = String::from("TABLE 3. System parameters\n");
+    let rows = [
+        ("Number of parallel machine nodes", "16".to_string()),
+        ("Processor speed", format!("{} GHz", sys.processor_ghz)),
+        ("Cache block size", "64 bytes".to_string()),
+        ("Cache size", format!("{} MiB", sys.cache_size >> 20)),
+        (
+            "Main memory access time",
+            format!("{} ns", sys.mem_access_ns),
+        ),
+        (
+            "Network message size",
+            format!("{} bytes", sys.network_msg_bytes),
+        ),
+        ("Network latency", format!("{} ns", sys.network_latency_ns)),
+        (
+            "Network interface access time",
+            format!("{} ns", sys.ni_access_ns),
+        ),
+        (
+            "Protocol handler occupancy",
+            format!("{} ns", sys.handler_ns),
+        ),
+    ];
+    for (k, v) in rows {
+        let _ = writeln!(out, "{k:<36} {v}");
+    }
+    out
+}
+
+/// Table 4: benchmark descriptions.
+pub fn table4() -> String {
+    let mut out = String::from("TABLE 4. Benchmarks\n");
+    for m in workloads::meta::table4() {
+        let _ = writeln!(
+            out,
+            "{:<13} iters={:<4} {}",
+            m.name, m.iterations, m.description
+        );
+        let _ = writeln!(out, "{:<13} patterns: {}", "", m.patterns);
+    }
+    out
+}
+
+/// One benchmark's row block of Table 5: `[depth-1] -> (C, D, O)` percents.
+#[derive(Debug, Clone)]
+pub struct Table5Row {
+    /// Benchmark name.
+    pub app: String,
+    /// `(cache, directory, overall)` accuracy percentages per depth.
+    pub by_depth: Vec<(f64, f64, f64)>,
+}
+
+/// Computes Table 5 (prediction rate vs MHR depth, no filter).
+pub fn table5(set: &TraceSet) -> Vec<Table5Row> {
+    set.traces()
+        .iter()
+        .map(|t| Table5Row {
+            app: t.meta().app.clone(),
+            by_depth: DEPTHS
+                .iter()
+                .map(|&d| {
+                    let r = evaluate_cosmos(t, d, 0);
+                    (
+                        r.cache.percent(),
+                        r.directory.percent(),
+                        r.overall.percent(),
+                    )
+                })
+                .collect(),
+        })
+        .collect()
+}
+
+/// Renders Table 5 in the paper's layout.
+pub fn render_table5(rows: &[Table5Row]) -> String {
+    let mut out =
+        String::from("TABLE 5. Prediction rates (%). C = cache, D = directory, O = overall\n");
+    let _ = write!(out, "{:<6}", "depth");
+    for row in rows {
+        let _ = write!(out, "| {:^17} ", row.app);
+    }
+    out.push('\n');
+    let _ = write!(out, "{:<6}", "");
+    for _ in rows {
+        let _ = write!(out, "| {:>5} {:>5} {:>5} ", "C", "D", "O");
+    }
+    out.push('\n');
+    for (i, &d) in DEPTHS.iter().enumerate() {
+        let _ = write!(out, "{d:<6}");
+        for row in rows {
+            let (c, dd, o) = row.by_depth[i];
+            let _ = write!(out, "| {c:>5.0} {dd:>5.0} {o:>5.0} ");
+        }
+        out.push('\n');
+    }
+    out
+}
+
+/// One benchmark's block of Table 6: overall accuracy per
+/// `(depth, filter max-count)`.
+#[derive(Debug, Clone)]
+pub struct Table6Row {
+    /// Benchmark name.
+    pub app: String,
+    /// `by_depth[depth-1][max_count]` = overall accuracy (%).
+    pub by_depth: Vec<[f64; 3]>,
+}
+
+/// The depths Table 6 evaluates (the paper shows 1 and 2).
+pub const TABLE6_DEPTHS: [usize; 2] = [1, 2];
+
+/// Computes Table 6 (noise-filter maximum count 0/1/2).
+pub fn table6(set: &TraceSet) -> Vec<Table6Row> {
+    set.traces()
+        .iter()
+        .map(|t| Table6Row {
+            app: t.meta().app.clone(),
+            by_depth: TABLE6_DEPTHS
+                .iter()
+                .map(|&d| {
+                    let mut row = [0.0; 3];
+                    for (i, fmax) in (0u8..3).enumerate() {
+                        row[i] = evaluate_cosmos(t, d, fmax).overall.percent();
+                    }
+                    row
+                })
+                .collect(),
+        })
+        .collect()
+}
+
+/// Renders Table 6 in the paper's layout.
+pub fn render_table6(rows: &[Table6Row]) -> String {
+    let mut out = String::from("TABLE 6. Overall prediction rate (%) vs noise-filter max count\n");
+    let _ = write!(out, "{:<6}", "depth");
+    for row in rows {
+        let _ = write!(out, "| {:^14} ", row.app);
+    }
+    out.push('\n');
+    let _ = write!(out, "{:<6}", "");
+    for _ in rows {
+        let _ = write!(out, "| {:>4} {:>4} {:>4} ", "0", "1", "2");
+    }
+    out.push('\n');
+    for (i, &d) in TABLE6_DEPTHS.iter().enumerate() {
+        let _ = write!(out, "{d:<6}");
+        for row in rows {
+            let r = row.by_depth[i];
+            let _ = write!(out, "| {:>4.0} {:>4.0} {:>4.0} ", r[0], r[1], r[2]);
+        }
+        out.push('\n');
+    }
+    out
+}
+
+/// One benchmark's block of Table 7: `(ratio, overhead %)` per depth.
+#[derive(Debug, Clone)]
+pub struct Table7Row {
+    /// Benchmark name.
+    pub app: String,
+    /// `(PHT/MHR ratio, overhead percent)` per depth 1–4.
+    pub by_depth: Vec<(f64, f64)>,
+    /// Raw footprints per depth (for downstream analysis).
+    pub footprints: Vec<MemoryFootprint>,
+}
+
+/// Computes Table 7 (memory overhead of filterless Cosmos predictors).
+pub fn table7(set: &TraceSet) -> Vec<Table7Row> {
+    set.traces()
+        .iter()
+        .map(|t| {
+            let footprints: Vec<MemoryFootprint> = DEPTHS
+                .iter()
+                .map(|&d| evaluate_cosmos(t, d, 0).memory)
+                .collect();
+            Table7Row {
+                app: t.meta().app.clone(),
+                by_depth: DEPTHS
+                    .iter()
+                    .zip(&footprints)
+                    .map(|(&d, fp)| (fp.ratio(), overhead_percent(d, fp.ratio())))
+                    .collect(),
+                footprints,
+            }
+        })
+        .collect()
+}
+
+/// Renders Table 7 in the paper's layout.
+pub fn render_table7(rows: &[Table7Row]) -> String {
+    let mut out = String::from(
+        "TABLE 7. Memory overhead. Ratio = PHT entries / MHR entries;\n\
+         Ovhd = (2B * [depth + Ratio*(depth+1)] * 100 / 128)%\n",
+    );
+    let _ = write!(out, "{:<6}", "depth");
+    for row in rows {
+        let _ = write!(out, "| {:^14} ", row.app);
+    }
+    out.push('\n');
+    let _ = write!(out, "{:<6}", "");
+    for _ in rows {
+        let _ = write!(out, "| {:>6} {:>7} ", "Ratio", "Ovhd");
+    }
+    out.push('\n');
+    for (i, &d) in DEPTHS.iter().enumerate() {
+        let _ = write!(out, "{d:<6}");
+        for row in rows {
+            let (ratio, ovhd) = row.by_depth[i];
+            let _ = write!(out, "| {ratio:>6.1} {ovhd:>6.1}% ");
+        }
+        out.push('\n');
+    }
+    out
+}
+
+/// The transitions Table 8 follows (dsmc, depth 1, filterless).
+pub fn table8_transitions() -> Vec<ArcKey> {
+    vec![
+        ArcKey {
+            role: Role::Cache,
+            prev: MsgType::GetRoResponse,
+            next: MsgType::UpgradeResponse,
+        },
+        ArcKey {
+            role: Role::Directory,
+            prev: MsgType::GetRoRequest,
+            next: MsgType::InvalRwResponse,
+        },
+        ArcKey {
+            role: Role::Directory,
+            prev: MsgType::InvalRwResponse,
+            next: MsgType::UpgradeRequest,
+        },
+    ]
+}
+
+/// The iteration checkpoints Table 8 reports.
+pub const TABLE8_CHECKPOINTS: [u32; 3] = [4, 80, 320];
+
+/// One transition's Table 8 row: `(hits %, refs %)` at each checkpoint.
+#[derive(Debug, Clone)]
+pub struct Table8Row {
+    /// The transition followed.
+    pub arc: ArcKey,
+    /// `(cumulative hit %, cumulative reference share %)` per checkpoint.
+    pub at_checkpoints: Vec<(f64, f64)>,
+}
+
+/// Computes Table 8 from a dsmc accuracy report (depth 1, no filter).
+pub fn table8(report: &AccuracyReport) -> Vec<Table8Row> {
+    table8_transitions()
+        .into_iter()
+        .map(|arc| {
+            let at_checkpoints = TABLE8_CHECKPOINTS
+                .iter()
+                .map(|&upto| {
+                    let c = report.arc_cumulative(arc, upto);
+                    let role_total = report.role_cumulative_refs(arc.role, upto);
+                    let refs_share = if role_total == 0 {
+                        0.0
+                    } else {
+                        100.0 * c.total as f64 / role_total as f64
+                    };
+                    (c.percent(), refs_share)
+                })
+                .collect();
+            Table8Row {
+                arc,
+                at_checkpoints,
+            }
+        })
+        .collect()
+}
+
+/// Computes Table 8 end-to-end from a trace set.
+pub fn table8_from_set(set: &TraceSet) -> Vec<Table8Row> {
+    let dsmc = set.by_name("dsmc").expect("dsmc trace present");
+    let report = evaluate_cosmos(dsmc, 1, 0);
+    table8(&report)
+}
+
+/// Renders Table 8 in the paper's layout.
+pub fn render_table8(rows: &[Table8Row]) -> String {
+    let mut out =
+        String::from("TABLE 8. dsmc per-transition cumulative accuracy (depth 1, no filter)\n");
+    let _ = write!(out, "{:<55}", "transition");
+    for cp in TABLE8_CHECKPOINTS {
+        let _ = write!(out, "| {:^13} ", format!("{cp} iters"));
+    }
+    out.push('\n');
+    let _ = write!(out, "{:<55}", "");
+    for _ in TABLE8_CHECKPOINTS {
+        let _ = write!(out, "| {:>5} {:>6} ", "hits", "refs");
+    }
+    out.push('\n');
+    for row in rows {
+        let label = format!(
+            "[{}] <{}, {}>",
+            row.arc.role,
+            row.arc.prev.paper_name(),
+            row.arc.next.paper_name()
+        );
+        let _ = write!(out, "{label:<55}");
+        for (hits, refs) in &row.at_checkpoints {
+            let _ = write!(out, "| {hits:>4.0}% {refs:>5.1}% ");
+        }
+        out.push('\n');
+    }
+    out
+}
+
+/// CSV for Table 5: `app,depth,cache,directory,overall`.
+pub fn csv_table5(rows: &[Table5Row]) -> String {
+    let mut out = String::from("app,depth,cache,directory,overall\n");
+    for row in rows {
+        for (i, &(c, d, o)) in row.by_depth.iter().enumerate() {
+            let _ = writeln!(out, "{},{},{c:.2},{d:.2},{o:.2}", row.app, DEPTHS[i]);
+        }
+    }
+    out
+}
+
+/// CSV for Table 6: `app,depth,filter_max,overall`.
+pub fn csv_table6(rows: &[Table6Row]) -> String {
+    let mut out = String::from("app,depth,filter_max,overall\n");
+    for row in rows {
+        for (i, cells) in row.by_depth.iter().enumerate() {
+            for (fmax, &acc) in cells.iter().enumerate() {
+                let _ = writeln!(out, "{},{},{fmax},{acc:.2}", row.app, TABLE6_DEPTHS[i]);
+            }
+        }
+    }
+    out
+}
+
+/// CSV for Table 7: `app,depth,ratio,overhead_percent,mhr_entries,pht_entries`.
+pub fn csv_table7(rows: &[Table7Row]) -> String {
+    let mut out = String::from("app,depth,ratio,overhead_percent,mhr_entries,pht_entries\n");
+    for row in rows {
+        for (i, &(ratio, ovhd)) in row.by_depth.iter().enumerate() {
+            let fp = row.footprints[i];
+            let _ = writeln!(
+                out,
+                "{},{},{ratio:.3},{ovhd:.2},{},{}",
+                row.app, DEPTHS[i], fp.mhr_entries, fp.pht_entries
+            );
+        }
+    }
+    out
+}
+
+/// CSV for Table 8: `role,prev,next,checkpoint,hits_percent,refs_percent`.
+pub fn csv_table8(rows: &[Table8Row]) -> String {
+    let mut out = String::from("role,prev,next,checkpoint,hits_percent,refs_percent\n");
+    for row in rows {
+        for (i, &(hits, refs)) in row.at_checkpoints.iter().enumerate() {
+            let _ = writeln!(
+                out,
+                "{},{},{},{},{hits:.2},{refs:.2}",
+                row.arc.role,
+                row.arc.prev.paper_name(),
+                row.arc.next.paper_name(),
+                TABLE8_CHECKPOINTS[i]
+            );
+        }
+    }
+    out
+}
+
+/// Evaluates an arbitrary depth/filter Cosmos over every trace — shared by
+/// several extras.
+pub fn reports_for(set: &TraceSet, depth: usize, filter_max: u8) -> Vec<(String, AccuracyReport)> {
+    set.traces()
+        .iter()
+        .map(|t| (t.meta().app.clone(), evaluate_cosmos(t, depth, filter_max)))
+        .collect()
+}
+
+/// Evaluates Cosmos with warm-up exclusion, used by tests.
+pub fn report_with_warmup(set: &TraceSet, app: &str, depth: usize, warmup: u32) -> AccuracyReport {
+    let t = set.by_name(app).expect("known benchmark");
+    evaluate(
+        t,
+        &EvalOptions {
+            score_from_iteration: warmup,
+            ..Default::default()
+        },
+        |_, _| Box::new(CosmosPredictor::new(depth, 0)),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::traces::Scale;
+
+    fn small_set() -> TraceSet {
+        TraceSet::generate(Scale::Small)
+    }
+
+    #[test]
+    fn table1_contains_the_vocabulary() {
+        let t = table1();
+        for &m in &ALL_MSG_TYPES {
+            assert!(t.contains(m.paper_name()), "missing {m}");
+        }
+    }
+
+    #[test]
+    fn table3_renders_parameters() {
+        let t = table3(&SystemConfig::paper());
+        assert!(t.contains("40 ns"));
+        assert!(t.contains("120 ns"));
+    }
+
+    #[test]
+    fn table5_small_scale_sanity() {
+        let set = small_set();
+        let rows = table5(&set);
+        assert_eq!(rows.len(), 5);
+        for row in &rows {
+            assert_eq!(row.by_depth.len(), 4);
+            for &(c, d, o) in &row.by_depth {
+                assert!((0.0..=100.0).contains(&c));
+                assert!((0.0..=100.0).contains(&d));
+                // Overall lies between cache and directory accuracy.
+                assert!(o <= c.max(d) + 1e-9 && o >= c.min(d) - 1e-9);
+            }
+        }
+        let rendered = render_table5(&rows);
+        assert!(rendered.contains("appbt"));
+        assert!(rendered.contains("unstructured"));
+    }
+
+    #[test]
+    fn table6_filters_never_panic_and_render() {
+        let set = small_set();
+        let rows = table6(&set);
+        assert_eq!(rows.len(), 5);
+        let rendered = render_table6(&rows);
+        assert!(rendered.contains("dsmc"));
+    }
+
+    #[test]
+    fn table7_ratios_are_finite_and_positive() {
+        let set = small_set();
+        let rows = table7(&set);
+        for row in &rows {
+            for (i, &(ratio, ovhd)) in row.by_depth.iter().enumerate() {
+                assert!(ratio.is_finite());
+                assert!(ratio >= 0.0);
+                assert!(ovhd >= 0.0, "depth {} ovhd {ovhd}", i + 1);
+                assert!(row.footprints[i].mhr_entries > 0);
+            }
+        }
+        let rendered = render_table7(&rows);
+        assert!(rendered.contains("Ratio"));
+    }
+
+    #[test]
+    fn table8_checkpoints_monotone_refs() {
+        let set = small_set();
+        let rows = table8_from_set(&set);
+        assert_eq!(rows.len(), 3);
+        let rendered = render_table8(&rows);
+        assert!(rendered.contains("get_ro"));
+    }
+}

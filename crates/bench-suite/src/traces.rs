@@ -1,0 +1,128 @@
+//! Trace generation and caching for the evaluation runs.
+//!
+//! Most tables evaluate several predictor configurations over the *same*
+//! traces, so the suite generates each benchmark's trace once (in
+//! parallel, one thread per benchmark) and shares it.
+
+use simx::SystemConfig;
+use stache::ProtocolConfig;
+use trace::TraceBundle;
+use workloads::{paper_suite, run_to_trace, small_suite, Workload};
+
+/// How big the evaluation runs are.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Scale {
+    /// The paper-calibrated sizes (seconds to generate and evaluate).
+    Paper,
+    /// Reduced sizes for smoke tests and CI.
+    Small,
+}
+
+/// The five benchmarks' traces for one machine configuration.
+#[derive(Debug, Clone)]
+pub struct TraceSet {
+    traces: Vec<TraceBundle>,
+}
+
+impl TraceSet {
+    /// Generates all five traces on the paper's machine (Table 3).
+    pub fn generate(scale: Scale) -> Self {
+        TraceSet::generate_with(scale, ProtocolConfig::paper(), SystemConfig::paper())
+    }
+
+    /// Generates all five traces on a custom machine configuration,
+    /// running the benchmarks in parallel.
+    pub fn generate_with(scale: Scale, proto: ProtocolConfig, sys: SystemConfig) -> Self {
+        let suite = match scale {
+            Scale::Paper => paper_suite(),
+            Scale::Small => small_suite(),
+        };
+        let traces = crossbeam::thread::scope(|s| {
+            let handles: Vec<_> = suite
+                .into_iter()
+                .map(|mut w| {
+                    let proto = proto.clone();
+                    let sys = sys.clone();
+                    s.spawn(move |_| {
+                        run_to_trace(w.as_mut(), proto, sys)
+                            .unwrap_or_else(|e| panic!("{} failed: {e}", w.name()))
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("benchmark thread"))
+                .collect()
+        })
+        .expect("trace generation scope");
+        TraceSet { traces }
+    }
+
+    /// The traces, in Table 4 row order.
+    pub fn traces(&self) -> &[TraceBundle] {
+        &self.traces
+    }
+
+    /// The trace for a named benchmark.
+    pub fn by_name(&self, name: &str) -> Option<&TraceBundle> {
+        self.traces.iter().find(|t| t.meta().app == name)
+    }
+
+    /// Benchmark names in order.
+    pub fn names(&self) -> Vec<&str> {
+        self.traces.iter().map(|t| t.meta().app.as_str()).collect()
+    }
+}
+
+/// Generates a single benchmark's trace by name on a custom configuration.
+///
+/// # Panics
+///
+/// Panics if `name` is not one of the five benchmarks or the run fails.
+pub fn single_trace(
+    name: &str,
+    scale: Scale,
+    proto: ProtocolConfig,
+    sys: SystemConfig,
+) -> TraceBundle {
+    let suite = match scale {
+        Scale::Paper => paper_suite(),
+        Scale::Small => small_suite(),
+    };
+    let mut w: Box<dyn Workload> = suite
+        .into_iter()
+        .find(|w| w.name() == name)
+        .unwrap_or_else(|| panic!("unknown benchmark {name}"));
+    run_to_trace(w.as_mut(), proto, sys).unwrap_or_else(|e| panic!("{name} failed: {e}"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn small_set_has_all_five() {
+        let set = TraceSet::generate(Scale::Small);
+        assert_eq!(
+            set.names(),
+            vec!["appbt", "barnes", "dsmc", "moldyn", "unstructured"]
+        );
+        assert!(set.by_name("dsmc").is_some());
+        assert!(set.by_name("spice").is_none());
+        for t in set.traces() {
+            assert!(!t.is_empty());
+        }
+    }
+
+    #[test]
+    fn single_trace_matches_set_member() {
+        let set = TraceSet::generate(Scale::Small);
+        let solo = single_trace(
+            "appbt",
+            Scale::Small,
+            ProtocolConfig::paper(),
+            SystemConfig::paper(),
+        );
+        assert_eq!(set.by_name("appbt").unwrap(), &solo);
+    }
+}

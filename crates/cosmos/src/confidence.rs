@@ -1,0 +1,202 @@
+//! Confidence-gated prediction.
+//!
+//! §4.2 notes that speculative actions must fire "not too early or late",
+//! and §4.3 that mispredictions cost recovery; a natural refinement is to
+//! act only on predictions the tables have *repeatedly confirmed*. This
+//! variant attaches a saturating confidence counter to every PHT entry:
+//! each confirmation increments it, each miss resets it, and the predictor
+//! stays silent until the counter reaches a threshold.
+//!
+//! The result is a coverage/accuracy dial: higher thresholds answer fewer
+//! messages but are right more often — exactly what an integration wants
+//! when the misprediction penalty `r` is large (Figure 5's model makes the
+//! trade-off explicit).
+
+use crate::memory::MemoryFootprint;
+use crate::tuple::PredTuple;
+use crate::MessagePredictor;
+use stache::BlockAddr;
+use std::collections::HashMap;
+
+/// A PHT entry with a confidence counter.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct Entry {
+    prediction: PredTuple,
+    /// Consecutive confirmations, saturating at `CONFIDENCE_MAX`.
+    confidence: u8,
+}
+
+/// Saturation point for the confidence counter (2 bits, like branch
+/// predictors' counters).
+pub const CONFIDENCE_MAX: u8 = 3;
+
+/// A Cosmos variant that only predicts once an entry's confidence reaches
+/// the threshold. Replacement is immediate on a miss (the confidence
+/// counter subsumes the noise filter's role).
+#[derive(Debug, Clone)]
+pub struct ConfidenceCosmos {
+    depth: usize,
+    threshold: u8,
+    histories: HashMap<BlockAddr, Vec<PredTuple>>,
+    pht: HashMap<(BlockAddr, Vec<PredTuple>), Entry>,
+}
+
+impl ConfidenceCosmos {
+    /// Creates a predictor of the given MHR depth that answers only with
+    /// confidence ≥ `threshold` (0 = always answer, like plain Cosmos;
+    /// values above [`CONFIDENCE_MAX`] are clamped).
+    pub fn new(depth: usize, threshold: u8) -> Self {
+        assert!(depth > 0, "MHR depth must be at least 1");
+        ConfidenceCosmos {
+            depth,
+            threshold: threshold.min(CONFIDENCE_MAX),
+            histories: HashMap::new(),
+            pht: HashMap::new(),
+        }
+    }
+
+    /// The configured confidence threshold.
+    pub fn threshold(&self) -> u8 {
+        self.threshold
+    }
+
+    /// The raw prediction regardless of confidence, with its confidence.
+    pub fn predict_with_confidence(&self, block: BlockAddr) -> Option<(PredTuple, u8)> {
+        let history = self.histories.get(&block)?;
+        if history.len() < self.depth {
+            return None;
+        }
+        self.pht
+            .get(&(block, history.clone()))
+            .map(|e| (e.prediction, e.confidence))
+    }
+}
+
+impl MessagePredictor for ConfidenceCosmos {
+    fn name(&self) -> &'static str {
+        "cosmos-confidence"
+    }
+
+    fn predict(&self, block: BlockAddr) -> Option<PredTuple> {
+        self.predict_with_confidence(block)
+            .and_then(|(p, c)| (c >= self.threshold).then_some(p))
+    }
+
+    fn observe(&mut self, block: BlockAddr, tuple: PredTuple) {
+        let history = self.histories.entry(block).or_default();
+        if history.len() == self.depth {
+            let key = (block, history.clone());
+            match self.pht.get_mut(&key) {
+                None => {
+                    self.pht.insert(
+                        key,
+                        Entry {
+                            prediction: tuple,
+                            confidence: 0,
+                        },
+                    );
+                }
+                Some(e) if e.prediction == tuple => {
+                    e.confidence = (e.confidence + 1).min(CONFIDENCE_MAX);
+                }
+                Some(e) => {
+                    *e = Entry {
+                        prediction: tuple,
+                        confidence: 0,
+                    };
+                }
+            }
+            history.remove(0);
+        }
+        history.push(tuple);
+    }
+
+    fn memory(&self) -> MemoryFootprint {
+        MemoryFootprint {
+            mhr_entries: self.histories.len(),
+            pht_entries: self.pht.len(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use stache::{MsgType, NodeId};
+
+    fn t(n: usize, m: MsgType) -> PredTuple {
+        PredTuple::new(NodeId::new(n), m)
+    }
+
+    fn b(i: u64) -> BlockAddr {
+        BlockAddr::new(i)
+    }
+
+    #[test]
+    fn threshold_zero_behaves_like_plain_cosmos() {
+        let mut p = ConfidenceCosmos::new(1, 0);
+        p.observe(b(1), t(1, MsgType::GetRoRequest));
+        p.observe(b(1), t(2, MsgType::GetRwRequest));
+        p.observe(b(1), t(1, MsgType::GetRoRequest));
+        assert_eq!(p.predict(b(1)), Some(t(2, MsgType::GetRwRequest)));
+    }
+
+    #[test]
+    fn needs_confirmations_before_answering() {
+        let mut p = ConfidenceCosmos::new(1, 2);
+        let a = t(1, MsgType::GetRoRequest);
+        let bb = t(2, MsgType::GetRwRequest);
+        // First sighting of A -> B: confidence 0, silent.
+        p.observe(b(1), a);
+        p.observe(b(1), bb);
+        p.observe(b(1), a);
+        assert_eq!(p.predict(b(1)), None);
+        assert_eq!(p.predict_with_confidence(b(1)), Some((bb, 0)));
+        // One confirmation: confidence 1, still silent.
+        p.observe(b(1), bb);
+        p.observe(b(1), a);
+        assert_eq!(p.predict(b(1)), None);
+        // Second confirmation: confidence 2, speaks.
+        p.observe(b(1), bb);
+        p.observe(b(1), a);
+        assert_eq!(p.predict(b(1)), Some(bb));
+    }
+
+    #[test]
+    fn a_miss_resets_confidence() {
+        let mut p = ConfidenceCosmos::new(1, 1);
+        let a = t(1, MsgType::GetRoRequest);
+        let bb = t(2, MsgType::GetRwRequest);
+        let c = t(3, MsgType::UpgradeRequest);
+        for _ in 0..3 {
+            p.observe(b(1), a);
+            p.observe(b(1), bb);
+        }
+        p.observe(b(1), a);
+        assert_eq!(p.predict(b(1)), Some(bb));
+        // Noise: A -> C. The entry is replaced at confidence 0: silent.
+        p.observe(b(1), c);
+        p.observe(b(1), a);
+        assert_eq!(p.predict(b(1)), None);
+    }
+
+    #[test]
+    fn confidence_saturates() {
+        let mut p = ConfidenceCosmos::new(1, 0);
+        let a = t(1, MsgType::GetRoRequest);
+        let bb = t(2, MsgType::GetRwRequest);
+        for _ in 0..10 {
+            p.observe(b(1), a);
+            p.observe(b(1), bb);
+        }
+        p.observe(b(1), a);
+        let (_, conf) = p.predict_with_confidence(b(1)).unwrap();
+        assert_eq!(conf, CONFIDENCE_MAX);
+    }
+
+    #[test]
+    fn threshold_clamped_to_max() {
+        let p = ConfidenceCosmos::new(2, 200);
+        assert_eq!(p.threshold(), CONFIDENCE_MAX);
+    }
+}

@@ -1,0 +1,34 @@
+//! Directed predictors — the §7 comparison points.
+//!
+//! Existing protocols embed predictors *directed* at one sharing pattern
+//! known a priori: migratory detection (Cox & Fowler; Stenström et al.),
+//! dynamic self-invalidation (Lebeck & Wood), and the SGI Origin's
+//! read-modify-write prediction. This module reimplements each as a
+//! [`MessagePredictor`](crate::MessagePredictor) over the same incoming
+//! message streams, so they can be scored head-to-head with Cosmos:
+//!
+//! * [`MigratoryPredictor`] — fires on Figure 8(b)'s migratory signature;
+//! * [`DsiPredictor`] — fires on Figure 8(a)'s producer/consumer
+//!   self-invalidation signatures (cache side only, as the technique is);
+//! * [`RmwPredictor`] — predicts an upgrade after every read miss;
+//! * [`LastTuple`] — predicts a repeat of the last tuple (a floor);
+//! * [`MostCommon`] — predicts each block's modal tuple (a static ceiling
+//!   for history-less predictors);
+//! * [`Composition`] — the directed predictors stacked in priority order,
+//!   the "composition of directed optimizations" §7 argues is complex to
+//!   build into a real protocol (here it is three lines — but it still
+//!   cannot track patterns it was not directed at).
+
+mod composition;
+mod dsi;
+mod last_tuple;
+mod migratory;
+mod most_common;
+mod rmw;
+
+pub use composition::Composition;
+pub use dsi::DsiPredictor;
+pub use last_tuple::LastTuple;
+pub use migratory::MigratoryPredictor;
+pub use most_common::MostCommon;
+pub use rmw::RmwPredictor;

@@ -1,0 +1,474 @@
+//! The evaluation harness: replay a trace through a fleet of predictors
+//! and account accuracy the way the paper's tables and figures do.
+//!
+//! One predictor instance is allocated per agent — per `(node, role)` pair
+//! — mirroring "we allocate a Cosmos predictor for every cache or directory
+//! in the machine" (§3.2). For every record the harness asks the agent's
+//! predictor for its prediction *before* showing it the observation, then
+//! scores:
+//!
+//! * **overall / cache / directory** accuracy (Table 5's O, C, D columns);
+//! * **per-arc** accuracy, keyed like `trace::ArcKey` (the X labels of
+//!   Figures 6 and 7);
+//! * **per-iteration** accuracy (the §6.2 time-to-adapt analysis);
+//! * **per-arc cumulative accuracy at iteration checkpoints** (Table 8);
+//! * the fleet's **memory footprint** (Table 7).
+//!
+//! A message for which the predictor offers no prediction counts as a miss
+//! (the conservative convention); coverage is reported separately.
+
+use crate::memory::MemoryFootprint;
+use crate::predictor::CosmosPredictor;
+use crate::tuple::PredTuple;
+use crate::MessagePredictor;
+use stache::{BlockAddr, MsgType, NodeId, Role};
+use std::collections::{BTreeMap, HashMap};
+use trace::{ArcKey, TraceBundle};
+
+/// Hit/total counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Counts {
+    /// Correct predictions.
+    pub hits: u64,
+    /// Messages scored.
+    pub total: u64,
+}
+
+impl Counts {
+    /// Records one scored message.
+    pub fn add(&mut self, hit: bool) {
+        self.hits += u64::from(hit);
+        self.total += 1;
+    }
+
+    /// Hit rate in [0, 1]; 0 when nothing was scored.
+    pub fn rate(&self) -> f64 {
+        if self.total == 0 {
+            return 0.0;
+        }
+        self.hits as f64 / self.total as f64
+    }
+
+    /// Hit rate as a percentage.
+    pub fn percent(&self) -> f64 {
+        100.0 * self.rate()
+    }
+
+    /// Merges another counter into this one.
+    pub fn merge(&mut self, other: Counts) {
+        self.hits += other.hits;
+        self.total += other.total;
+    }
+}
+
+/// Evaluation options.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct EvalOptions {
+    /// Records from iterations before this are *fed* to the predictors but
+    /// not *scored* — the paper's exclusion of the start-up phase (§5).
+    pub score_from_iteration: u32,
+    /// Score only the message *type*, ignoring the predicted sender. Used
+    /// by the sender-ablation study (§3.5 footnote 3 argues the sender
+    /// cannot be dropped because actions need it; this option quantifies
+    /// what type-only accuracy would look like).
+    pub type_only: bool,
+}
+
+/// The harness' output: everything the paper's tables need.
+#[derive(Debug, Clone)]
+pub struct AccuracyReport {
+    /// The predictor family evaluated.
+    pub predictor: String,
+    /// Table 5's "O" column.
+    pub overall: Counts,
+    /// Table 5's "C" column (messages received at caches).
+    pub cache: Counts,
+    /// Table 5's "D" column (messages received at directories).
+    pub directory: Counts,
+    /// How often a prediction was offered at all (`hits` = offered).
+    pub coverage: Counts,
+    /// Per-arc accuracy (Figures 6/7's X labels).
+    pub per_arc: HashMap<ArcKey, Counts>,
+    /// Per-agent accuracy — one entry per `(node, role)` predictor, for
+    /// spotting pathological agents (e.g. one directory hosting all the
+    /// noisy blocks).
+    pub per_agent: HashMap<(NodeId, Role), Counts>,
+    /// Accuracy per iteration (time-to-adapt curves).
+    pub per_iteration: BTreeMap<u32, Counts>,
+    /// Per-arc accuracy per iteration (Table 8's checkpoints).
+    pub per_arc_by_iteration: HashMap<ArcKey, BTreeMap<u32, Counts>>,
+    /// Fleet memory footprint after the full replay (Table 7).
+    pub memory: MemoryFootprint,
+}
+
+impl AccuracyReport {
+    /// Accuracy on one arc, in [0, 1].
+    pub fn arc_rate(&self, key: ArcKey) -> f64 {
+        self.per_arc.get(&key).map_or(0.0, Counts::rate)
+    }
+
+    /// Share of a role's scored arc references on this arc (Figures 6/7's
+    /// Y labels).
+    pub fn arc_share(&self, key: ArcKey) -> f64 {
+        let total: u64 = self
+            .per_arc
+            .iter()
+            .filter(|(k, _)| k.role == key.role)
+            .map(|(_, c)| c.total)
+            .sum();
+        if total == 0 {
+            return 0.0;
+        }
+        self.per_arc.get(&key).map_or(0, |c| c.total) as f64 / total as f64
+    }
+
+    /// Cumulative hit/ref counts for an arc over iterations `0..=upto`
+    /// (Table 8 reports these at 4, 80, and 320 iterations).
+    pub fn arc_cumulative(&self, key: ArcKey, upto: u32) -> Counts {
+        let mut out = Counts::default();
+        if let Some(series) = self.per_arc_by_iteration.get(&key) {
+            for (&it, c) in series {
+                if it <= upto {
+                    out.merge(*c);
+                }
+            }
+        }
+        out
+    }
+
+    /// Total scored arc references over iterations `0..=upto`, across all
+    /// arcs of a role (Table 8's `refs` denominators).
+    pub fn role_cumulative_refs(&self, role: Role, upto: u32) -> u64 {
+        self.per_arc_by_iteration
+            .iter()
+            .filter(|(k, _)| k.role == role)
+            .flat_map(|(_, series)| series.iter())
+            .filter(|(&it, _)| it <= upto)
+            .map(|(_, c)| c.total)
+            .sum()
+    }
+
+    /// Accuracy over an iteration window `[lo, hi)`.
+    pub fn window_rate(&self, lo: u32, hi: u32) -> f64 {
+        let mut c = Counts::default();
+        for (&it, counts) in &self.per_iteration {
+            if it >= lo && it < hi {
+                c.merge(*counts);
+            }
+        }
+        c.rate()
+    }
+
+    /// The first iteration at which the trailing accuracy over `window`
+    /// iterations reaches `fraction` of the final window's accuracy —
+    /// the §6.2 "time to adapt".
+    pub fn time_to_adapt(&self, window: u32, fraction: f64) -> Option<u32> {
+        let last = *self.per_iteration.keys().next_back()?;
+        let steady = self.window_rate(last.saturating_sub(window), last + 1);
+        if steady == 0.0 {
+            return Some(0);
+        }
+        (0..=last).find(|&it| self.window_rate(it, it + window) >= fraction * steady)
+    }
+
+    /// Renders a one-screen human-readable summary of the report.
+    pub fn render_summary(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "{}: overall {:.1}% (cache {:.1}%, directory {:.1}%) over {} messages",
+            self.predictor,
+            self.overall.percent(),
+            self.cache.percent(),
+            self.directory.percent(),
+            self.overall.total,
+        );
+        let _ = writeln!(
+            out,
+            "coverage {:.1}%; accuracy among offered {:.1}%",
+            self.coverage.percent(),
+            if self.coverage.hits == 0 {
+                0.0
+            } else {
+                100.0 * self.overall.hits as f64 / self.coverage.hits as f64
+            },
+        );
+        let _ = writeln!(
+            out,
+            "memory: {} MHR entries, {} PHT entries (ratio {:.2})",
+            self.memory.mhr_entries,
+            self.memory.pht_entries,
+            self.memory.ratio(),
+        );
+        for role in [Role::Cache, Role::Directory] {
+            let _ = writeln!(out, "top arcs at the {role} (accuracy%/share%):");
+            for (arc, acc, share) in self.dominant_arcs(role, 3) {
+                let _ = writeln!(
+                    out,
+                    "  {:<22} -> {:<22} {:>3.0}/{:<3.0}",
+                    arc.prev.paper_name(),
+                    arc.next.paper_name(),
+                    acc,
+                    share
+                );
+            }
+        }
+        out
+    }
+
+    /// Dominant arcs of a role by scored references, with `(accuracy %,
+    /// share %)` — the Figure 6/7 labels.
+    pub fn dominant_arcs(&self, role: Role, top: usize) -> Vec<(ArcKey, f64, f64)> {
+        let mut arcs: Vec<(ArcKey, Counts)> = self
+            .per_arc
+            .iter()
+            .filter(|(k, _)| k.role == role)
+            .map(|(k, c)| (*k, *c))
+            .collect();
+        arcs.sort_by(|a, b| b.1.total.cmp(&a.1.total).then(a.0.cmp(&b.0)));
+        arcs.truncate(top);
+        arcs.into_iter()
+            .map(|(k, c)| (k, c.percent(), 100.0 * self.arc_share(k)))
+            .collect()
+    }
+}
+
+/// Replays a trace through a fleet of predictors built by `factory` (one
+/// per `(node, role)`), scoring as the paper does.
+pub fn evaluate<F>(bundle: &TraceBundle, opts: &EvalOptions, mut factory: F) -> AccuracyReport
+where
+    F: FnMut(NodeId, Role) -> Box<dyn MessagePredictor>,
+{
+    let mut fleet: HashMap<(NodeId, Role), Box<dyn MessagePredictor>> = HashMap::new();
+    let mut prev_type: HashMap<(NodeId, Role, BlockAddr), MsgType> = HashMap::new();
+
+    let mut report = AccuracyReport {
+        predictor: String::new(),
+        overall: Counts::default(),
+        cache: Counts::default(),
+        directory: Counts::default(),
+        coverage: Counts::default(),
+        per_arc: HashMap::new(),
+        per_agent: HashMap::new(),
+        per_iteration: BTreeMap::new(),
+        per_arc_by_iteration: HashMap::new(),
+        memory: MemoryFootprint::default(),
+    };
+
+    for r in bundle.records() {
+        let agent = fleet
+            .entry((r.node, r.role))
+            .or_insert_with(|| factory(r.node, r.role));
+        if report.predictor.is_empty() {
+            report.predictor = agent.name().to_string();
+        }
+        let observed = PredTuple::new(r.sender, r.mtype);
+        let predicted = agent.predict(r.block);
+
+        if r.iteration >= opts.score_from_iteration {
+            let hit = if opts.type_only {
+                predicted.is_some_and(|p| p.mtype == observed.mtype)
+            } else {
+                predicted == Some(observed)
+            };
+            report.overall.add(hit);
+            match r.role {
+                Role::Cache => report.cache.add(hit),
+                Role::Directory => report.directory.add(hit),
+            }
+            report.coverage.add(predicted.is_some());
+            report
+                .per_agent
+                .entry((r.node, r.role))
+                .or_default()
+                .add(hit);
+            report
+                .per_iteration
+                .entry(r.iteration)
+                .or_default()
+                .add(hit);
+            if let Some(prev) = prev_type.get(&(r.node, r.role, r.block)) {
+                let key = ArcKey {
+                    role: r.role,
+                    prev: *prev,
+                    next: r.mtype,
+                };
+                report.per_arc.entry(key).or_default().add(hit);
+                report
+                    .per_arc_by_iteration
+                    .entry(key)
+                    .or_default()
+                    .entry(r.iteration)
+                    .or_default()
+                    .add(hit);
+            }
+        }
+        prev_type.insert((r.node, r.role, r.block), r.mtype);
+        agent.observe(r.block, observed);
+    }
+
+    report.memory = fleet.values().map(|p| p.memory()).sum();
+    report
+}
+
+/// Evaluates a Cosmos fleet of the given depth and filter over a trace.
+pub fn evaluate_cosmos(bundle: &TraceBundle, depth: usize, filter_max: u8) -> AccuracyReport {
+    evaluate(bundle, &EvalOptions::default(), |_, _| {
+        Box::new(CosmosPredictor::new(depth, filter_max))
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use trace::{MsgRecord, TraceMeta};
+
+    fn rec(
+        i: usize,
+        node: usize,
+        role: Role,
+        block: u64,
+        sender: usize,
+        mtype: MsgType,
+        it: u32,
+    ) -> MsgRecord {
+        MsgRecord {
+            time_ns: i as u64,
+            node: NodeId::new(node),
+            role,
+            block: BlockAddr::new(block),
+            sender: NodeId::new(sender),
+            mtype,
+            iteration: it,
+        }
+    }
+
+    /// A perfectly periodic two-message cycle at one cache.
+    fn cyclic_bundle(iterations: u32) -> TraceBundle {
+        let mut b = TraceBundle::new(TraceMeta::new("cycle", 2, iterations));
+        let mut i = 0;
+        for it in 0..iterations {
+            b.push(rec(i, 0, Role::Cache, 1, 1, MsgType::GetRwResponse, it));
+            i += 1;
+            b.push(rec(i, 0, Role::Cache, 1, 1, MsgType::InvalRwRequest, it));
+            i += 1;
+        }
+        b
+    }
+
+    #[test]
+    fn perfect_cycle_approaches_full_accuracy() {
+        let bundle = cyclic_bundle(50);
+        let report = evaluate_cosmos(&bundle, 1, 0);
+        // Cold start costs 3 messages (fill MHR, learn 2 transitions).
+        assert!(
+            report.overall.rate() > 0.95,
+            "rate {}",
+            report.overall.rate()
+        );
+        assert_eq!(report.overall.total, 100);
+        assert_eq!(report.directory.total, 0);
+        assert_eq!(report.cache.total, 100);
+        assert_eq!(report.predictor, "cosmos");
+    }
+
+    #[test]
+    fn warmup_exclusion_removes_cold_start() {
+        let bundle = cyclic_bundle(50);
+        let opts = EvalOptions {
+            score_from_iteration: 2,
+            ..Default::default()
+        };
+        let report = evaluate(&bundle, &opts, |_, _| Box::new(CosmosPredictor::new(1, 0)));
+        assert_eq!(report.overall.total, 96);
+        assert_eq!(report.overall.hits, 96, "steady state is perfect");
+    }
+
+    #[test]
+    fn per_agent_accounting_partitions_the_totals() {
+        let bundle = cyclic_bundle(10);
+        let report = evaluate_cosmos(&bundle, 1, 0);
+        // One cache agent in this trace: its counts are the totals.
+        assert_eq!(report.per_agent.len(), 1);
+        let agent = report.per_agent[&(NodeId::new(0), Role::Cache)];
+        assert_eq!(agent.total, report.overall.total);
+        assert_eq!(agent.hits, report.overall.hits);
+    }
+
+    #[test]
+    fn per_arc_accounting() {
+        let bundle = cyclic_bundle(10);
+        let report = evaluate_cosmos(&bundle, 1, 0);
+        let key = ArcKey {
+            role: Role::Cache,
+            prev: MsgType::GetRwResponse,
+            next: MsgType::InvalRwRequest,
+        };
+        let c = report.per_arc.get(&key).expect("arc present");
+        assert_eq!(c.total, 10);
+        assert!(report.arc_rate(key) > 0.8);
+        // The two arcs split the share evenly (19 arcs total: 10 + 9).
+        assert!((report.arc_share(key) - 10.0 / 19.0).abs() < 1e-9);
+        let dom = report.dominant_arcs(Role::Cache, 5);
+        assert_eq!(dom.len(), 2);
+        assert_eq!(dom[0].0, key);
+    }
+
+    #[test]
+    fn cumulative_arc_counts_grow() {
+        let bundle = cyclic_bundle(20);
+        let report = evaluate_cosmos(&bundle, 1, 0);
+        let key = ArcKey {
+            role: Role::Cache,
+            prev: MsgType::GetRwResponse,
+            next: MsgType::InvalRwRequest,
+        };
+        let at5 = report.arc_cumulative(key, 5);
+        let at19 = report.arc_cumulative(key, 19);
+        assert!(at5.total < at19.total);
+        assert!(at19.rate() >= at5.rate());
+        assert!(report.role_cumulative_refs(Role::Cache, 19) >= at19.total);
+    }
+
+    #[test]
+    fn time_to_adapt_is_early_for_easy_patterns() {
+        let bundle = cyclic_bundle(60);
+        let report = evaluate_cosmos(&bundle, 1, 0);
+        let t = report.time_to_adapt(5, 0.95).unwrap();
+        assert!(t <= 3, "adapted at iteration {t}");
+    }
+
+    #[test]
+    fn coverage_counts_offered_predictions() {
+        let bundle = cyclic_bundle(5);
+        let report = evaluate_cosmos(&bundle, 1, 0);
+        // The first three messages have no prediction: the first fills the
+        // MHR, the second learns the first transition (but the MHR now
+        // points at the not-yet-learned one), the third learns that one.
+        assert_eq!(report.coverage.total, 10);
+        assert_eq!(report.coverage.hits, 7);
+    }
+
+    #[test]
+    fn summary_renders_the_essentials() {
+        let bundle = cyclic_bundle(10);
+        let report = evaluate_cosmos(&bundle, 1, 0);
+        let s = report.render_summary();
+        assert!(s.contains("cosmos"));
+        assert!(s.contains("MHR"));
+        assert!(s.contains("get_rw_response"));
+    }
+
+    #[test]
+    fn counts_helpers() {
+        let mut c = Counts::default();
+        assert_eq!(c.rate(), 0.0);
+        c.add(true);
+        c.add(false);
+        assert_eq!(c.percent(), 50.0);
+        let mut d = Counts::default();
+        d.merge(c);
+        assert_eq!(d.total, 2);
+    }
+}

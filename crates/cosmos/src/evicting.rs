@@ -1,0 +1,207 @@
+//! First-level-table eviction — the §3.7 history-loss concern.
+//!
+//! "It may be possible to merge the first-level table with the cache
+//! block state maintained at both directories and caches. However, this
+//! may lead to a loss of Cosmos' history information when cache blocks
+//! are replaced." This variant bounds the Message History Table to a
+//! fixed number of block entries per agent; when a new block arrives and
+//! the table is full, the least-recently-used block's *entire* predictor
+//! state (MHR and PHT) is discarded — exactly what merging the tables
+//! with finite cache state would do.
+//!
+//! Measuring accuracy as the capacity shrinks quantifies how much the
+//! persistence that Stache's no-replacement policy provides (§5.1) is
+//! worth.
+
+use crate::memory::MemoryFootprint;
+use crate::mhr::Mhr;
+use crate::pht::Pht;
+use crate::tuple::PredTuple;
+use crate::MessagePredictor;
+use stache::BlockAddr;
+use std::collections::HashMap;
+
+#[derive(Debug, Clone)]
+struct BlockState {
+    mhr: Mhr,
+    pht: Option<Pht>,
+    last_used: u64,
+}
+
+/// A Cosmos predictor whose MHT holds at most `capacity` blocks (LRU).
+#[derive(Debug, Clone)]
+pub struct EvictingCosmos {
+    depth: usize,
+    filter_max: u8,
+    capacity: usize,
+    blocks: HashMap<BlockAddr, BlockState>,
+    clock: u64,
+    /// Blocks whose history was discarded under capacity pressure.
+    pub evictions: u64,
+}
+
+impl EvictingCosmos {
+    /// Creates a predictor with at most `capacity` tracked blocks.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `depth` or `capacity` is zero.
+    pub fn new(depth: usize, filter_max: u8, capacity: usize) -> Self {
+        assert!(depth > 0, "MHR depth must be at least 1");
+        assert!(capacity > 0, "a zero-capacity MHT cannot predict");
+        EvictingCosmos {
+            depth,
+            filter_max,
+            capacity,
+            blocks: HashMap::new(),
+            clock: 0,
+            evictions: 0,
+        }
+    }
+
+    /// The MHT capacity in blocks.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    fn evict_lru(&mut self) {
+        if let Some(victim) = self
+            .blocks
+            .iter()
+            .min_by_key(|(_, s)| s.last_used)
+            .map(|(b, _)| *b)
+        {
+            self.blocks.remove(&victim);
+            self.evictions += 1;
+        }
+    }
+}
+
+impl MessagePredictor for EvictingCosmos {
+    fn name(&self) -> &'static str {
+        "cosmos-evicting"
+    }
+
+    fn predict(&self, block: BlockAddr) -> Option<PredTuple> {
+        let state = self.blocks.get(&block)?;
+        let key = state.mhr.key()?;
+        state.pht.as_ref()?.predict(key)
+    }
+
+    fn observe(&mut self, block: BlockAddr, tuple: PredTuple) {
+        self.clock += 1;
+        if !self.blocks.contains_key(&block) && self.blocks.len() >= self.capacity {
+            self.evict_lru();
+        }
+        let depth = self.depth;
+        let clock = self.clock;
+        let state = self.blocks.entry(block).or_insert_with(|| BlockState {
+            mhr: Mhr::new(depth),
+            pht: None,
+            last_used: clock,
+        });
+        state.last_used = clock;
+        if let Some(key) = state.mhr.key() {
+            let key = key.to_vec();
+            state
+                .pht
+                .get_or_insert_with(Pht::new)
+                .update(&key, tuple, self.filter_max);
+        }
+        state.mhr.shift(tuple);
+    }
+
+    fn memory(&self) -> MemoryFootprint {
+        MemoryFootprint {
+            mhr_entries: self.blocks.len(),
+            pht_entries: self
+                .blocks
+                .values()
+                .filter_map(|s| s.pht.as_ref())
+                .map(Pht::len)
+                .sum(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::predictor::CosmosPredictor;
+    use stache::{MsgType, NodeId};
+
+    fn t(n: usize, m: MsgType) -> PredTuple {
+        PredTuple::new(NodeId::new(n), m)
+    }
+
+    fn b(i: u64) -> BlockAddr {
+        BlockAddr::new(i)
+    }
+
+    #[test]
+    fn unbounded_capacity_matches_plain_cosmos() {
+        let mut ev = EvictingCosmos::new(1, 0, 1000);
+        let mut plain = CosmosPredictor::new(1, 0);
+        for i in 0..60u64 {
+            let blk = b(i % 5);
+            let tuple = t(((i / 5) % 3) as usize, MsgType::GetRoRequest);
+            assert_eq!(ev.predict(blk), plain.predict(blk));
+            ev.observe(blk, tuple);
+            plain.observe(blk, tuple);
+        }
+        assert_eq!(ev.memory(), plain.memory());
+        assert_eq!(ev.evictions, 0);
+    }
+
+    #[test]
+    fn eviction_discards_learned_history() {
+        let mut ev = EvictingCosmos::new(1, 0, 1);
+        let a = t(1, MsgType::GetRoRequest);
+        let bb = t(2, MsgType::GetRwRequest);
+        // Learn a->b on block 1.
+        for _ in 0..3 {
+            ev.observe(b(1), a);
+            ev.observe(b(1), bb);
+        }
+        ev.observe(b(1), a);
+        assert_eq!(ev.predict(b(1)), Some(bb));
+        // Touching block 2 evicts block 1's state entirely.
+        ev.observe(b(2), a);
+        assert_eq!(ev.evictions, 1);
+        assert_eq!(ev.predict(b(1)), None, "history lost with the block");
+        // And block 1 must relearn from scratch.
+        ev.observe(b(1), a);
+        assert_eq!(ev.predict(b(1)), None);
+    }
+
+    #[test]
+    fn capacity_is_respected() {
+        let mut ev = EvictingCosmos::new(1, 0, 4);
+        for i in 0..100u64 {
+            ev.observe(b(i), t(0, MsgType::GetRoRequest));
+        }
+        assert_eq!(ev.memory().mhr_entries, 4);
+        assert_eq!(ev.evictions, 96);
+    }
+
+    #[test]
+    fn lru_keeps_the_hot_block() {
+        let mut ev = EvictingCosmos::new(1, 0, 2);
+        let a = t(1, MsgType::GetRoRequest);
+        let bb = t(2, MsgType::GetRwRequest);
+        for _ in 0..3 {
+            ev.observe(b(1), a);
+            ev.observe(b(1), bb);
+        }
+        ev.observe(b(2), a); // table now {1, 2}
+        ev.observe(b(1), a); // block 1 most recent
+        ev.observe(b(3), a); // evicts block 2, not block 1
+        assert_eq!(ev.predict(b(1)), Some(bb), "hot block survived");
+    }
+
+    #[test]
+    #[should_panic(expected = "zero-capacity")]
+    fn zero_capacity_rejected() {
+        let _ = EvictingCosmos::new(1, 0, 0);
+    }
+}

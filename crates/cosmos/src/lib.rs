@@ -1,0 +1,127 @@
+#![warn(missing_docs)]
+
+//! # cosmos — the Cosmos coherence message predictor
+//!
+//! The core contribution of *Using Prediction to Accelerate Coherence
+//! Protocols* (Mukherjee & Hill, ISCA 1998): a two-level adaptive predictor,
+//! derived from Yeh & Patt's PAp branch predictor, that predicts the
+//! `<sender, message-type>` tuple of the **next incoming coherence
+//! message** for a cache block.
+//!
+//! One Cosmos predictor sits beside every cache and every directory:
+//!
+//! 1. The block address indexes the **Message History Table** (MHT); each
+//!    entry is a **Message History Register** (MHR) holding the last
+//!    `depth` `<sender, type>` tuples received for that block.
+//! 2. The MHR contents index that block's **Pattern History Table** (PHT),
+//!    whose entry — if present — is the predicted next tuple. PHT entries
+//!    may carry a saturating-counter noise filter (§3.6).
+//!
+//! The crate also provides:
+//!
+//! * [`directed`] — reimplementations of the *directed* predictors the
+//!   paper compares against in §7 (migratory detection, dynamic
+//!   self-invalidation, Origin-style read-modify-write, last-tuple);
+//! * [`eval`] — the evaluation harness producing overall / per-role /
+//!   per-arc / per-iteration accuracies (Tables 5, 6, 8; Figures 6, 7);
+//! * [`memory`] — Table 7's PHT/MHR ratio and per-block overhead formula;
+//! * [`speedup`] — §4.4's analytic speedup model (Figure 5);
+//! * [`actions`] — §4.1's prediction→action mapping and a speculative
+//!   message-saving estimator.
+//!
+//! ## Example
+//!
+//! ```
+//! use cosmos::{CosmosPredictor, MessagePredictor, PredTuple};
+//! use stache::{BlockAddr, MsgType, NodeId};
+//!
+//! // Figure 3: the directory's predictor for `shared_counter`.
+//! let mut p = CosmosPredictor::new(1, 0);
+//! let block = BlockAddr::new(42);
+//! let from_p1 = PredTuple::new(NodeId::new(1), MsgType::GetRoRequest);
+//! let from_p2 = PredTuple::new(NodeId::new(2), MsgType::InvalRoResponse);
+//!
+//! p.observe(block, from_p1);
+//! p.observe(block, from_p2); // learns: after get_ro_request(P1) comes inval_ro_response(P2)
+//! p.observe(block, from_p1);
+//! assert_eq!(p.predict(block), Some(from_p2));
+//! ```
+
+pub mod actions;
+pub mod confidence;
+pub mod directed;
+pub mod eval;
+pub mod evicting;
+pub mod hybrid;
+pub mod lookahead;
+pub mod macroblock;
+pub mod memory;
+pub mod mhr;
+pub mod pht;
+pub mod prealloc;
+pub mod predictor;
+pub mod shared_pht;
+pub mod snapshot;
+pub mod speedup;
+pub mod tuple;
+
+pub use confidence::ConfidenceCosmos;
+pub use eval::{AccuracyReport, Counts, EvalOptions};
+pub use evicting::EvictingCosmos;
+pub use hybrid::HybridCosmos;
+pub use lookahead::{evaluate_lookahead, LookaheadReport};
+pub use macroblock::MacroblockCosmos;
+pub use memory::MemoryFootprint;
+pub use mhr::Mhr;
+pub use pht::{Pht, PhtEntry};
+pub use prealloc::PreallocCosmos;
+pub use predictor::{CosmosPredictor, TypeOnlyCosmos};
+pub use shared_pht::SharedPhtCosmos;
+pub use tuple::PredTuple;
+
+use stache::BlockAddr;
+
+/// A predictor of the next incoming coherence message for a block.
+///
+/// One instance serves one agent (a cache or a directory at one node). The
+/// evaluation harness calls [`predict`](MessagePredictor::predict) *before*
+/// [`observe`](MessagePredictor::observe) for every incoming message and
+/// scores the prediction against the observation.
+pub trait MessagePredictor {
+    /// A short name for tables and reports.
+    fn name(&self) -> &'static str;
+
+    /// Predicts the next incoming `<sender, type>` for `block`, or `None`
+    /// if the predictor has no basis for a prediction yet.
+    fn predict(&self, block: BlockAddr) -> Option<PredTuple>;
+
+    /// Feeds the actually-received tuple for `block` into the predictor.
+    fn observe(&mut self, block: BlockAddr, tuple: PredTuple);
+
+    /// The predictor's table sizes, for memory accounting (Table 7).
+    /// Predictors without per-block tables report an empty footprint.
+    fn memory(&self) -> MemoryFootprint {
+        MemoryFootprint::default()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use stache::{MsgType, NodeId};
+
+    /// The lib.rs doc example, kept as a compiled test too.
+    #[test]
+    fn figure_three_walkthrough() {
+        let mut p = CosmosPredictor::new(1, 0);
+        let block = BlockAddr::new(42);
+        let t1 = PredTuple::new(NodeId::new(1), MsgType::GetRoRequest);
+        let t2 = PredTuple::new(NodeId::new(2), MsgType::InvalRoResponse);
+        assert_eq!(p.predict(block), None);
+        p.observe(block, t1);
+        assert_eq!(p.predict(block), None, "no pattern learned yet");
+        p.observe(block, t2);
+        p.observe(block, t1);
+        assert_eq!(p.predict(block), Some(t2));
+    }
+}

@@ -1,0 +1,153 @@
+//! Macroblock grouping — §7's memory-reduction suggestion.
+//!
+//! "Cosmos' memory requirement can perhaps be reduced by grouping
+//! predictions for multiple cache blocks together (similar to Johnson and
+//! Hwu's macroblocks)." This variant indexes the Message History Table by
+//! `block >> shift` instead of the block address, so `2^shift` adjacent
+//! blocks share one MHR and one PHT.
+//!
+//! The trade-off is interference: adjacent blocks with *the same* sharing
+//! pattern (a partitioned array) reinforce each other and cost `2^shift`×
+//! less memory; adjacent blocks with *different* patterns corrupt each
+//! other's history. The `repro variants` study quantifies both sides.
+
+use crate::memory::MemoryFootprint;
+use crate::predictor::CosmosPredictor;
+use crate::tuple::PredTuple;
+use crate::MessagePredictor;
+use stache::BlockAddr;
+
+/// A Cosmos predictor whose tables are shared by `2^shift` adjacent
+/// blocks.
+#[derive(Debug, Clone)]
+pub struct MacroblockCosmos {
+    shift: u32,
+    inner: CosmosPredictor,
+}
+
+impl MacroblockCosmos {
+    /// Creates a macroblock predictor: MHR `depth`, noise-filter
+    /// `filter_max`, and macroblocks of `2^shift` blocks (`shift = 0` is
+    /// plain Cosmos).
+    pub fn new(depth: usize, filter_max: u8, shift: u32) -> Self {
+        MacroblockCosmos {
+            shift,
+            inner: CosmosPredictor::new(depth, filter_max),
+        }
+    }
+
+    /// The macroblock a block falls into.
+    pub fn macroblock(&self, block: BlockAddr) -> BlockAddr {
+        BlockAddr::new(block.number() >> self.shift)
+    }
+
+    /// Blocks per macroblock.
+    pub fn group_size(&self) -> u64 {
+        1 << self.shift
+    }
+}
+
+impl MessagePredictor for MacroblockCosmos {
+    fn name(&self) -> &'static str {
+        "cosmos-macroblock"
+    }
+
+    fn predict(&self, block: BlockAddr) -> Option<PredTuple> {
+        self.inner.predict(self.macroblock(block))
+    }
+
+    fn observe(&mut self, block: BlockAddr, tuple: PredTuple) {
+        let mb = self.macroblock(block);
+        self.inner.observe(mb, tuple);
+    }
+
+    fn memory(&self) -> MemoryFootprint {
+        self.inner.memory()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use stache::{MsgType, NodeId};
+
+    fn t(n: usize, m: MsgType) -> PredTuple {
+        PredTuple::new(NodeId::new(n), m)
+    }
+
+    #[test]
+    fn shift_zero_matches_plain_cosmos() {
+        let mut mb = MacroblockCosmos::new(1, 0, 0);
+        let mut plain = CosmosPredictor::new(1, 0);
+        let stream = [
+            (0u64, t(1, MsgType::GetRoRequest)),
+            (1, t(2, MsgType::GetRwRequest)),
+            (0, t(1, MsgType::UpgradeRequest)),
+            (1, t(2, MsgType::InvalRwResponse)),
+            (0, t(1, MsgType::GetRoRequest)),
+        ];
+        for (b, tuple) in stream {
+            assert_eq!(
+                mb.predict(BlockAddr::new(b)),
+                plain.predict(BlockAddr::new(b))
+            );
+            mb.observe(BlockAddr::new(b), tuple);
+            plain.observe(BlockAddr::new(b), tuple);
+        }
+        assert_eq!(mb.memory(), plain.memory());
+    }
+
+    #[test]
+    fn adjacent_blocks_share_tables() {
+        let mut mb = MacroblockCosmos::new(1, 0, 1);
+        assert_eq!(mb.group_size(), 2);
+        // Train on block 0; block 1 shares the macroblock and inherits
+        // the learned pattern.
+        mb.observe(BlockAddr::new(0), t(1, MsgType::GetRoRequest));
+        mb.observe(BlockAddr::new(0), t(1, MsgType::UpgradeRequest));
+        mb.observe(BlockAddr::new(1), t(1, MsgType::GetRoRequest));
+        assert_eq!(
+            mb.predict(BlockAddr::new(1)),
+            Some(t(1, MsgType::UpgradeRequest))
+        );
+        // Only one MHR was allocated for the pair.
+        assert_eq!(mb.memory().mhr_entries, 1);
+    }
+
+    #[test]
+    fn unrelated_patterns_interfere() {
+        // Block 0 cycles A->B; block 1 cycles A->C. Grouped, the PHT entry
+        // for A keeps flipping: interference, the §7 caveat.
+        let mut mb = MacroblockCosmos::new(1, 0, 1);
+        let a = t(1, MsgType::GetRoRequest);
+        let b = t(2, MsgType::GetRwRequest);
+        let c = t(3, MsgType::UpgradeRequest);
+        mb.observe(BlockAddr::new(0), a);
+        mb.observe(BlockAddr::new(0), b); // learned A -> B
+        mb.observe(BlockAddr::new(1), a);
+        mb.observe(BlockAddr::new(1), c); // overwritten: A -> C
+        mb.observe(BlockAddr::new(0), a);
+        assert_eq!(
+            mb.predict(BlockAddr::new(0)),
+            Some(c),
+            "block 0 sees block 1's pattern"
+        );
+    }
+
+    #[test]
+    fn memory_shrinks_with_group_size() {
+        let blocks = 64u64;
+        let mut fine = MacroblockCosmos::new(1, 0, 0);
+        let mut coarse = MacroblockCosmos::new(1, 0, 3);
+        for round in 0..3 {
+            for blk in 0..blocks {
+                let tuple = t((round % 4) + 1, MsgType::GetRoRequest);
+                fine.observe(BlockAddr::new(blk), tuple);
+                coarse.observe(BlockAddr::new(blk), tuple);
+            }
+        }
+        assert_eq!(fine.memory().mhr_entries, 64);
+        assert_eq!(coarse.memory().mhr_entries, 8);
+        assert!(coarse.memory().pht_entries <= fine.memory().pht_entries);
+    }
+}

@@ -1,0 +1,131 @@
+//! The Message History Register: the first predictor level.
+//!
+//! An MHR is a shift register of the last `depth` `<sender, type>` tuples
+//! received for one cache block (paper §3.2). Its contents — once full —
+//! form the key into the block's Pattern History Table.
+
+use crate::tuple::PredTuple;
+use std::fmt;
+
+/// A fixed-depth shift register of prediction tuples.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Mhr {
+    depth: usize,
+    /// Most recent tuple last.
+    history: Vec<PredTuple>,
+}
+
+impl Mhr {
+    /// Creates an empty register of the given depth.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `depth` is zero — a depthless Cosmos has no first level.
+    pub fn new(depth: usize) -> Self {
+        assert!(depth > 0, "MHR depth must be at least 1");
+        Mhr {
+            depth,
+            history: Vec::with_capacity(depth),
+        }
+    }
+
+    /// The configured depth.
+    pub fn depth(&self) -> usize {
+        self.depth
+    }
+
+    /// Left-shifts a tuple in (paper §3.4); the oldest tuple falls out once
+    /// the register is full.
+    pub fn shift(&mut self, tuple: PredTuple) {
+        if self.history.len() == self.depth {
+            self.history.remove(0);
+        }
+        self.history.push(tuple);
+    }
+
+    /// Whether `depth` tuples have been received.
+    pub fn is_full(&self) -> bool {
+        self.history.len() == self.depth
+    }
+
+    /// The register contents (oldest first), usable as a PHT key once full.
+    pub fn key(&self) -> Option<&[PredTuple]> {
+        self.is_full().then_some(self.history.as_slice())
+    }
+
+    /// The register contents regardless of fill level (oldest first).
+    pub fn contents(&self) -> &[PredTuple] {
+        &self.history
+    }
+
+    /// The most recent tuple, if any.
+    pub fn last(&self) -> Option<PredTuple> {
+        self.history.last().copied()
+    }
+}
+
+impl fmt::Display for Mhr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[")?;
+        for (i, t) in self.history.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{t}")?;
+        }
+        write!(f, "]")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use stache::{MsgType, NodeId};
+
+    fn t(n: usize, m: MsgType) -> PredTuple {
+        PredTuple::new(NodeId::new(n), m)
+    }
+
+    #[test]
+    fn fills_then_shifts() {
+        let mut r = Mhr::new(2);
+        assert!(!r.is_full());
+        assert_eq!(r.key(), None);
+        r.shift(t(1, MsgType::GetRoRequest));
+        assert!(!r.is_full());
+        r.shift(t(2, MsgType::GetRoRequest));
+        assert!(r.is_full());
+        assert_eq!(
+            r.key().unwrap(),
+            &[t(1, MsgType::GetRoRequest), t(2, MsgType::GetRoRequest)]
+        );
+        r.shift(t(3, MsgType::UpgradeRequest));
+        assert_eq!(
+            r.key().unwrap(),
+            &[t(2, MsgType::GetRoRequest), t(3, MsgType::UpgradeRequest)]
+        );
+        assert_eq!(r.last(), Some(t(3, MsgType::UpgradeRequest)));
+    }
+
+    #[test]
+    fn depth_one_keeps_only_latest() {
+        let mut r = Mhr::new(1);
+        r.shift(t(1, MsgType::GetRoRequest));
+        r.shift(t(2, MsgType::GetRwRequest));
+        assert_eq!(r.key().unwrap(), &[t(2, MsgType::GetRwRequest)]);
+        assert_eq!(r.depth(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "depth")]
+    fn zero_depth_rejected() {
+        let _ = Mhr::new(0);
+    }
+
+    #[test]
+    fn display_shows_tuples() {
+        let mut r = Mhr::new(2);
+        r.shift(t(1, MsgType::GetRoRequest));
+        assert_eq!(r.to_string(), "[<P1, get_ro_request>]");
+    }
+}

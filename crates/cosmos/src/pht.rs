@@ -1,0 +1,178 @@
+//! The Pattern History Table: the second predictor level.
+//!
+//! One PHT exists per MHR (i.e. per cache block, paper §3.2). It maps a
+//! history of `<sender, type>` tuples to a predicted next tuple. Unlike
+//! PAp's two-bit counters, a Cosmos PHT entry "simply consists of a
+//! prediction" — optionally guarded by a saturating-counter noise filter
+//! (§3.6): the prediction is replaced only after `max_count + 1`
+//! consecutive mispredictions for the same history.
+
+use crate::tuple::PredTuple;
+use std::collections::HashMap;
+
+/// A PHT entry: the prediction, plus the filter's miss counter.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PhtEntry {
+    /// The predicted next tuple for this history.
+    pub prediction: PredTuple,
+    /// Consecutive mispredictions observed (saturates at the filter's
+    /// maximum count).
+    pub misses: u8,
+}
+
+/// A per-block pattern history table.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Pht {
+    entries: HashMap<Vec<PredTuple>, PhtEntry>,
+}
+
+impl Pht {
+    /// Creates an empty table.
+    pub fn new() -> Self {
+        Pht::default()
+    }
+
+    /// The prediction for a history, if one has been learned.
+    pub fn predict(&self, key: &[PredTuple]) -> Option<PredTuple> {
+        self.entries.get(key).map(|e| e.prediction)
+    }
+
+    /// Updates the entry for `key` with the actually-observed tuple,
+    /// applying the noise filter with the given maximum count
+    /// (`filter_max = 0` replaces the prediction on the first miss — the
+    /// unfiltered configuration of Table 6's column 0).
+    pub fn update(&mut self, key: &[PredTuple], observed: PredTuple, filter_max: u8) {
+        match self.entries.get_mut(key) {
+            None => {
+                self.entries.insert(
+                    key.to_vec(),
+                    PhtEntry {
+                        prediction: observed,
+                        misses: 0,
+                    },
+                );
+            }
+            Some(entry) => {
+                if entry.prediction == observed {
+                    entry.misses = 0;
+                } else if entry.misses < filter_max {
+                    entry.misses += 1;
+                } else {
+                    *entry = PhtEntry {
+                        prediction: observed,
+                        misses: 0,
+                    };
+                }
+            }
+        }
+    }
+
+    /// Installs an entry verbatim (the restore half of
+    /// [`crate::snapshot`]): no filter logic applies.
+    pub fn restore_entry(&mut self, key: &[PredTuple], prediction: PredTuple, misses: u8) {
+        self.entries
+            .insert(key.to_vec(), PhtEntry { prediction, misses });
+    }
+
+    /// Number of learned patterns (Table 7's per-block PHT entry count).
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether no patterns have been learned.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Iterates `(history, entry)` pairs in arbitrary order.
+    pub fn iter(&self) -> impl Iterator<Item = (&[PredTuple], &PhtEntry)> {
+        self.entries.iter().map(|(k, v)| (k.as_slice(), v))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use stache::{MsgType, NodeId};
+
+    fn t(n: usize, m: MsgType) -> PredTuple {
+        PredTuple::new(NodeId::new(n), m)
+    }
+
+    fn key1() -> Vec<PredTuple> {
+        vec![t(1, MsgType::GetRoRequest)]
+    }
+
+    #[test]
+    fn learns_then_predicts() {
+        let mut pht = Pht::new();
+        assert_eq!(pht.predict(&key1()), None);
+        pht.update(&key1(), t(2, MsgType::InvalRoResponse), 0);
+        assert_eq!(pht.predict(&key1()), Some(t(2, MsgType::InvalRoResponse)));
+        assert_eq!(pht.len(), 1);
+    }
+
+    #[test]
+    fn unfiltered_update_replaces_immediately() {
+        let mut pht = Pht::new();
+        pht.update(&key1(), t(2, MsgType::InvalRoResponse), 0);
+        pht.update(&key1(), t(3, MsgType::UpgradeRequest), 0);
+        assert_eq!(pht.predict(&key1()), Some(t(3, MsgType::UpgradeRequest)));
+    }
+
+    #[test]
+    fn single_bit_filter_needs_two_consecutive_misses() {
+        // The paper's single-bit counter (§3.6): the prediction changes
+        // only after two consecutive mispredictions.
+        let mut pht = Pht::new();
+        let good = t(2, MsgType::InvalRoResponse);
+        let noise = t(3, MsgType::UpgradeRequest);
+        pht.update(&key1(), good, 1);
+        pht.update(&key1(), noise, 1); // first miss: filtered
+        assert_eq!(pht.predict(&key1()), Some(good));
+        pht.update(&key1(), good, 1); // correct again: counter resets
+        pht.update(&key1(), noise, 1); // miss 1
+        assert_eq!(pht.predict(&key1()), Some(good));
+        pht.update(&key1(), noise, 1); // miss 2: replaced
+        assert_eq!(pht.predict(&key1()), Some(noise));
+    }
+
+    #[test]
+    fn max_count_two_needs_three_misses() {
+        let mut pht = Pht::new();
+        let good = t(2, MsgType::InvalRoResponse);
+        let noise = t(3, MsgType::UpgradeRequest);
+        pht.update(&key1(), good, 2);
+        pht.update(&key1(), noise, 2);
+        pht.update(&key1(), noise, 2);
+        assert_eq!(pht.predict(&key1()), Some(good), "two misses filtered");
+        pht.update(&key1(), noise, 2);
+        assert_eq!(pht.predict(&key1()), Some(noise), "third miss replaces");
+    }
+
+    #[test]
+    fn correct_observation_resets_the_counter() {
+        let mut pht = Pht::new();
+        let good = t(2, MsgType::InvalRoResponse);
+        let noise = t(3, MsgType::UpgradeRequest);
+        pht.update(&key1(), good, 1);
+        pht.update(&key1(), noise, 1);
+        pht.update(&key1(), good, 1);
+        // Counter is back to zero; a single miss must not replace.
+        pht.update(&key1(), noise, 1);
+        assert_eq!(pht.predict(&key1()), Some(good));
+    }
+
+    #[test]
+    fn distinct_histories_are_independent() {
+        let mut pht = Pht::new();
+        let key_a = vec![t(1, MsgType::GetRoRequest), t(2, MsgType::GetRoRequest)];
+        let key_b = vec![t(2, MsgType::GetRoRequest), t(1, MsgType::GetRoRequest)];
+        pht.update(&key_a, t(3, MsgType::UpgradeRequest), 0);
+        pht.update(&key_b, t(4, MsgType::GetRwRequest), 0);
+        assert_eq!(pht.predict(&key_a), Some(t(3, MsgType::UpgradeRequest)));
+        assert_eq!(pht.predict(&key_b), Some(t(4, MsgType::GetRwRequest)));
+        assert_eq!(pht.len(), 2);
+        assert_eq!(pht.iter().count(), 2);
+    }
+}

@@ -1,0 +1,895 @@
+//! A message-level concurrent execution engine.
+//!
+//! The default [`Machine`](crate::Machine) serialises whole coherence
+//! transactions — faithful per block, but transactions on *different*
+//! blocks cannot overlap in time. This engine is the next fidelity step:
+//! every message is a discrete event, each node's (software) directory and
+//! cache handlers have occupancy, and a directory services one transaction
+//! per block at a time while requests for *other* blocks proceed in
+//! parallel. Requests arriving for a busy block queue at the home, as
+//! Stache's software handlers do.
+//!
+//! Two genuinely concurrent phenomena appear that the serialized engine
+//! cannot produce:
+//!
+//! * **the upgrade race** — a cache's `upgrade_request` loses to another
+//!   writer's invalidation; the cache falls to I-to-E
+//!   ([`stache::cache::on_message`] documents the transition) and the
+//!   directory converts the stale upgrade into a write miss;
+//! * **non-atomic read-modify-writes** — a competitor can slip between a
+//!   processor's read and write of the same block (the behaviour dsmc's
+//!   pre-stabilisation scramble models explicitly at plan level).
+//!
+//! Reads are validated against a value oracle at fill time; the full-map
+//! and SWMR invariants are audited at every barrier, where the machine is
+//! quiescent.
+
+use crate::config::SystemConfig;
+use crate::driver::{AccessOp, IterationPlan, Phase};
+use crate::event::EventQueue;
+use crate::machine::{SimError, SpeculationPolicy};
+use crate::stats::MachineStats;
+use stache::cache::{self, CacheAction};
+use stache::directory::{self};
+use stache::invariants::check_block;
+use stache::placement::home_of_block;
+use stache::{BlockAddr, CacheState, DirState, Msg, MsgType, NodeId, ProcOp, ProtocolConfig};
+use std::collections::{HashMap, HashSet, VecDeque};
+use trace::{MsgRecord, TraceBundle, TraceMeta};
+
+/// A queued event.
+#[derive(Debug, Clone)]
+enum Event {
+    /// A processor attempts its next script operation.
+    Issue(NodeId),
+    /// A message is delivered to its receiver.
+    Deliver(Msg),
+}
+
+/// An in-flight directory transaction for one block.
+#[derive(Debug, Clone)]
+struct DirTxn {
+    requester: NodeId,
+    /// The grant to send when all acknowledgments are in (`None` for the
+    /// home's own accesses, which need no reply message).
+    reply: Option<MsgType>,
+    next: DirState,
+    outstanding: usize,
+    /// Whether the requester is the home itself.
+    local: bool,
+}
+
+/// A request waiting for a busy block at its home directory.
+#[derive(Debug, Clone)]
+struct PendingReq {
+    msg: Msg,
+    arrived: u64,
+}
+
+/// The concurrent machine. Drive it with [`run_plan`](Self::run_plan) or
+/// the [`run_workload`] helper.
+#[derive(Debug)]
+pub struct ConcurrentMachine {
+    proto: ProtocolConfig,
+    sys: SystemConfig,
+    queue: EventQueue<Event>,
+    caches: Vec<HashMap<BlockAddr, CacheState>>,
+    dirs: HashMap<BlockAddr, DirState>,
+    txns: HashMap<BlockAddr, DirTxn>,
+    pending: HashMap<BlockAddr, VecDeque<PendingReq>>,
+    dir_busy: Vec<u64>,
+    /// Per-node time at which the cache-side protocol handler frees up
+    /// (invalidations and grants are software-handled too).
+    cache_busy: Vec<u64>,
+    clocks: Vec<u64>,
+    /// Remaining operations of the current phase, per node.
+    scripts: Vec<VecDeque<(BlockAddr, ProcOp)>>,
+    /// The (block, op, issue time) each processor is blocked on, if any.
+    waiting: Vec<Option<(BlockAddr, ProcOp, u64)>>,
+    trace: TraceBundle,
+    stats: MachineStats,
+    overflowed: HashSet<BlockAddr>,
+    cache_values: Vec<HashMap<BlockAddr, u64>>,
+    mem_values: HashMap<BlockAddr, u64>,
+    next_stamp: u64,
+    iteration: u32,
+    /// The §4 speculation hook, if any.
+    policy: Option<Box<dyn SpeculationPolicy>>,
+}
+
+impl ConcurrentMachine {
+    /// Creates a machine.
+    pub fn new(proto: ProtocolConfig, sys: SystemConfig) -> Self {
+        let nodes = proto.nodes;
+        ConcurrentMachine {
+            proto,
+            sys,
+            queue: EventQueue::new(),
+            caches: vec![HashMap::new(); nodes],
+            dirs: HashMap::new(),
+            txns: HashMap::new(),
+            pending: HashMap::new(),
+            dir_busy: vec![0; nodes],
+            cache_busy: vec![0; nodes],
+            clocks: vec![0; nodes],
+            scripts: vec![VecDeque::new(); nodes],
+            waiting: vec![None; nodes],
+            trace: TraceBundle::new(TraceMeta::new("unnamed", nodes, 0)),
+            stats: MachineStats::default(),
+            overflowed: HashSet::new(),
+            cache_values: vec![HashMap::new(); nodes],
+            mem_values: HashMap::new(),
+            next_stamp: 0,
+            iteration: 0,
+            policy: None,
+        }
+    }
+
+    /// Installs a speculation policy (the §4 integration): exclusive
+    /// grants on predicted upgrades, voluntary replacement on predicted
+    /// recalls — both fully race-checked in this engine.
+    pub fn set_policy(&mut self, policy: Box<dyn SpeculationPolicy>) {
+        self.policy = Some(policy);
+    }
+
+    /// Names the trace.
+    pub fn set_app(&mut self, app: &str, iterations: u32) {
+        let nodes = self.proto.nodes;
+        let mut bundle = TraceBundle::new(TraceMeta::new(app, nodes, iterations));
+        bundle.extend_records(self.trace.records().iter().copied());
+        self.trace = bundle;
+    }
+
+    /// The captured trace.
+    pub fn trace(&self) -> &TraceBundle {
+        &self.trace
+    }
+
+    /// Consumes the machine, returning its trace.
+    pub fn into_trace(self) -> TraceBundle {
+        self.trace
+    }
+
+    /// Machine statistics.
+    pub fn stats(&self) -> &MachineStats {
+        &self.stats
+    }
+
+    /// Execution time so far (latest node clock).
+    pub fn execution_time_ns(&self) -> u64 {
+        self.clocks.iter().copied().max().unwrap_or(0)
+    }
+
+    fn one_way(&self, from: NodeId, to: NodeId) -> u64 {
+        self.sys.one_way_between_ns(from, to, self.proto.nodes)
+    }
+
+    fn cache_state(&self, node: NodeId, block: BlockAddr) -> CacheState {
+        self.caches[node.index()]
+            .get(&block)
+            .copied()
+            .unwrap_or(CacheState::Invalid)
+    }
+
+    fn set_cache_state(&mut self, node: NodeId, block: BlockAddr, s: CacheState) {
+        if s == CacheState::Invalid {
+            self.caches[node.index()].remove(&block);
+        } else {
+            self.caches[node.index()].insert(block, s);
+        }
+    }
+
+    fn set_dir(&mut self, block: BlockAddr, next: DirState) {
+        match (&next, self.proto.limited_pointers) {
+            (DirState::Shared(s), Some(budget)) if s.len() > budget => {
+                if self.overflowed.insert(block) {
+                    self.stats.directory_overflows += 1;
+                }
+            }
+            (DirState::Shared(_), _) => {}
+            _ => {
+                self.overflowed.remove(&block);
+            }
+        }
+        self.dirs.insert(block, next);
+    }
+
+    fn record(&mut self, time: u64, msg: &Msg) {
+        self.stats.count_message(msg.mtype);
+        let rec = MsgRecord::from_msg(msg, time, self.iteration);
+        if let Some(policy) = self.policy.as_mut() {
+            policy.observe(&rec);
+        }
+        self.trace.push(rec);
+    }
+
+    fn send(&mut self, at: u64, msg: Msg) {
+        let arrive = at + self.one_way(msg.sender, msg.receiver);
+        self.queue.push(arrive, Event::Deliver(msg));
+    }
+
+    /// Executes one iteration plan: each phase runs to quiescence, then a
+    /// barrier synchronises the clocks and audits coherence.
+    ///
+    /// # Errors
+    ///
+    /// Propagates protocol errors and invariant violations.
+    pub fn run_plan(&mut self, plan: &IterationPlan, iteration: u32) -> Result<(), SimError> {
+        self.iteration = iteration;
+        for phase in &plan.phases {
+            self.run_phase(phase)?;
+            self.barrier()?;
+        }
+        Ok(())
+    }
+
+    fn run_phase(&mut self, phase: &Phase) -> Result<(), SimError> {
+        // Load scripts, expanding read-modify-writes (non-atomic here).
+        for (node, accesses) in phase.per_node.iter().enumerate() {
+            let script = &mut self.scripts[node];
+            debug_assert!(script.is_empty(), "previous phase drained");
+            for a in accesses {
+                debug_assert_eq!(a.node.index(), node);
+                match a.op {
+                    AccessOp::Read => script.push_back((a.block, ProcOp::Read)),
+                    AccessOp::Write => script.push_back((a.block, ProcOp::Write)),
+                    AccessOp::ReadModifyWrite => {
+                        script.push_back((a.block, ProcOp::Read));
+                        script.push_back((a.block, ProcOp::Write));
+                    }
+                }
+            }
+            if !script.is_empty() {
+                let n = NodeId::new(node);
+                let start = self.clocks[node] + phase.delay(n);
+                self.clocks[node] = start;
+                self.queue.push(start, Event::Issue(n));
+            }
+        }
+        while let Some((t, ev)) = self.queue.pop() {
+            match ev {
+                Event::Issue(node) => self.on_issue(node, t)?,
+                Event::Deliver(msg) => self.on_deliver(&msg, t)?,
+            }
+        }
+        Ok(())
+    }
+
+    /// Barrier: quiescent by construction (the queue drained); audits the
+    /// invariants and synchronises clocks.
+    fn barrier(&mut self) -> Result<(), SimError> {
+        debug_assert!(self.txns.is_empty(), "transactions drained at barrier");
+        self.verify_coherence()?;
+        let max = self.clocks.iter().copied().max().unwrap_or(0);
+        for c in &mut self.clocks {
+            *c = max + self.sys.barrier_ns;
+        }
+        self.stats.barriers += 1;
+        Ok(())
+    }
+
+    fn on_issue(&mut self, node: NodeId, t: u64) -> Result<(), SimError> {
+        let mut now = self.clocks[node.index()].max(t);
+        // Burn through hits; stop at the first miss or end of script.
+        while let Some(&(block, op)) = self.scripts[node.index()].front() {
+            let home = home_of_block(block, &self.proto);
+            if node == home {
+                // The home's rights live in the directory entry; a local
+                // access misses only if the entry needs changing, and that
+                // change is itself a (possibly queued) transaction.
+                let dir = self.dirs.entry(block).or_default().clone();
+                let sufficient = match op {
+                    ProcOp::Read => dir.node_readable(node),
+                    ProcOp::Write => dir.node_writable(node),
+                } && !self.txns.contains_key(&block);
+                if sufficient {
+                    self.scripts[node.index()].pop_front();
+                    self.stats.count_access(op, true, self.sys.cache_hit_ns);
+                    if op == ProcOp::Write {
+                        self.commit_write(node, block, true);
+                    }
+                    now += self.sys.cache_hit_ns;
+                    continue;
+                }
+                // Local miss: a directory transaction with no messages to
+                // or from the requester. Queue it like a remote request.
+                self.scripts[node.index()].pop_front();
+                self.waiting[node.index()] = Some((block, op, now));
+                self.clocks[node.index()] = now;
+                let req = match op {
+                    ProcOp::Read => MsgType::GetRoRequest,
+                    ProcOp::Write => MsgType::GetRwRequest,
+                };
+                let marker = Msg::new(node, node, block, req);
+                self.enqueue_or_start(marker, now)?;
+                return Ok(());
+            }
+            let state = self.cache_state(node, block);
+            let (transient, action) = cache::on_processor_op(state, op)?;
+            match action {
+                CacheAction::Hit => {
+                    self.scripts[node.index()].pop_front();
+                    self.stats.count_access(op, true, self.sys.cache_hit_ns);
+                    if op == ProcOp::Write {
+                        self.commit_write(node, block, false);
+                        now += self.sys.cache_hit_ns;
+                        self.maybe_self_invalidate(node, block, now);
+                        continue;
+                    }
+                    now += self.sys.cache_hit_ns;
+                }
+                CacheAction::Send(req) => {
+                    self.scripts[node.index()].pop_front();
+                    self.set_cache_state(node, block, transient);
+                    self.waiting[node.index()] = Some((block, op, now));
+                    self.clocks[node.index()] = now;
+                    self.send(now, Msg::new(node, home, block, req));
+                    return Ok(());
+                }
+            }
+        }
+        self.clocks[node.index()] = now;
+        Ok(())
+    }
+
+    fn on_deliver(&mut self, msg: &Msg, t: u64) -> Result<(), SimError> {
+        if msg.receiver_role() == stache::Role::Directory {
+            self.on_directory_receive(msg, t)
+        } else {
+            self.on_cache_receive(msg, t)
+        }
+    }
+
+    fn on_directory_receive(&mut self, msg: &Msg, t: u64) -> Result<(), SimError> {
+        if msg.mtype.is_request() {
+            // Local markers (sender == receiver) are not real messages.
+            if msg.sender != msg.receiver {
+                self.record(t, msg);
+            }
+            self.enqueue_or_start(*msg, t)
+        } else {
+            // An acknowledgment — for the in-flight transaction if one
+            // exists, else a *voluntary* writeback (self-invalidation).
+            self.record(t, msg);
+            if matches!(
+                msg.mtype,
+                MsgType::InvalRwResponse | MsgType::DowngradeResponse
+            ) {
+                if let Some(v) = self.cache_values[msg.sender.index()]
+                    .get(&msg.block)
+                    .copied()
+                {
+                    self.mem_values.insert(msg.block, v);
+                }
+            }
+            if self.cache_state(msg.sender, msg.block) == CacheState::Invalid {
+                self.cache_values[msg.sender.index()].remove(&msg.block);
+            }
+            match self.txns.get_mut(&msg.block) {
+                Some(txn) => {
+                    // In the replacement race the voluntary writeback
+                    // doubles as the owner's acknowledgment; the crossing
+                    // invalidation finds an empty cache and is suppressed
+                    // there, so the counts stay exact.
+                    txn.outstanding -= 1;
+                    if txn.outstanding == 0 {
+                        let service = t + self.sys.handler_ns;
+                        self.finish_txn(msg.block, service)?;
+                    }
+                }
+                None => {
+                    debug_assert_eq!(msg.mtype, MsgType::InvalRwResponse, "voluntary writeback");
+                    let dir = self.dirs.entry(msg.block).or_default().clone();
+                    if dir.owner() == Some(msg.sender) {
+                        self.set_dir(msg.block, DirState::Idle);
+                    }
+                    // Otherwise stale: a later transaction already moved
+                    // the entry on; nothing to do.
+                }
+            }
+            Ok(())
+        }
+    }
+
+    /// Starts the transaction if the block is free, else queues it.
+    fn enqueue_or_start(&mut self, msg: Msg, t: u64) -> Result<(), SimError> {
+        if self.txns.contains_key(&msg.block) {
+            self.pending
+                .entry(msg.block)
+                .or_default()
+                .push_back(PendingReq { msg, arrived: t });
+            Ok(())
+        } else {
+            self.start_txn(msg, t)
+        }
+    }
+
+    fn start_txn(&mut self, msg: Msg, t: u64) -> Result<(), SimError> {
+        let home = msg.receiver;
+        let block = msg.block;
+        let local = msg.sender == msg.receiver;
+        let service = t.max(self.dir_busy[home.index()]);
+        let dispatch = service + self.sys.handler_ns;
+        self.dir_busy[home.index()] = dispatch;
+
+        let dir = self.dirs.entry(block).or_default().clone();
+        // The upgrade race: the requester lost its copy to a concurrent
+        // writer while this request was queued; convert to a write miss.
+        let mut effective = msg.mtype;
+        let mut reply_override = None;
+        if effective == MsgType::UpgradeRequest && !dir.holders().contains(msg.sender) {
+            effective = MsgType::GetRwRequest;
+            reply_override = Some(MsgType::GetRwResponse);
+        }
+        // §4.1 read-modify-write speculation: answer a remote shared
+        // request with an exclusive grant if the policy predicts an
+        // imminent upgrade.
+        if !local && effective == MsgType::GetRoRequest {
+            let grant = self
+                .policy
+                .as_mut()
+                .is_some_and(|p| p.grant_exclusive(home, msg.sender, block));
+            if grant {
+                effective = MsgType::GetRwRequest;
+                reply_override = Some(MsgType::GetRwResponse);
+                self.stats.exclusive_grants += 1;
+            }
+        }
+        let outcome = if local {
+            let op = match effective {
+                MsgType::GetRoRequest => ProcOp::Read,
+                MsgType::GetRwRequest | MsgType::UpgradeRequest => ProcOp::Write,
+                other => unreachable!("local marker {other}"),
+            };
+            match directory::handle_local(&dir, home, op, &self.proto) {
+                Some(o) => o,
+                None => {
+                    // Rights appeared while the request was queued.
+                    self.dir_busy[home.index()] = service; // handler unused
+                    return self.complete_local(home, block, dispatch);
+                }
+            }
+        } else {
+            directory::handle_request(&dir, home, msg.sender, effective, &self.proto)
+                .map_err(SimError::Protocol)?
+        };
+        let mut holder_requests = outcome.holder_requests;
+        if self.overflowed.contains(&block) && matches!(outcome.next, DirState::Exclusive(_)) {
+            holder_requests = (0..self.proto.nodes)
+                .map(NodeId::new)
+                .filter(|&n| n != msg.sender && n != home)
+                .map(|n| (n, MsgType::InvalRoRequest))
+                .collect();
+        }
+        let reply = if local {
+            None
+        } else {
+            Some(reply_override.unwrap_or_else(|| outcome.reply.expect("remote grants reply")))
+        };
+        let txn = DirTxn {
+            requester: msg.sender,
+            reply,
+            next: outcome.next,
+            outstanding: holder_requests.len(),
+            local,
+        };
+        for (target, imsg) in &holder_requests {
+            self.send(dispatch, Msg::new(home, *target, block, *imsg));
+        }
+        self.txns.insert(block, txn);
+        if holder_requests.is_empty() {
+            self.finish_txn(block, dispatch)?;
+        }
+        Ok(())
+    }
+
+    fn finish_txn(&mut self, block: BlockAddr, t: u64) -> Result<(), SimError> {
+        let txn = self.txns.remove(&block).expect("transaction in flight");
+        let home = home_of_block(block, &self.proto);
+        self.set_dir(block, txn.next);
+        if txn.local {
+            self.complete_local(home, block, t)?;
+        } else {
+            let reply = txn.reply.expect("remote transactions reply");
+            self.send(t, Msg::new(home, txn.requester, block, reply));
+        }
+        // The block is free: service the next queued request, if any.
+        if let Some(next) = self.pending.get_mut(&block).and_then(VecDeque::pop_front) {
+            self.start_txn(next.msg, next.arrived.max(t))?;
+        }
+        Ok(())
+    }
+
+    /// Completes the home node's own (message-free) access.
+    fn complete_local(&mut self, home: NodeId, block: BlockAddr, t: u64) -> Result<(), SimError> {
+        let (wblock, op, issued) = self.waiting[home.index()].take().expect("home was waiting");
+        debug_assert_eq!(wblock, block);
+        let done = t + self.sys.mem_access_ns;
+        self.clocks[home.index()] = self.clocks[home.index()].max(done);
+        self.stats
+            .count_access(op, false, done.saturating_sub(issued));
+        if op == ProcOp::Write {
+            self.commit_write(home, block, true);
+        }
+        self.queue.push(done, Event::Issue(home));
+        Ok(())
+    }
+
+    fn on_cache_receive(&mut self, msg: &Msg, t: u64) -> Result<(), SimError> {
+        self.record(t, msg);
+        let node = msg.receiver;
+        let block = msg.block;
+        let state = self.cache_state(node, block);
+        // The cache's software handler serialises incoming messages.
+        let service = t.max(self.cache_busy[node.index()]);
+        let handled = service + self.sys.handler_ns;
+        self.cache_busy[node.index()] = handled;
+
+        // The replacement race: an owner-recall crossing a voluntary
+        // writeback finds the cache already empty — or already missing
+        // again on a *new* request (I-to-S / I-to-E). In every stage the
+        // writeback (already on the wire, ordered before this recall's
+        // acknowledgment would be) serves as the acknowledgment, so stay
+        // silent. Only a voluntary writeback can make the directory's
+        // owner record stale, so this arm is unreachable without one.
+        if msg.mtype == MsgType::InvalRwRequest
+            && matches!(
+                state,
+                CacheState::Invalid | CacheState::IToS | CacheState::IToE
+            )
+        {
+            return Ok(());
+        }
+
+        // A broadcast invalidation reaching a node without a shared copy —
+        // either truly invalid or mid-fill (its own request for this block
+        // is queued behind the broadcasting write and will be serviced
+        // with fresh data afterwards): acknowledge without touching the
+        // line.
+        if msg.mtype == MsgType::InvalRoRequest
+            && matches!(
+                state,
+                CacheState::Invalid | CacheState::IToS | CacheState::IToE
+            )
+        {
+            let home = msg.sender;
+            self.send(
+                handled,
+                Msg::new(node, home, block, MsgType::InvalRoResponse),
+            );
+            return Ok(());
+        }
+
+        let (next, reply) = cache::on_message(state, msg.mtype)?;
+        self.set_cache_state(node, block, next);
+        match reply {
+            Some(resp) => {
+                // An invalidation or downgrade: acknowledge to the home.
+                let home = msg.sender;
+                self.send(handled, Msg::new(node, home, block, resp));
+            }
+            None => {
+                // A grant: the processor's miss completes.
+                let (wblock, op, issued) =
+                    self.waiting[node.index()].take().expect("node was waiting");
+                debug_assert_eq!(wblock, block);
+                match msg.mtype {
+                    MsgType::GetRoResponse => {
+                        let v = self.mem_values.get(&block).copied().unwrap_or(0);
+                        self.cache_values[node.index()].insert(block, v);
+                    }
+                    MsgType::GetRwResponse | MsgType::UpgradeResponse => {
+                        self.commit_write(node, block, false);
+                    }
+                    other => unreachable!("grant {other}"),
+                }
+                let done = handled;
+                self.clocks[node.index()] = self.clocks[node.index()].max(done);
+                self.stats
+                    .count_access(op, false, done.saturating_sub(issued));
+                if op == ProcOp::Write {
+                    self.maybe_self_invalidate(node, block, done);
+                }
+                self.queue.push(done, Event::Issue(node));
+            }
+        }
+        Ok(())
+    }
+
+    /// §4.1 dynamic self-invalidation: after a store, consult the policy
+    /// and, if it fires, push the exclusive copy back to the directory as
+    /// an unsolicited `inval_rw_response`. The cache empties immediately;
+    /// the race with a concurrent recall is resolved by the writeback
+    /// doubling as the acknowledgment (see `on_directory_receive`).
+    fn maybe_self_invalidate(&mut self, node: NodeId, block: BlockAddr, now: u64) {
+        let home = home_of_block(block, &self.proto);
+        if node == home || self.cache_state(node, block) != CacheState::Exclusive {
+            return;
+        }
+        let fire = self
+            .policy
+            .as_mut()
+            .is_some_and(|p| p.self_invalidate(node, block));
+        if !fire {
+            return;
+        }
+        // The data is committed to memory at send time: any fill granted
+        // after this writeback's arrival must see it, and the directory
+        // cannot grant before then (the entry still shows this owner, so
+        // any transaction waits for this message).
+        if let Some(v) = self.cache_values[node.index()].remove(&block) {
+            self.mem_values.insert(block, v);
+        }
+        self.set_cache_state(node, block, CacheState::Invalid);
+        self.send(now, Msg::new(node, home, block, MsgType::InvalRwResponse));
+        self.stats.voluntary_replacements += 1;
+    }
+
+    fn commit_write(&mut self, node: NodeId, block: BlockAddr, local: bool) {
+        self.next_stamp += 1;
+        if local {
+            self.mem_values.insert(block, self.next_stamp);
+        } else {
+            self.cache_values[node.index()].insert(block, self.next_stamp);
+        }
+    }
+
+    /// Audits the full-map/SWMR invariants for every touched block
+    /// (callable at quiescence — between phases).
+    ///
+    /// # Errors
+    ///
+    /// Returns the first violation found.
+    pub fn verify_coherence(&self) -> Result<(), SimError> {
+        let mut blocks: HashSet<BlockAddr> = self.dirs.keys().copied().collect();
+        for c in &self.caches {
+            blocks.extend(c.keys().copied());
+        }
+        for block in blocks {
+            let home = home_of_block(block, &self.proto);
+            let dir = self.dirs.get(&block).cloned().unwrap_or_default();
+            let states: Vec<CacheState> = (0..self.proto.nodes)
+                .map(|i| {
+                    let n = NodeId::new(i);
+                    if n == home {
+                        if dir.node_writable(n) {
+                            CacheState::Exclusive
+                        } else if dir.node_readable(n) {
+                            CacheState::Shared
+                        } else {
+                            CacheState::Invalid
+                        }
+                    } else {
+                        self.cache_state(n, block)
+                    }
+                })
+                .collect();
+            check_block(block, &dir, &states).map_err(SimError::from)?;
+        }
+        Ok(())
+    }
+}
+
+/// Runs a workload-style plan stream through a fresh concurrent machine.
+///
+/// # Errors
+///
+/// Propagates any [`SimError`].
+pub fn run_workload<F>(
+    name: &str,
+    iterations: u32,
+    mut plan_for: F,
+    proto: ProtocolConfig,
+    sys: SystemConfig,
+) -> Result<ConcurrentMachine, SimError>
+where
+    F: FnMut(u32) -> IterationPlan,
+{
+    let mut m = ConcurrentMachine::new(proto, sys);
+    m.set_app(name, iterations);
+    for it in 0..iterations {
+        let plan = plan_for(it);
+        m.run_plan(&plan, it)?;
+    }
+    m.verify_coherence()?;
+    Ok(m)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::driver::Access;
+
+    fn n(i: usize) -> NodeId {
+        NodeId::new(i)
+    }
+
+    fn machine() -> ConcurrentMachine {
+        ConcurrentMachine::new(ProtocolConfig::paper(), SystemConfig::paper())
+    }
+
+    fn plan_of(phases: Vec<Vec<Access>>) -> IterationPlan {
+        let mut plan = IterationPlan::new();
+        for accesses in phases {
+            let mut phase = Phase::new(16);
+            for a in accesses {
+                phase.push(a);
+            }
+            plan.push(phase);
+        }
+        plan
+    }
+
+    #[test]
+    fn single_miss_round_trip() {
+        let mut m = machine();
+        let plan = plan_of(vec![vec![Access::read(n(1), BlockAddr::new(0))]]);
+        m.run_plan(&plan, 0).unwrap();
+        let types: Vec<MsgType> = m.trace().records().iter().map(|r| r.mtype).collect();
+        assert_eq!(types, vec![MsgType::GetRoRequest, MsgType::GetRoResponse]);
+        m.verify_coherence().unwrap();
+    }
+
+    #[test]
+    fn independent_blocks_overlap_in_time() {
+        let mut m = machine();
+        // Two processors miss on blocks with different homes in the same
+        // phase: both requests depart at t=0 and are serviced in parallel.
+        let plan = plan_of(vec![vec![
+            Access::read(n(2), BlockAddr::new(0)),  // home 0
+            Access::read(n(3), BlockAddr::new(64)), // home 1
+        ]]);
+        m.run_plan(&plan, 0).unwrap();
+        let replies: Vec<u64> = m
+            .trace()
+            .records()
+            .iter()
+            .filter(|r| r.mtype == MsgType::GetRoResponse)
+            .map(|r| r.time_ns)
+            .collect();
+        assert_eq!(replies.len(), 2);
+        assert_eq!(
+            replies[0], replies[1],
+            "true overlap: identical completion times"
+        );
+    }
+
+    #[test]
+    fn same_block_requests_serialize_at_the_home() {
+        let mut m = machine();
+        let plan = plan_of(vec![vec![
+            Access::read(n(2), BlockAddr::new(0)),
+            Access::read(n(3), BlockAddr::new(0)),
+        ]]);
+        m.run_plan(&plan, 0).unwrap();
+        let replies: Vec<u64> = m
+            .trace()
+            .records()
+            .iter()
+            .filter(|r| r.mtype == MsgType::GetRoResponse)
+            .map(|r| r.time_ns)
+            .collect();
+        assert_eq!(replies.len(), 2);
+        assert!(replies[1] > replies[0], "the second waits for the first");
+        m.verify_coherence().unwrap();
+    }
+
+    #[test]
+    fn upgrade_race_converts_to_write_miss() {
+        let mut m = machine();
+        // Phase 1: both processors take shared copies.
+        // Phase 2: both try to write. One upgrade wins; the other's copy
+        // is invalidated mid-flight and its upgrade becomes a write miss.
+        let plan = plan_of(vec![
+            vec![
+                Access::read(n(1), BlockAddr::new(0)),
+                Access::read(n(2), BlockAddr::new(0)),
+            ],
+            vec![
+                Access::write(n(1), BlockAddr::new(0)),
+                Access::write(n(2), BlockAddr::new(0)),
+            ],
+        ]);
+        m.run_plan(&plan, 0).unwrap();
+        m.verify_coherence().unwrap();
+        // Exactly one of the two writers ends exclusive.
+        let owners = (0..16)
+            .filter(|&i| m.cache_state(n(i), BlockAddr::new(0)) == CacheState::Exclusive)
+            .count();
+        assert_eq!(owners, 1);
+        // The race produced an inval_ro_response from the losing upgrader
+        // and a get_rw_response completing its converted miss.
+        let types: Vec<MsgType> = m.trace().records().iter().map(|r| r.mtype).collect();
+        assert!(types.contains(&MsgType::UpgradeRequest));
+        assert!(types.contains(&MsgType::GetRwResponse));
+    }
+
+    #[test]
+    fn per_block_sequences_match_the_serialized_engine() {
+        // For a single-block workload the two engines must produce the
+        // same per-agent message type sequences (timestamps may differ).
+        use crate::machine::Machine;
+        let accesses = [
+            (1usize, ProcOp::Write),
+            (2, ProcOp::Read),
+            (3, ProcOp::Read),
+            (2, ProcOp::Write),
+            (1, ProcOp::Read),
+        ];
+        let mut serial = Machine::new(ProtocolConfig::paper(), SystemConfig::paper());
+        for &(p, op) in &accesses {
+            serial.access(n(p), BlockAddr::new(0), op, 0).unwrap();
+        }
+        let mut conc = machine();
+        // One access per phase forces the same serialization order.
+        let phases: Vec<Vec<Access>> = accesses
+            .iter()
+            .map(|&(p, op)| {
+                vec![match op {
+                    ProcOp::Read => Access::read(n(p), BlockAddr::new(0)),
+                    ProcOp::Write => Access::write(n(p), BlockAddr::new(0)),
+                }]
+            })
+            .collect();
+        conc.run_plan(&plan_of(phases), 0).unwrap();
+        let serial_types: Vec<(NodeId, MsgType)> = serial
+            .trace()
+            .records()
+            .iter()
+            .map(|r| (r.node, r.mtype))
+            .collect();
+        let conc_types: Vec<(NodeId, MsgType)> = conc
+            .trace()
+            .records()
+            .iter()
+            .map(|r| (r.node, r.mtype))
+            .collect();
+        assert_eq!(serial_types, conc_types);
+    }
+
+    #[test]
+    fn local_accesses_stay_message_free() {
+        let mut m = machine();
+        let plan = plan_of(vec![vec![
+            Access::write(n(0), BlockAddr::new(0)),
+            Access::read(n(0), BlockAddr::new(0)),
+        ]]);
+        m.run_plan(&plan, 0).unwrap();
+        assert_eq!(m.trace().len(), 0);
+        m.verify_coherence().unwrap();
+    }
+
+    #[test]
+    fn rmw_is_not_atomic_here() {
+        let mut m = machine();
+        // Two processors RMW the same block concurrently: the engine may
+        // interleave their read and write halves; whatever happens, the
+        // protocol stays coherent and both writes commit.
+        let plan = plan_of(vec![vec![
+            Access::rmw(n(1), BlockAddr::new(0)),
+            Access::rmw(n(2), BlockAddr::new(0)),
+        ]]);
+        m.run_plan(&plan, 0).unwrap();
+        m.verify_coherence().unwrap();
+        assert_eq!(m.stats().writes, 2);
+    }
+
+    #[test]
+    fn workload_helper_runs_micros() {
+        let m = run_workload(
+            "pc",
+            6,
+            |_| {
+                plan_of(vec![
+                    vec![Access::write(n(1), BlockAddr::new(0))],
+                    vec![Access::read(n(2), BlockAddr::new(0))],
+                ])
+            },
+            ProtocolConfig::paper(),
+            SystemConfig::paper(),
+        )
+        .unwrap();
+        assert!(m.trace().len() >= 6 * 4);
+        assert!(m.execution_time_ns() > 0);
+    }
+}

@@ -1,0 +1,139 @@
+//! Machine statistics.
+
+use stache::{MsgType, ProcOp};
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// Counters accumulated while the machine runs.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct MachineStats {
+    /// Loads executed.
+    pub reads: u64,
+    /// Stores executed.
+    pub writes: u64,
+    /// Accesses that hit without coherence action.
+    pub hits: u64,
+    /// Accesses that required a coherence transaction.
+    pub misses: u64,
+    /// Barrier synchronisations.
+    pub barriers: u64,
+    /// Speculative exclusive grants issued by the directory (§4
+    /// integration, read-modify-write prediction).
+    pub exclusive_grants: u64,
+    /// Voluntary replacements of exclusive blocks (§4 integration,
+    /// dynamic self-invalidation).
+    pub voluntary_replacements: u64,
+    /// Limited-pointer directory entries that lost precision (sharer
+    /// count exceeded the pointer budget; the next write broadcasts).
+    pub directory_overflows: u64,
+    /// Sum of access latencies in ns.
+    pub total_latency_ns: u64,
+    /// Messages sent, by type.
+    pub messages: BTreeMap<MsgType, u64>,
+}
+
+impl MachineStats {
+    pub(crate) fn count_access(&mut self, op: ProcOp, hit: bool, latency_ns: u64) {
+        match op {
+            ProcOp::Read => self.reads += 1,
+            ProcOp::Write => self.writes += 1,
+        }
+        if hit {
+            self.hits += 1;
+        } else {
+            self.misses += 1;
+        }
+        self.total_latency_ns += latency_ns;
+    }
+
+    pub(crate) fn count_message(&mut self, mtype: MsgType) {
+        *self.messages.entry(mtype).or_insert(0) += 1;
+    }
+
+    /// Total messages across all types.
+    pub fn messages_total(&self) -> u64 {
+        self.messages.values().sum()
+    }
+
+    /// Total accesses.
+    pub fn accesses(&self) -> u64 {
+        self.reads + self.writes
+    }
+
+    /// Hit rate in [0, 1]; 0 for an idle machine.
+    pub fn hit_rate(&self) -> f64 {
+        if self.accesses() == 0 {
+            return 0.0;
+        }
+        self.hits as f64 / self.accesses() as f64
+    }
+
+    /// Mean access latency in ns; 0 for an idle machine.
+    pub fn mean_latency_ns(&self) -> f64 {
+        if self.accesses() == 0 {
+            return 0.0;
+        }
+        self.total_latency_ns as f64 / self.accesses() as f64
+    }
+}
+
+impl fmt::Display for MachineStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "{} accesses ({} reads, {} writes), hit rate {:.1}%, mean latency {:.0} ns",
+            self.accesses(),
+            self.reads,
+            self.writes,
+            100.0 * self.hit_rate(),
+            self.mean_latency_ns(),
+        )?;
+        writeln!(
+            f,
+            "{} messages, {} barriers",
+            self.messages_total(),
+            self.barriers
+        )?;
+        for (t, c) in &self.messages {
+            writeln!(f, "  {:<20} {:>10}", t.paper_name(), c)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rates_on_empty_stats_are_zero() {
+        let s = MachineStats::default();
+        assert_eq!(s.hit_rate(), 0.0);
+        assert_eq!(s.mean_latency_ns(), 0.0);
+        assert_eq!(s.messages_total(), 0);
+    }
+
+    #[test]
+    fn speculation_counters_default_to_zero() {
+        let s = MachineStats::default();
+        assert_eq!(s.exclusive_grants, 0);
+        assert_eq!(s.voluntary_replacements, 0);
+        assert_eq!(s.directory_overflows, 0);
+    }
+
+    #[test]
+    fn counting_accumulates() {
+        let mut s = MachineStats::default();
+        s.count_access(ProcOp::Read, true, 1);
+        s.count_access(ProcOp::Write, false, 999);
+        s.count_message(MsgType::GetRwRequest);
+        s.count_message(MsgType::GetRwRequest);
+        assert_eq!(s.accesses(), 2);
+        assert_eq!(s.hits, 1);
+        assert_eq!(s.misses, 1);
+        assert_eq!(s.total_latency_ns, 1000);
+        assert_eq!(s.mean_latency_ns(), 500.0);
+        assert_eq!(s.messages[&MsgType::GetRwRequest], 2);
+        assert!(!s.to_string().is_empty());
+    }
+}

@@ -1,0 +1,105 @@
+//! Property tests for the simulated machine: under arbitrary access
+//! streams the protocol never wedges, every read observes the most recent
+//! write (the machine checks this internally), the full-map/SWMR
+//! invariants hold after every transaction, and the message mix stays
+//! request/response balanced.
+
+use proptest::prelude::*;
+use simx::{Machine, SystemConfig};
+use stache::{BlockAddr, NodeId, ProcOp, ProtocolConfig};
+use trace::TraceStats;
+
+/// An access in the generated stream: node 0..8, block from a small pool
+/// spanning several homes, read or write.
+fn access_strategy() -> impl Strategy<Value = (usize, u64, bool)> {
+    (0usize..8, 0u64..6, any::<bool>())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Arbitrary serialized access streams preserve coherence: no protocol
+    /// errors, no stale reads, invariants hold continuously.
+    #[test]
+    fn random_streams_stay_coherent(
+        accesses in prop::collection::vec(access_strategy(), 1..200),
+        half_migratory in any::<bool>(),
+    ) {
+        let proto = ProtocolConfig { half_migratory, ..ProtocolConfig::paper() };
+        let mut m = Machine::new(proto, SystemConfig::paper());
+        m.paranoid = true; // audit invariants after every access
+        for (node, block_slot, write) in accesses {
+            // Spread the block pool across pages so several homes are hit.
+            let block = BlockAddr::new(block_slot * 64);
+            let op = if write { ProcOp::Write } else { ProcOp::Read };
+            m.access(NodeId::new(node), block, op, 0).expect("coherent machine");
+        }
+        m.verify_coherence().expect("final audit");
+    }
+
+    /// At quiescence every request has exactly one response in the trace.
+    #[test]
+    fn requests_pair_with_responses(
+        accesses in prop::collection::vec(access_strategy(), 1..150),
+    ) {
+        let mut m = Machine::new(ProtocolConfig::paper(), SystemConfig::paper());
+        for (node, block_slot, write) in accesses {
+            let block = BlockAddr::new(block_slot * 64);
+            let op = if write { ProcOp::Write } else { ProcOp::Read };
+            m.access(NodeId::new(node), block, op, 0).unwrap();
+        }
+        let stats = TraceStats::compute(m.trace());
+        prop_assert!(
+            stats.pairing_imbalance().is_empty(),
+            "unbalanced: {:?}",
+            stats.pairing_imbalance()
+        );
+    }
+
+    /// The machine is deterministic: the same access stream produces the
+    /// same trace, timestamps included.
+    #[test]
+    fn machine_is_deterministic(
+        accesses in prop::collection::vec(access_strategy(), 1..100),
+    ) {
+        let run = |accs: &[(usize, u64, bool)]| {
+            let mut m = Machine::new(ProtocolConfig::paper(), SystemConfig::paper());
+            for &(node, block_slot, write) in accs {
+                let block = BlockAddr::new(block_slot * 64);
+                let op = if write { ProcOp::Write } else { ProcOp::Read };
+                m.access(NodeId::new(node), block, op, 0).unwrap();
+            }
+            m.into_trace()
+        };
+        prop_assert_eq!(run(&accesses), run(&accesses));
+    }
+
+    /// Network latency shifts timestamps but never changes the message
+    /// sequence (the property underlying the paper's §5 insensitivity
+    /// claim).
+    #[test]
+    fn latency_changes_times_not_sequences(
+        accesses in prop::collection::vec(access_strategy(), 1..100),
+        latency in prop::sample::select(vec![10u64, 40, 200, 1000]),
+    ) {
+        let run = |lat: u64| {
+            let sys = SystemConfig::paper().with_network_latency(lat);
+            let mut m = Machine::new(ProtocolConfig::paper(), sys);
+            for &(node, block_slot, write) in &accesses {
+                let block = BlockAddr::new(block_slot * 64);
+                let op = if write { ProcOp::Write } else { ProcOp::Read };
+                m.access(NodeId::new(node), block, op, 0).unwrap();
+            }
+            m.into_trace()
+        };
+        let base = run(40);
+        let other = run(latency);
+        prop_assert_eq!(base.len(), other.len());
+        for (a, b) in base.records().iter().zip(other.records()) {
+            prop_assert_eq!(a.node, b.node);
+            prop_assert_eq!(a.sender, b.sender);
+            prop_assert_eq!(a.mtype, b.mtype);
+            prop_assert_eq!(a.block, b.block);
+        }
+    }
+}

@@ -1,0 +1,96 @@
+//! Protocol error type.
+
+use crate::ids::NodeId;
+use crate::msg::MsgType;
+use std::error::Error;
+use std::fmt;
+
+/// An illegal protocol event: a message or request that the receiving state
+/// machine has no transition for.
+///
+/// In a correct serialized execution these never occur; they exist so the
+/// state machines can *validate* their inputs (C-VALIDATE) instead of
+/// silently corrupting coherence state, and so tests can assert on precise
+/// failure modes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ProtocolError {
+    /// A cache received a message its current state has no transition for.
+    UnexpectedCacheMessage {
+        /// Debug rendering of the cache state at reception.
+        state: &'static str,
+        /// The offending message type.
+        mtype: MsgType,
+    },
+    /// A processor operation was issued while the block is in a transient
+    /// state (the serialized engine never overlaps transactions per block).
+    BusyBlock,
+    /// The directory received a request inconsistent with its entry, e.g. a
+    /// `get_ro_request` from a node it already records as a sharer.
+    InconsistentDirectory {
+        /// Debug rendering of the directory state at reception.
+        state: String,
+        /// The requesting node.
+        from: NodeId,
+        /// The offending request.
+        mtype: MsgType,
+    },
+    /// A message type that the agent's role never receives.
+    WrongRole {
+        /// The offending message type.
+        mtype: MsgType,
+    },
+}
+
+impl fmt::Display for ProtocolError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ProtocolError::UnexpectedCacheMessage { state, mtype } => {
+                write!(f, "cache in state {state} cannot accept {mtype}")
+            }
+            ProtocolError::BusyBlock => {
+                write!(
+                    f,
+                    "processor operation on a block with a transaction in flight"
+                )
+            }
+            ProtocolError::InconsistentDirectory { state, from, mtype } => {
+                write!(
+                    f,
+                    "directory entry {state} cannot accept {mtype} from {from}"
+                )
+            }
+            ProtocolError::WrongRole { mtype } => {
+                write!(f, "message {mtype} delivered to an agent of the wrong role")
+            }
+        }
+    }
+}
+
+impl Error for ProtocolError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_never_empty() {
+        let errors = [
+            ProtocolError::UnexpectedCacheMessage {
+                state: "Invalid",
+                mtype: MsgType::UpgradeResponse,
+            },
+            ProtocolError::BusyBlock,
+            ProtocolError::InconsistentDirectory {
+                state: "Idle".to_string(),
+                from: NodeId::new(0),
+                mtype: MsgType::InvalRoResponse,
+            },
+            ProtocolError::WrongRole {
+                mtype: MsgType::GetRoRequest,
+            },
+        ];
+        for e in errors {
+            assert!(!e.to_string().is_empty());
+        }
+    }
+}

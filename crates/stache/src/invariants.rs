@@ -1,0 +1,267 @@
+//! Global protocol invariant checking.
+//!
+//! Given a consistent snapshot of every cache's state and the directory
+//! entry for a block, [`check_block`] verifies:
+//!
+//! 1. **Single-writer / multiple-reader (SWMR)** — at most one cache holds
+//!    the block exclusive, and never together with shared copies elsewhere;
+//! 2. **Full-map accuracy** — the directory's holder set matches exactly
+//!    the caches that actually hold a valid copy.
+//!
+//! The `simx` machine calls this after every transaction in debug builds
+//! and the property-test suite drives it with random access streams.
+
+use crate::cache::CacheState;
+use crate::directory::DirState;
+use crate::ids::{BlockAddr, NodeId};
+use std::error::Error;
+use std::fmt;
+
+/// A violated coherence invariant, with enough context to debug it.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum InvariantViolation {
+    /// More than one cache holds the block exclusive.
+    MultipleWriters {
+        /// The block in violation.
+        block: BlockAddr,
+        /// The nodes that simultaneously hold it exclusive.
+        writers: Vec<NodeId>,
+    },
+    /// A cache holds the block exclusive while another holds it shared.
+    WriterWithReaders {
+        /// The block in violation.
+        block: BlockAddr,
+        /// The exclusive owner.
+        writer: NodeId,
+        /// Nodes simultaneously holding shared copies.
+        readers: Vec<NodeId>,
+    },
+    /// The directory's record disagrees with the caches' actual states.
+    DirectoryMismatch {
+        /// The block in violation.
+        block: BlockAddr,
+        /// Human-readable rendering of the directory entry.
+        directory: String,
+        /// The caches that actually hold valid copies, with their states.
+        actual: Vec<(NodeId, CacheState)>,
+    },
+    /// A cache is stuck in a transient state outside a transaction.
+    TransientAtRest {
+        /// The block in violation.
+        block: BlockAddr,
+        /// The offending node.
+        node: NodeId,
+        /// Its (transient) state.
+        state: CacheState,
+    },
+}
+
+impl fmt::Display for InvariantViolation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            InvariantViolation::MultipleWriters { block, writers } => {
+                write!(f, "{block}: multiple exclusive owners: {writers:?}")
+            }
+            InvariantViolation::WriterWithReaders {
+                block,
+                writer,
+                readers,
+            } => {
+                write!(
+                    f,
+                    "{block}: owner {writer} coexists with readers {readers:?}"
+                )
+            }
+            InvariantViolation::DirectoryMismatch {
+                block,
+                directory,
+                actual,
+            } => {
+                write!(
+                    f,
+                    "{block}: directory says {directory} but caches hold {actual:?}"
+                )
+            }
+            InvariantViolation::TransientAtRest { block, node, state } => {
+                write!(f, "{block}: {node} left in transient state {state}")
+            }
+        }
+    }
+}
+
+impl Error for InvariantViolation {}
+
+/// Checks the coherence invariants for one block.
+///
+/// `cache_states` gives each node's state for the block, indexed by node.
+///
+/// # Errors
+///
+/// Returns the first violated invariant.
+pub fn check_block(
+    block: BlockAddr,
+    dir: &DirState,
+    cache_states: &[CacheState],
+) -> Result<(), InvariantViolation> {
+    let writers: Vec<NodeId> = cache_states
+        .iter()
+        .enumerate()
+        .filter(|(_, s)| **s == CacheState::Exclusive)
+        .map(|(i, _)| NodeId::new(i))
+        .collect();
+    let readers: Vec<NodeId> = cache_states
+        .iter()
+        .enumerate()
+        .filter(|(_, s)| **s == CacheState::Shared)
+        .map(|(i, _)| NodeId::new(i))
+        .collect();
+
+    if let Some((i, &s)) = cache_states
+        .iter()
+        .enumerate()
+        .find(|(_, s)| !s.is_stable())
+    {
+        return Err(InvariantViolation::TransientAtRest {
+            block,
+            node: NodeId::new(i),
+            state: s,
+        });
+    }
+    if writers.len() > 1 {
+        return Err(InvariantViolation::MultipleWriters { block, writers });
+    }
+    if let (Some(&writer), false) = (writers.first(), readers.is_empty()) {
+        return Err(InvariantViolation::WriterWithReaders {
+            block,
+            writer,
+            readers,
+        });
+    }
+
+    let mismatch = || InvariantViolation::DirectoryMismatch {
+        block,
+        directory: dir.to_string(),
+        actual: cache_states
+            .iter()
+            .enumerate()
+            .filter(|(_, s)| **s != CacheState::Invalid)
+            .map(|(i, s)| (NodeId::new(i), *s))
+            .collect(),
+    };
+    match dir {
+        DirState::Idle => {
+            if !writers.is_empty() || !readers.is_empty() {
+                return Err(mismatch());
+            }
+        }
+        DirState::Shared(set) => {
+            if !writers.is_empty() || set.is_empty() {
+                return Err(mismatch());
+            }
+            let actual: Vec<NodeId> = readers;
+            if actual.len() != set.len() || actual.iter().any(|n| !set.contains(*n)) {
+                return Err(mismatch());
+            }
+        }
+        DirState::Exclusive(owner) => {
+            if writers != [*owner] || !readers.is_empty() {
+                return Err(mismatch());
+            }
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ids::NodeSet;
+
+    fn b() -> BlockAddr {
+        BlockAddr::new(7)
+    }
+
+    #[test]
+    fn idle_with_no_copies_is_coherent() {
+        let states = vec![CacheState::Invalid; 4];
+        assert!(check_block(b(), &DirState::Idle, &states).is_ok());
+    }
+
+    #[test]
+    fn exclusive_matches_single_writer() {
+        let mut states = vec![CacheState::Invalid; 4];
+        states[2] = CacheState::Exclusive;
+        assert!(check_block(b(), &DirState::Exclusive(NodeId::new(2)), &states).is_ok());
+    }
+
+    #[test]
+    fn shared_matches_reader_set() {
+        let mut states = vec![CacheState::Invalid; 4];
+        states[0] = CacheState::Shared;
+        states[3] = CacheState::Shared;
+        let set: NodeSet = [NodeId::new(0), NodeId::new(3)].into_iter().collect();
+        assert!(check_block(b(), &DirState::Shared(set), &states).is_ok());
+    }
+
+    #[test]
+    fn two_writers_violate_swmr() {
+        let mut states = vec![CacheState::Invalid; 4];
+        states[0] = CacheState::Exclusive;
+        states[1] = CacheState::Exclusive;
+        assert!(matches!(
+            check_block(b(), &DirState::Exclusive(NodeId::new(0)), &states),
+            Err(InvariantViolation::MultipleWriters { .. })
+        ));
+    }
+
+    #[test]
+    fn writer_plus_reader_violates_swmr() {
+        let mut states = vec![CacheState::Invalid; 4];
+        states[0] = CacheState::Exclusive;
+        states[1] = CacheState::Shared;
+        assert!(matches!(
+            check_block(b(), &DirState::Exclusive(NodeId::new(0)), &states),
+            Err(InvariantViolation::WriterWithReaders { .. })
+        ));
+    }
+
+    #[test]
+    fn stale_directory_detected() {
+        let mut states = vec![CacheState::Invalid; 4];
+        states[1] = CacheState::Shared;
+        // Directory thinks node 2 shares it instead.
+        let set = NodeSet::singleton(NodeId::new(2));
+        assert!(matches!(
+            check_block(b(), &DirState::Shared(set), &states),
+            Err(InvariantViolation::DirectoryMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn empty_shared_set_detected() {
+        let states = vec![CacheState::Invalid; 4];
+        assert!(matches!(
+            check_block(b(), &DirState::Shared(NodeSet::new()), &states),
+            Err(InvariantViolation::DirectoryMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn transient_at_rest_detected() {
+        let mut states = vec![CacheState::Invalid; 4];
+        states[3] = CacheState::IToS;
+        assert!(matches!(
+            check_block(b(), &DirState::Idle, &states),
+            Err(InvariantViolation::TransientAtRest { .. })
+        ));
+    }
+
+    #[test]
+    fn violations_display() {
+        let v = InvariantViolation::MultipleWriters {
+            block: b(),
+            writers: vec![NodeId::new(0), NodeId::new(1)],
+        };
+        assert!(v.to_string().contains("multiple exclusive owners"));
+    }
+}

@@ -1,0 +1,95 @@
+//! Round-robin page placement (paper §5.1).
+//!
+//! Stache allocates pages round-robin across the nodes: if page `X` is
+//! allocated to node 10, page `X + 1` goes to node 11. The owner of a page
+//! is its directory, and directory pages double as cache pages for the local
+//! node, so local accesses generate no cache↔directory messages.
+
+use crate::config::ProtocolConfig;
+use crate::ids::{BlockAddr, NodeId, PageId};
+
+/// The home (directory) node for a page.
+///
+/// ```
+/// use stache::placement::home_of_page;
+/// use stache::{NodeId, PageId};
+/// assert_eq!(home_of_page(PageId::new(0), 16), NodeId::new(0));
+/// assert_eq!(home_of_page(PageId::new(17), 16), NodeId::new(1));
+/// ```
+///
+/// # Panics
+///
+/// Panics if `nodes` is zero.
+pub fn home_of_page(page: PageId, nodes: usize) -> NodeId {
+    assert!(nodes > 0, "a machine needs at least one node");
+    NodeId::new((page.number() % nodes as u64) as usize)
+}
+
+/// The home (directory) node for a block, under a protocol configuration.
+pub fn home_of_block(block: BlockAddr, cfg: &ProtocolConfig) -> NodeId {
+    home_of_page(block.page(cfg.blocks_per_page()), cfg.nodes)
+}
+
+/// Picks a block address on a page homed at `home`, useful for workload
+/// generators that want data placed on a specific node.
+///
+/// `page_slot` selects which of `home`'s pages to use (0 = first page homed
+/// there), and `offset` the block within the page.
+///
+/// # Panics
+///
+/// Panics if `offset` is not within the page or `home` is out of range.
+pub fn block_homed_at(
+    home: NodeId,
+    page_slot: u64,
+    offset: u64,
+    cfg: &ProtocolConfig,
+) -> BlockAddr {
+    let bpp = cfg.blocks_per_page();
+    assert!(offset < bpp, "offset {offset} outside page of {bpp} blocks");
+    assert!(home.index() < cfg.nodes, "home node out of range");
+    let page = page_slot * cfg.nodes as u64 + home.index() as u64;
+    BlockAddr::new(page * bpp + offset)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_robin_is_consecutive() {
+        for p in 0..64u64 {
+            let h = home_of_page(PageId::new(p), 16);
+            let h_next = home_of_page(PageId::new(p + 1), 16);
+            assert_eq!((h.index() + 1) % 16, h_next.index());
+        }
+    }
+
+    #[test]
+    fn block_homed_at_round_trips() {
+        let cfg = ProtocolConfig::paper();
+        for node in 0..cfg.nodes {
+            for slot in 0..4 {
+                for offset in [0, 1, 63] {
+                    let b = block_homed_at(NodeId::new(node), slot, offset, &cfg);
+                    assert_eq!(home_of_block(b, &cfg), NodeId::new(node));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn distinct_slots_give_distinct_pages() {
+        let cfg = ProtocolConfig::paper();
+        let a = block_homed_at(NodeId::new(3), 0, 0, &cfg);
+        let b = block_homed_at(NodeId::new(3), 1, 0, &cfg);
+        assert_ne!(a.page(cfg.blocks_per_page()), b.page(cfg.blocks_per_page()));
+    }
+
+    #[test]
+    #[should_panic(expected = "outside page")]
+    fn offset_outside_page_rejected() {
+        let cfg = ProtocolConfig::paper();
+        let _ = block_homed_at(NodeId::new(0), 0, 64, &cfg);
+    }
+}

@@ -1,0 +1,202 @@
+//! Trace bundles: a run's records plus metadata.
+
+use crate::record::MsgRecord;
+use serde::{Deserialize, Serialize};
+use stache::{BlockAddr, NodeId, Role};
+use std::collections::BTreeSet;
+
+/// Metadata describing the run a trace came from.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TraceMeta {
+    /// Workload name (e.g. `"appbt"`).
+    pub app: String,
+    /// Number of nodes in the simulated machine.
+    pub nodes: usize,
+    /// Number of workload iterations traced.
+    pub iterations: u32,
+}
+
+impl TraceMeta {
+    /// Creates trace metadata.
+    pub fn new(app: impl Into<String>, nodes: usize, iterations: u32) -> Self {
+        TraceMeta {
+            app: app.into(),
+            nodes,
+            iterations,
+        }
+    }
+}
+
+/// A complete message trace: time-ordered records plus metadata.
+///
+/// Records are kept in reception order, which for a serialized simulation
+/// is also (node-local) program order per block — the order in which a
+/// predictor sitting at the receiving agent would observe them.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TraceBundle {
+    meta: TraceMeta,
+    records: Vec<MsgRecord>,
+}
+
+impl TraceBundle {
+    /// Creates an empty bundle.
+    pub fn new(meta: TraceMeta) -> Self {
+        TraceBundle {
+            meta,
+            records: Vec::new(),
+        }
+    }
+
+    /// The run metadata.
+    pub fn meta(&self) -> &TraceMeta {
+        &self.meta
+    }
+
+    /// All records in reception order.
+    pub fn records(&self) -> &[MsgRecord] {
+        &self.records
+    }
+
+    /// Number of records.
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    /// Whether the trace is empty.
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+
+    /// Appends a record (caller is responsible for time order; `simx`
+    /// produces records already ordered).
+    pub fn push(&mut self, record: MsgRecord) {
+        self.records.push(record);
+    }
+
+    /// Appends many records.
+    pub fn extend_records(&mut self, records: impl IntoIterator<Item = MsgRecord>) {
+        self.records.extend(records);
+    }
+
+    /// Records received by a particular agent.
+    pub fn for_receiver(&self, node: NodeId, role: Role) -> impl Iterator<Item = &MsgRecord> {
+        self.records
+            .iter()
+            .filter(move |r| r.node == node && r.role == role)
+    }
+
+    /// Records received by agents of a role, at any node.
+    pub fn for_role(&self, role: Role) -> impl Iterator<Item = &MsgRecord> {
+        self.records.iter().filter(move |r| r.role == role)
+    }
+
+    /// Records for a particular block, at any agent.
+    pub fn for_block(&self, block: BlockAddr) -> impl Iterator<Item = &MsgRecord> {
+        self.records.iter().filter(move |r| r.block == block)
+    }
+
+    /// The distinct blocks appearing in the trace, in address order.
+    pub fn blocks(&self) -> Vec<BlockAddr> {
+        let set: BTreeSet<BlockAddr> = self.records.iter().map(|r| r.block).collect();
+        set.into_iter().collect()
+    }
+
+    /// Drops all records from iterations before `first_kept`, mirroring the
+    /// paper's exclusion of start-up-phase messages (§5).
+    pub fn drop_warmup(&mut self, first_kept: u32) {
+        self.records.retain(|r| r.iteration >= first_kept);
+    }
+
+    /// Splits the record stream at an iteration boundary; records with
+    /// `iteration < at` go left.
+    pub fn split_at_iteration(&self, at: u32) -> (Vec<MsgRecord>, Vec<MsgRecord>) {
+        self.records.iter().partition(|r| r.iteration < at)
+    }
+
+    /// Counts of records received at caches and directories respectively.
+    pub fn role_counts(&self) -> (usize, usize) {
+        let cache = self.for_role(Role::Cache).count();
+        (cache, self.len() - cache)
+    }
+}
+
+impl Extend<MsgRecord> for TraceBundle {
+    fn extend<I: IntoIterator<Item = MsgRecord>>(&mut self, iter: I) {
+        self.records.extend(iter);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use stache::MsgType;
+
+    fn rec(
+        t: u64,
+        node: usize,
+        role: Role,
+        block: u64,
+        sender: usize,
+        mtype: MsgType,
+        it: u32,
+    ) -> MsgRecord {
+        MsgRecord {
+            time_ns: t,
+            node: NodeId::new(node),
+            role,
+            block: BlockAddr::new(block),
+            sender: NodeId::new(sender),
+            mtype,
+            iteration: it,
+        }
+    }
+
+    fn sample() -> TraceBundle {
+        let mut b = TraceBundle::new(TraceMeta::new("t", 4, 3));
+        b.push(rec(10, 0, Role::Directory, 1, 1, MsgType::GetRoRequest, 0));
+        b.push(rec(20, 1, Role::Cache, 1, 0, MsgType::GetRoResponse, 0));
+        b.push(rec(30, 0, Role::Directory, 2, 2, MsgType::GetRwRequest, 1));
+        b.push(rec(40, 2, Role::Cache, 2, 0, MsgType::GetRwResponse, 2));
+        b
+    }
+
+    #[test]
+    fn receiver_filtering() {
+        let b = sample();
+        assert_eq!(b.for_receiver(NodeId::new(0), Role::Directory).count(), 2);
+        assert_eq!(b.for_receiver(NodeId::new(0), Role::Cache).count(), 0);
+        assert_eq!(b.for_role(Role::Cache).count(), 2);
+        assert_eq!(b.role_counts(), (2, 2));
+    }
+
+    #[test]
+    fn block_listing_is_sorted_and_deduped() {
+        let b = sample();
+        assert_eq!(b.blocks(), vec![BlockAddr::new(1), BlockAddr::new(2)]);
+        assert_eq!(b.for_block(BlockAddr::new(1)).count(), 2);
+    }
+
+    #[test]
+    fn warmup_drop() {
+        let mut b = sample();
+        b.drop_warmup(1);
+        assert_eq!(b.len(), 2);
+        assert!(b.records().iter().all(|r| r.iteration >= 1));
+    }
+
+    #[test]
+    fn split_at_iteration() {
+        let b = sample();
+        let (early, late) = b.split_at_iteration(2);
+        assert_eq!(early.len(), 3);
+        assert_eq!(late.len(), 1);
+    }
+
+    #[test]
+    fn empty_bundle() {
+        let b = TraceBundle::new(TraceMeta::new("empty", 1, 0));
+        assert!(b.is_empty());
+        assert!(b.blocks().is_empty());
+        assert_eq!(b.role_counts(), (0, 0));
+    }
+}

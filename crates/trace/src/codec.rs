@@ -1,0 +1,309 @@
+//! Trace (de)serialisation.
+//!
+//! Two encodings are provided:
+//!
+//! * a **binary** codec ([`encode`]/[`decode`]) — fixed-width records
+//!   behind a small header; compact and fast, suitable for archiving the
+//!   multi-million-message traces the benchmark harness produces;
+//! * a **text** codec ([`to_text`]/[`from_text`]) — one record per line in
+//!   the paper's message vocabulary; handy for eyeballing and diffing.
+
+use crate::bundle::{TraceBundle, TraceMeta};
+use crate::record::MsgRecord;
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+use stache::{BlockAddr, MsgType, NodeId, Role};
+use std::error::Error;
+use std::fmt;
+
+/// Magic bytes identifying a binary trace.
+const MAGIC: &[u8; 4] = b"CTR1";
+
+/// A malformed trace encountered while decoding.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DecodeError {
+    /// The input does not start with the trace magic.
+    BadMagic,
+    /// The input ended mid-structure.
+    Truncated,
+    /// A field held an out-of-range value.
+    BadField {
+        /// Which field was malformed.
+        field: &'static str,
+    },
+}
+
+impl fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DecodeError::BadMagic => write!(f, "not a trace: bad magic"),
+            DecodeError::Truncated => write!(f, "trace truncated"),
+            DecodeError::BadField { field } => write!(f, "malformed trace field: {field}"),
+        }
+    }
+}
+
+impl Error for DecodeError {}
+
+/// Encodes a bundle to the binary format.
+pub fn encode(bundle: &TraceBundle) -> Bytes {
+    let meta = bundle.meta();
+    let mut buf = BytesMut::with_capacity(32 + meta.app.len() + bundle.len() * 26);
+    buf.put_slice(MAGIC);
+    buf.put_u16(meta.app.len() as u16);
+    buf.put_slice(meta.app.as_bytes());
+    buf.put_u32(meta.nodes as u32);
+    buf.put_u32(meta.iterations);
+    buf.put_u64(bundle.len() as u64);
+    for r in bundle.records() {
+        buf.put_u64(r.time_ns);
+        buf.put_u16(r.node.raw());
+        buf.put_u8(match r.role {
+            Role::Cache => 0,
+            Role::Directory => 1,
+        });
+        buf.put_u64(r.block.number());
+        buf.put_u16(r.sender.raw());
+        buf.put_u8(r.mtype.code());
+        buf.put_u32(r.iteration);
+    }
+    buf.freeze()
+}
+
+/// Decodes a bundle from the binary format.
+///
+/// # Errors
+///
+/// Returns a [`DecodeError`] on malformed input; never panics.
+pub fn decode(mut data: &[u8]) -> Result<TraceBundle, DecodeError> {
+    fn need(data: &[u8], n: usize) -> Result<(), DecodeError> {
+        if data.remaining() < n {
+            Err(DecodeError::Truncated)
+        } else {
+            Ok(())
+        }
+    }
+    need(data, 4)?;
+    let mut magic = [0u8; 4];
+    data.copy_to_slice(&mut magic);
+    if &magic != MAGIC {
+        return Err(DecodeError::BadMagic);
+    }
+    need(data, 2)?;
+    let app_len = data.get_u16() as usize;
+    need(data, app_len)?;
+    let mut app_bytes = vec![0u8; app_len];
+    data.copy_to_slice(&mut app_bytes);
+    let app = String::from_utf8(app_bytes).map_err(|_| DecodeError::BadField { field: "app" })?;
+    need(data, 16)?;
+    let nodes = data.get_u32() as usize;
+    let iterations = data.get_u32();
+    let count = data.get_u64() as usize;
+
+    let mut bundle = TraceBundle::new(TraceMeta::new(app, nodes, iterations));
+    for _ in 0..count {
+        need(data, 26)?;
+        let time_ns = data.get_u64();
+        let node =
+            NodeId::from_raw(data.get_u16()).ok_or(DecodeError::BadField { field: "node" })?;
+        let role = match data.get_u8() {
+            0 => Role::Cache,
+            1 => Role::Directory,
+            _ => return Err(DecodeError::BadField { field: "role" }),
+        };
+        let block = BlockAddr::new(data.get_u64());
+        let sender =
+            NodeId::from_raw(data.get_u16()).ok_or(DecodeError::BadField { field: "sender" })?;
+        let mtype =
+            MsgType::from_code(data.get_u8()).ok_or(DecodeError::BadField { field: "mtype" })?;
+        let iteration = data.get_u32();
+        bundle.push(MsgRecord {
+            time_ns,
+            node,
+            role,
+            block,
+            sender,
+            mtype,
+            iteration,
+        });
+    }
+    Ok(bundle)
+}
+
+/// Renders a bundle as text, one record per line.
+pub fn to_text(bundle: &TraceBundle) -> String {
+    use std::fmt::Write as _;
+    let meta = bundle.meta();
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "# app={} nodes={} iterations={}",
+        meta.app, meta.nodes, meta.iterations
+    );
+    for r in bundle.records() {
+        let _ = writeln!(
+            out,
+            "{} {} {} {} {} {} {}",
+            r.time_ns,
+            r.node.index(),
+            match r.role {
+                Role::Cache => "C",
+                Role::Directory => "D",
+            },
+            r.block.number(),
+            r.sender.index(),
+            r.mtype.paper_name(),
+            r.iteration,
+        );
+    }
+    out
+}
+
+/// Parses the text format produced by [`to_text`].
+///
+/// # Errors
+///
+/// Returns a [`DecodeError`] describing the first malformed line.
+pub fn from_text(text: &str) -> Result<TraceBundle, DecodeError> {
+    let mut lines = text.lines();
+    let header = lines.next().ok_or(DecodeError::Truncated)?;
+    let header = header.strip_prefix("# ").ok_or(DecodeError::BadMagic)?;
+    let mut app = String::new();
+    let mut nodes = 0usize;
+    let mut iterations = 0u32;
+    for kv in header.split_whitespace() {
+        let (k, v) = kv
+            .split_once('=')
+            .ok_or(DecodeError::BadField { field: "header" })?;
+        match k {
+            "app" => app = v.to_string(),
+            "nodes" => {
+                nodes = v
+                    .parse()
+                    .map_err(|_| DecodeError::BadField { field: "nodes" })?
+            }
+            "iterations" => {
+                iterations = v.parse().map_err(|_| DecodeError::BadField {
+                    field: "iterations",
+                })?
+            }
+            _ => return Err(DecodeError::BadField { field: "header" }),
+        }
+    }
+    let mut bundle = TraceBundle::new(TraceMeta::new(app, nodes, iterations));
+    for line in lines {
+        if line.trim().is_empty() {
+            continue;
+        }
+        let fields: Vec<&str> = line.split_whitespace().collect();
+        if fields.len() != 7 {
+            return Err(DecodeError::BadField { field: "record" });
+        }
+        let parse_u64 = |s: &str, f: &'static str| {
+            s.parse::<u64>()
+                .map_err(|_| DecodeError::BadField { field: f })
+        };
+        let mtype = stache::msg::ALL_MSG_TYPES
+            .iter()
+            .copied()
+            .find(|t| t.paper_name() == fields[5])
+            .ok_or(DecodeError::BadField { field: "mtype" })?;
+        bundle.push(MsgRecord {
+            time_ns: parse_u64(fields[0], "time")?,
+            node: NodeId::new(parse_u64(fields[1], "node")? as usize),
+            role: match fields[2] {
+                "C" => Role::Cache,
+                "D" => Role::Directory,
+                _ => return Err(DecodeError::BadField { field: "role" }),
+            },
+            block: BlockAddr::new(parse_u64(fields[3], "block")?),
+            sender: NodeId::new(parse_u64(fields[4], "sender")? as usize),
+            mtype,
+            iteration: parse_u64(fields[6], "iteration")? as u32,
+        });
+    }
+    Ok(bundle)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> TraceBundle {
+        let mut b = TraceBundle::new(TraceMeta::new("unit", 16, 5));
+        for i in 0..20u64 {
+            b.push(MsgRecord {
+                time_ns: i * 40,
+                node: NodeId::new((i % 16) as usize),
+                role: if i % 2 == 0 {
+                    Role::Cache
+                } else {
+                    Role::Directory
+                },
+                block: BlockAddr::new(i * 64),
+                sender: NodeId::new(((i + 1) % 16) as usize),
+                mtype: MsgType::from_code((i % 12) as u8).unwrap(),
+                iteration: (i / 4) as u32,
+            });
+        }
+        b
+    }
+
+    #[test]
+    fn binary_roundtrip() {
+        let b = sample();
+        let encoded = encode(&b);
+        let decoded = decode(&encoded).unwrap();
+        assert_eq!(b, decoded);
+    }
+
+    #[test]
+    fn text_roundtrip() {
+        let b = sample();
+        let text = to_text(&b);
+        let decoded = from_text(&text).unwrap();
+        assert_eq!(b, decoded);
+    }
+
+    #[test]
+    fn bad_magic_rejected() {
+        assert_eq!(decode(b"NOPE"), Err(DecodeError::BadMagic));
+        assert_eq!(decode(b"XX"), Err(DecodeError::Truncated));
+    }
+
+    #[test]
+    fn truncated_records_rejected() {
+        let b = sample();
+        let encoded = encode(&b);
+        let cut = &encoded[..encoded.len() - 5];
+        assert_eq!(decode(cut), Err(DecodeError::Truncated));
+    }
+
+    #[test]
+    fn corrupt_mtype_rejected() {
+        let b = sample();
+        let mut bytes = encode(&b).to_vec();
+        // Last record's mtype byte sits 5 bytes from the end (mtype, iter u32).
+        let idx = bytes.len() - 5;
+        bytes[idx] = 200;
+        assert_eq!(
+            decode(&bytes),
+            Err(DecodeError::BadField { field: "mtype" })
+        );
+    }
+
+    #[test]
+    fn text_bad_role_rejected() {
+        let text = "# app=x nodes=1 iterations=1\n0 0 Z 0 0 get_ro_request 0\n";
+        assert_eq!(
+            from_text(text),
+            Err(DecodeError::BadField { field: "role" })
+        );
+    }
+
+    #[test]
+    fn empty_trace_roundtrips() {
+        let b = TraceBundle::new(TraceMeta::new("empty", 2, 0));
+        assert_eq!(decode(&encode(&b)).unwrap(), b);
+        assert_eq!(from_text(&to_text(&b)).unwrap(), b);
+    }
+}

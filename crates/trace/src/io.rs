@@ -1,0 +1,362 @@
+//! Streaming trace I/O over `std::io` readers and writers.
+//!
+//! The in-memory codec ([`crate::codec`]) is convenient for tests; real
+//! multi-hundred-megabyte traces want streaming. [`TraceWriter`] appends
+//! records to any `Write` as they are produced; [`TraceReader`] iterates
+//! them back from any `Read` without materialising the whole bundle.
+//! The on-disk format is identical to [`crate::codec::encode`]'s, so the
+//! two interoperate freely.
+
+use crate::bundle::{TraceBundle, TraceMeta};
+use crate::codec::DecodeError;
+use crate::record::MsgRecord;
+use stache::{BlockAddr, MsgType, NodeId, Role};
+use std::io::{self, Read, Write};
+use std::path::Path;
+
+const MAGIC: &[u8; 4] = b"CTR1";
+/// The fixed encoded size of one record.
+pub const RECORD_BYTES: usize = 26;
+
+/// A failure while streaming a trace.
+#[derive(Debug)]
+pub enum TraceIoError {
+    /// The underlying reader/writer failed.
+    Io(io::Error),
+    /// The stream's contents were malformed.
+    Decode(DecodeError),
+}
+
+impl std::fmt::Display for TraceIoError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TraceIoError::Io(e) => write!(f, "trace i/o failed: {e}"),
+            TraceIoError::Decode(e) => write!(f, "trace stream malformed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for TraceIoError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            TraceIoError::Io(e) => Some(e),
+            TraceIoError::Decode(e) => Some(e),
+        }
+    }
+}
+
+impl From<io::Error> for TraceIoError {
+    fn from(e: io::Error) -> Self {
+        TraceIoError::Io(e)
+    }
+}
+
+impl From<DecodeError> for TraceIoError {
+    fn from(e: DecodeError) -> Self {
+        TraceIoError::Decode(e)
+    }
+}
+
+/// Streams records into any seekable writer.
+///
+/// The format keeps the record count in the header (byte-compatible with
+/// [`crate::codec::encode`]), so the writer emits a zero placeholder up
+/// front and back-patches it in [`finish`](TraceWriter::finish) — hence
+/// the `Seek` bound. For in-memory encoding of a known bundle, use
+/// [`TraceWriter::write_bundle`].
+#[derive(Debug)]
+pub struct TraceWriter<W: Write + io::Seek> {
+    sink: W,
+    written: u64,
+}
+
+impl<W: Write + io::Seek> TraceWriter<W> {
+    /// Starts a trace stream: writes the header with a placeholder count.
+    ///
+    /// # Errors
+    ///
+    /// Propagates writer errors.
+    pub fn new(mut sink: W, meta: &TraceMeta) -> Result<Self, TraceIoError> {
+        sink.write_all(MAGIC)?;
+        sink.write_all(&(meta.app.len() as u16).to_be_bytes())?;
+        sink.write_all(meta.app.as_bytes())?;
+        sink.write_all(&(meta.nodes as u32).to_be_bytes())?;
+        sink.write_all(&meta.iterations.to_be_bytes())?;
+        sink.write_all(&0u64.to_be_bytes())?; // patched by finish()
+        Ok(TraceWriter { sink, written: 0 })
+    }
+
+    /// Appends one record.
+    ///
+    /// # Errors
+    ///
+    /// Propagates writer errors.
+    pub fn write_record(&mut self, r: &MsgRecord) -> Result<(), TraceIoError> {
+        let mut buf = [0u8; RECORD_BYTES];
+        buf[0..8].copy_from_slice(&r.time_ns.to_be_bytes());
+        buf[8..10].copy_from_slice(&r.node.raw().to_be_bytes());
+        buf[10] = match r.role {
+            Role::Cache => 0,
+            Role::Directory => 1,
+        };
+        buf[11..19].copy_from_slice(&r.block.number().to_be_bytes());
+        buf[19..21].copy_from_slice(&r.sender.raw().to_be_bytes());
+        buf[21] = r.mtype.code();
+        buf[22..26].copy_from_slice(&r.iteration.to_be_bytes());
+        self.sink.write_all(&buf)?;
+        self.written += 1;
+        Ok(())
+    }
+
+    /// Back-patches the record count and flushes; returns the sink.
+    ///
+    /// # Errors
+    ///
+    /// Propagates writer errors.
+    pub fn finish(mut self) -> Result<W, TraceIoError> {
+        let end = self.sink.stream_position()?;
+        let count_pos = end - self.written * RECORD_BYTES as u64 - 8;
+        self.sink.seek(io::SeekFrom::Start(count_pos))?;
+        self.sink.write_all(&self.written.to_be_bytes())?;
+        self.sink.seek(io::SeekFrom::Start(end))?;
+        self.sink.flush()?;
+        Ok(self.sink)
+    }
+}
+
+impl TraceWriter<std::io::Cursor<Vec<u8>>> {
+    /// One-shot: encodes a whole bundle (equivalent to
+    /// [`crate::codec::encode`], streaming-path-tested).
+    ///
+    /// # Errors
+    ///
+    /// Propagates writer errors (none occur for in-memory sinks in
+    /// practice).
+    pub fn write_bundle(bundle: &TraceBundle) -> Result<Vec<u8>, TraceIoError> {
+        let cursor = std::io::Cursor::new(Vec::new());
+        let mut w = TraceWriter::new(cursor, bundle.meta())?;
+        for r in bundle.records() {
+            w.write_record(r)?;
+        }
+        Ok(w.finish()?.into_inner())
+    }
+}
+
+/// Streams records out of any reader.
+#[derive(Debug)]
+pub struct TraceReader<R: Read> {
+    source: R,
+    meta: TraceMeta,
+    remaining: u64,
+}
+
+impl<R: Read> TraceReader<R> {
+    /// Reads and validates the header.
+    ///
+    /// # Errors
+    ///
+    /// Fails on reader errors or a malformed header.
+    pub fn new(mut source: R) -> Result<Self, TraceIoError> {
+        let mut magic = [0u8; 4];
+        source.read_exact(&mut magic)?;
+        if &magic != MAGIC {
+            return Err(DecodeError::BadMagic.into());
+        }
+        let mut b2 = [0u8; 2];
+        source.read_exact(&mut b2)?;
+        let app_len = u16::from_be_bytes(b2) as usize;
+        let mut app = vec![0u8; app_len];
+        source.read_exact(&mut app)?;
+        let app = String::from_utf8(app).map_err(|_| DecodeError::BadField { field: "app" })?;
+        let mut b4 = [0u8; 4];
+        source.read_exact(&mut b4)?;
+        let nodes = u32::from_be_bytes(b4) as usize;
+        source.read_exact(&mut b4)?;
+        let iterations = u32::from_be_bytes(b4);
+        let mut b8 = [0u8; 8];
+        source.read_exact(&mut b8)?;
+        let remaining = u64::from_be_bytes(b8);
+        Ok(TraceReader {
+            source,
+            meta: TraceMeta::new(app, nodes, iterations),
+            remaining,
+        })
+    }
+
+    /// The stream's metadata.
+    pub fn meta(&self) -> &TraceMeta {
+        &self.meta
+    }
+
+    /// Records left to read.
+    pub fn remaining(&self) -> u64 {
+        self.remaining
+    }
+
+    /// Reads the next record, or `None` at the end of the stream.
+    ///
+    /// # Errors
+    ///
+    /// Fails on reader errors or malformed records.
+    pub fn read_record(&mut self) -> Result<Option<MsgRecord>, TraceIoError> {
+        if self.remaining == 0 {
+            return Ok(None);
+        }
+        let mut buf = [0u8; RECORD_BYTES];
+        self.source.read_exact(&mut buf)?;
+        self.remaining -= 1;
+        let node = NodeId::from_raw(u16::from_be_bytes([buf[8], buf[9]]))
+            .ok_or(DecodeError::BadField { field: "node" })?;
+        let role = match buf[10] {
+            0 => Role::Cache,
+            1 => Role::Directory,
+            _ => return Err(DecodeError::BadField { field: "role" }.into()),
+        };
+        let sender = NodeId::from_raw(u16::from_be_bytes([buf[19], buf[20]]))
+            .ok_or(DecodeError::BadField { field: "sender" })?;
+        let mtype = MsgType::from_code(buf[21]).ok_or(DecodeError::BadField { field: "mtype" })?;
+        Ok(Some(MsgRecord {
+            time_ns: u64::from_be_bytes(buf[0..8].try_into().expect("8 bytes")),
+            node,
+            role,
+            block: BlockAddr::new(u64::from_be_bytes(buf[11..19].try_into().expect("8 bytes"))),
+            sender,
+            mtype,
+            iteration: u32::from_be_bytes(buf[22..26].try_into().expect("4 bytes")),
+        }))
+    }
+
+    /// Drains the stream into a bundle.
+    ///
+    /// # Errors
+    ///
+    /// Fails on reader errors or malformed records.
+    pub fn read_bundle(mut self) -> Result<TraceBundle, TraceIoError> {
+        let mut bundle = TraceBundle::new(self.meta.clone());
+        while let Some(r) = self.read_record()? {
+            bundle.push(r);
+        }
+        Ok(bundle)
+    }
+}
+
+/// Writes a bundle to a file in the binary format.
+///
+/// # Errors
+///
+/// Propagates filesystem errors.
+pub fn write_file(path: impl AsRef<Path>, bundle: &TraceBundle) -> Result<(), TraceIoError> {
+    let file = std::fs::File::create(path)?;
+    let mut w = TraceWriter::new(std::io::BufWriter::new(file), bundle.meta())?;
+    for r in bundle.records() {
+        w.write_record(r)?;
+    }
+    w.finish()?;
+    Ok(())
+}
+
+/// Reads a bundle from a file in the binary format.
+///
+/// # Errors
+///
+/// Propagates filesystem errors and malformed content.
+pub fn read_file(path: impl AsRef<Path>) -> Result<TraceBundle, TraceIoError> {
+    let file = std::fs::File::open(path)?;
+    TraceReader::new(std::io::BufReader::new(file))?.read_bundle()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::codec;
+
+    fn sample(n: u64) -> TraceBundle {
+        let mut b = TraceBundle::new(TraceMeta::new("io-test", 16, 3));
+        for i in 0..n {
+            b.push(MsgRecord {
+                time_ns: i * 7,
+                node: NodeId::new((i % 16) as usize),
+                role: if i % 2 == 0 {
+                    Role::Cache
+                } else {
+                    Role::Directory
+                },
+                block: BlockAddr::new(i),
+                sender: NodeId::new(((i + 3) % 16) as usize),
+                mtype: MsgType::from_code((i % 12) as u8).unwrap(),
+                iteration: (i % 3) as u32,
+            });
+        }
+        b
+    }
+
+    #[test]
+    fn streaming_write_matches_in_memory_codec() {
+        let b = sample(50);
+        let streamed = TraceWriter::write_bundle(&b).unwrap();
+        let in_memory = codec::encode(&b);
+        assert_eq!(streamed, in_memory.to_vec(), "byte-identical formats");
+    }
+
+    #[test]
+    fn streaming_read_roundtrip() {
+        let b = sample(40);
+        let bytes = TraceWriter::write_bundle(&b).unwrap();
+        let reader = TraceReader::new(std::io::Cursor::new(bytes)).unwrap();
+        assert_eq!(reader.meta(), b.meta());
+        assert_eq!(reader.remaining(), 40);
+        assert_eq!(reader.read_bundle().unwrap(), b);
+    }
+
+    #[test]
+    fn incremental_reading_stops_cleanly() {
+        let b = sample(3);
+        let bytes = TraceWriter::write_bundle(&b).unwrap();
+        let mut reader = TraceReader::new(std::io::Cursor::new(bytes)).unwrap();
+        for expected in b.records() {
+            assert_eq!(reader.read_record().unwrap().as_ref(), Some(expected));
+        }
+        assert_eq!(reader.read_record().unwrap(), None);
+        assert_eq!(reader.read_record().unwrap(), None, "idempotent at EOF");
+    }
+
+    #[test]
+    fn file_roundtrip() {
+        let dir = std::env::temp_dir().join("cosmos-repro-io-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("sample.trace");
+        let b = sample(25);
+        write_file(&path, &b).unwrap();
+        assert_eq!(read_file(&path).unwrap(), b);
+        // The in-memory decoder reads the file's bytes too.
+        let bytes = std::fs::read(&path).unwrap();
+        assert_eq!(codec::decode(&bytes).unwrap(), b);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn bad_magic_is_reported() {
+        let err = match TraceReader::new(std::io::Cursor::new(b"NOPE------".to_vec())) {
+            Err(e) => e,
+            Ok(_) => panic!("must fail"),
+        };
+        assert!(matches!(err, TraceIoError::Decode(DecodeError::BadMagic)));
+        assert!(!err.to_string().is_empty());
+    }
+
+    #[test]
+    fn truncated_stream_is_an_io_error() {
+        let b = sample(5);
+        let mut bytes = TraceWriter::write_bundle(&b).unwrap();
+        bytes.truncate(bytes.len() - 10);
+        let mut reader = TraceReader::new(std::io::Cursor::new(bytes)).unwrap();
+        let mut result = Ok(None);
+        for _ in 0..5 {
+            result = reader.read_record();
+            if result.is_err() {
+                break;
+            }
+        }
+        assert!(matches!(result, Err(TraceIoError::Io(_))));
+    }
+}

@@ -1,0 +1,52 @@
+#![warn(missing_docs)]
+
+//! # trace — coherence message traces
+//!
+//! The paper evaluates Cosmos on *traces of coherence messages* captured
+//! from the Stache protocol (§5). This crate defines the trace format and
+//! the tooling around it:
+//!
+//! * [`MsgRecord`] — one incoming-message observation: when, at which node
+//!   and role (cache or directory), for which block, from whom, and what;
+//! * [`TraceBundle`] — a full run's worth of records plus metadata, with
+//!   iterators per receiver and per block;
+//! * [`codec`] — a compact binary encoding (and a line-oriented text
+//!   encoding) for writing traces to disk and reading them back;
+//! * [`io`] — streaming readers/writers over `std::io` in the same binary
+//!   format, for traces too large to hold in memory;
+//! * [`stats`] — message mix and volume statistics;
+//! * [`signature`] — extraction of *message signatures*: the arcs
+//!   (consecutive incoming-message pairs per block) whose reference shares
+//!   the paper reports in Figures 6 and 7.
+//!
+//! ## Example
+//!
+//! ```
+//! use stache::{BlockAddr, MsgType, NodeId, Role};
+//! use trace::{MsgRecord, TraceBundle, TraceMeta};
+//!
+//! let mut bundle = TraceBundle::new(TraceMeta::new("example", 16, 10));
+//! bundle.push(MsgRecord {
+//!     time_ns: 100,
+//!     node: NodeId::new(0),
+//!     role: Role::Directory,
+//!     block: BlockAddr::new(42),
+//!     sender: NodeId::new(1),
+//!     mtype: MsgType::GetRoRequest,
+//!     iteration: 0,
+//! });
+//! assert_eq!(bundle.len(), 1);
+//! assert_eq!(bundle.records()[0].mtype, MsgType::GetRoRequest);
+//! ```
+
+pub mod bundle;
+pub mod codec;
+pub mod io;
+pub mod record;
+pub mod signature;
+pub mod stats;
+
+pub use bundle::{TraceBundle, TraceMeta};
+pub use record::MsgRecord;
+pub use signature::{ArcKey, ArcTable};
+pub use stats::TraceStats;

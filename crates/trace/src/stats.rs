@@ -1,0 +1,150 @@
+//! Trace statistics: message mix and volume.
+
+use crate::bundle::TraceBundle;
+use stache::msg::ALL_MSG_TYPES;
+use stache::{MsgType, Role};
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// Summary statistics over a trace.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TraceStats {
+    /// Total records.
+    pub total: usize,
+    /// Records received at caches.
+    pub at_cache: usize,
+    /// Records received at directories.
+    pub at_directory: usize,
+    /// Count per message type.
+    pub by_type: BTreeMap<MsgType, usize>,
+    /// Count per iteration.
+    pub by_iteration: BTreeMap<u32, usize>,
+    /// Number of distinct blocks referenced.
+    pub distinct_blocks: usize,
+}
+
+impl TraceStats {
+    /// Computes statistics for a bundle.
+    pub fn compute(bundle: &TraceBundle) -> Self {
+        let mut by_type = BTreeMap::new();
+        let mut by_iteration = BTreeMap::new();
+        let mut at_cache = 0usize;
+        for r in bundle.records() {
+            *by_type.entry(r.mtype).or_insert(0) += 1;
+            *by_iteration.entry(r.iteration).or_insert(0) += 1;
+            if r.role == Role::Cache {
+                at_cache += 1;
+            }
+        }
+        TraceStats {
+            total: bundle.len(),
+            at_cache,
+            at_directory: bundle.len() - at_cache,
+            by_type,
+            by_iteration,
+            distinct_blocks: bundle.blocks().len(),
+        }
+    }
+
+    /// Fraction of all messages with the given type (0 if the trace is empty).
+    pub fn share(&self, mtype: MsgType) -> f64 {
+        if self.total == 0 {
+            return 0.0;
+        }
+        *self.by_type.get(&mtype).unwrap_or(&0) as f64 / self.total as f64
+    }
+
+    /// Requests and responses must pair up in a complete Stache run:
+    /// every request elicits exactly one response. Returns the per-pair
+    /// imbalance (request count minus response count) for diagnostics.
+    pub fn pairing_imbalance(&self) -> BTreeMap<MsgType, i64> {
+        let mut out = BTreeMap::new();
+        for &t in &ALL_MSG_TYPES {
+            if let Some(resp) = t.response() {
+                let req = *self.by_type.get(&t).unwrap_or(&0) as i64;
+                let rsp = *self.by_type.get(&resp).unwrap_or(&0) as i64;
+                if req != rsp {
+                    out.insert(t, req - rsp);
+                }
+            }
+        }
+        out
+    }
+}
+
+impl fmt::Display for TraceStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "{} messages ({} at caches, {} at directories), {} blocks",
+            self.total, self.at_cache, self.at_directory, self.distinct_blocks
+        )?;
+        for (t, c) in &self.by_type {
+            writeln!(
+                f,
+                "  {:<20} {:>10}  ({:>5.1}%)",
+                t.paper_name(),
+                c,
+                100.0 * self.share(*t)
+            )?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bundle::TraceMeta;
+    use crate::record::MsgRecord;
+    use stache::{BlockAddr, NodeId};
+
+    fn bundle_with(types: &[MsgType]) -> TraceBundle {
+        let mut b = TraceBundle::new(TraceMeta::new("t", 4, 1));
+        for (i, &t) in types.iter().enumerate() {
+            b.push(MsgRecord {
+                time_ns: i as u64,
+                node: NodeId::new(0),
+                role: t.receiver_role(),
+                block: BlockAddr::new((i % 2) as u64),
+                sender: NodeId::new(1),
+                mtype: t,
+                iteration: 0,
+            });
+        }
+        b
+    }
+
+    #[test]
+    fn counts_and_shares() {
+        let b = bundle_with(&[
+            MsgType::GetRoRequest,
+            MsgType::GetRoResponse,
+            MsgType::GetRoRequest,
+            MsgType::GetRoResponse,
+        ]);
+        let s = TraceStats::compute(&b);
+        assert_eq!(s.total, 4);
+        assert_eq!(s.at_cache, 2);
+        assert_eq!(s.at_directory, 2);
+        assert_eq!(s.distinct_blocks, 2);
+        assert!((s.share(MsgType::GetRoRequest) - 0.5).abs() < 1e-12);
+        assert!(s.pairing_imbalance().is_empty());
+    }
+
+    #[test]
+    fn imbalance_detected() {
+        let b = bundle_with(&[MsgType::GetRwRequest]);
+        let s = TraceStats::compute(&b);
+        assert_eq!(s.pairing_imbalance().get(&MsgType::GetRwRequest), Some(&1));
+    }
+
+    #[test]
+    fn empty_trace_statistics() {
+        let b = TraceBundle::new(TraceMeta::new("e", 1, 0));
+        let s = TraceStats::compute(&b);
+        assert_eq!(s.total, 0);
+        assert_eq!(s.share(MsgType::GetRoRequest), 0.0);
+        assert!(!s.to_string().is_empty());
+    }
+}

@@ -1,0 +1,100 @@
+//! Property tests for the trace codecs and arc extraction.
+
+use proptest::prelude::*;
+use stache::{BlockAddr, MsgType, NodeId, Role};
+use trace::codec;
+use trace::{MsgRecord, TraceBundle, TraceMeta};
+
+fn record_strategy() -> impl Strategy<Value = MsgRecord> {
+    (
+        any::<u64>(),
+        0usize..4096,
+        any::<bool>(),
+        any::<u64>(),
+        0usize..4096,
+        0u8..12,
+        any::<u32>(),
+    )
+        .prop_map(
+            |(time, node, is_dir, block, sender, code, iteration)| MsgRecord {
+                time_ns: time,
+                node: NodeId::new(node),
+                role: if is_dir { Role::Directory } else { Role::Cache },
+                block: BlockAddr::new(block),
+                sender: NodeId::new(sender),
+                mtype: MsgType::from_code(code).unwrap(),
+                iteration,
+            },
+        )
+}
+
+fn bundle_strategy() -> impl Strategy<Value = TraceBundle> {
+    (
+        "[a-z]{1,12}",
+        1usize..64,
+        any::<u32>(),
+        prop::collection::vec(record_strategy(), 0..100),
+    )
+        .prop_map(|(app, nodes, iterations, records)| {
+            let mut b = TraceBundle::new(TraceMeta::new(app, nodes, iterations));
+            b.extend_records(records);
+            b
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Binary encode/decode is the identity.
+    #[test]
+    fn binary_roundtrip(bundle in bundle_strategy()) {
+        let decoded = codec::decode(&codec::encode(&bundle)).unwrap();
+        prop_assert_eq!(bundle, decoded);
+    }
+
+    /// Text encode/decode is the identity.
+    #[test]
+    fn text_roundtrip(bundle in bundle_strategy()) {
+        let decoded = codec::from_text(&codec::to_text(&bundle)).unwrap();
+        prop_assert_eq!(bundle, decoded);
+    }
+
+    /// Decoding never panics on arbitrary bytes — it returns an error.
+    #[test]
+    fn decode_is_total(bytes in prop::collection::vec(any::<u8>(), 0..300)) {
+        let _ = codec::decode(&bytes);
+    }
+
+    /// Truncating a valid encoding anywhere inside the payload fails
+    /// cleanly rather than yielding a different valid trace.
+    #[test]
+    fn truncation_detected(bundle in bundle_strategy(), cut in any::<prop::sample::Index>()) {
+        prop_assume!(!bundle.is_empty());
+        let encoded = codec::encode(&bundle);
+        let cut = cut.index(encoded.len().max(1) - 1);
+        match codec::decode(&encoded[..cut]) {
+            Err(_) => {}
+            Ok(decoded) => prop_assert!(decoded.len() < bundle.len()),
+        }
+    }
+
+    /// Arc counts: total arcs per role equals (records per key - 1) summed
+    /// over keys of that role.
+    #[test]
+    fn arc_totals_match_stream_lengths(bundle in bundle_strategy()) {
+        use std::collections::HashMap;
+        let arcs = trace::ArcTable::from_bundle(&bundle);
+        let mut streams: HashMap<(NodeId, Role, BlockAddr), usize> = HashMap::new();
+        for r in bundle.records() {
+            *streams.entry((r.node, r.role, r.block)).or_insert(0) += 1;
+        }
+        for role in [Role::Cache, Role::Directory] {
+            let expected: usize = streams
+                .iter()
+                .filter(|((_, r, _), _)| *r == role)
+                .map(|(_, &n)| n - 1)
+                .sum();
+            prop_assert_eq!(arcs.total(role), expected);
+        }
+    }
+}

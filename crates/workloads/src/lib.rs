@@ -1,0 +1,235 @@
+#![warn(missing_docs)]
+
+//! # workloads — synthetic access-stream generators for the paper's five
+//! benchmarks
+//!
+//! The paper traces five parallel scientific applications (Table 4):
+//! **appbt**, **barnes**, **dsmc**, **moldyn**, and **unstructured**. The
+//! original binaries and the Wisconsin Wind Tunnel II are unavailable, so
+//! this crate generates memory-access streams that reproduce the *sharing
+//! patterns* §5.2/§6.1 document for each application — the property that
+//! determines Cosmos' behaviour. Each generator is parameterised and
+//! seeded, so runs are deterministic and scalable.
+//!
+//! | Workload | Dominant patterns modelled |
+//! |---|---|
+//! | [`appbt`] | 3D-stencil producer-consumer (producer reads, writes; one consumer reads), false sharing on two structures |
+//! | [`barnes`] | octree rebuilt each iteration — stable logical patterns at *reassigned* block addresses; irregular reader sets |
+//! | [`dsmc`] | buffer handoffs (write-without-read producer), slowly-stabilising contended buffers, rarely-touched cells |
+//! | [`moldyn`] | migratory force-array reduction + producer-consumer coordinates (mean 4.9 consumers), interaction list rebuilt every 20 iterations |
+//! | [`unstructured`] | per-phase oscillation between migratory and producer-consumer (producer also consumes; mean 2.6 consumers) |
+//!
+//! The [`Workload`] trait yields one [`IterationPlan`] per iteration;
+//! [`run_to_trace`] drives a plan stream through a [`simx::Machine`] and
+//! returns the coherence message trace Cosmos is evaluated on.
+//!
+//! ## Example
+//!
+//! ```
+//! use workloads::{micro::ProducerConsumer, run_to_trace, Workload};
+//! use stache::ProtocolConfig;
+//! use simx::SystemConfig;
+//!
+//! let mut w = ProducerConsumer::default();
+//! let trace = run_to_trace(&mut w, ProtocolConfig::paper(), SystemConfig::paper()).unwrap();
+//! assert!(!trace.is_empty());
+//! assert_eq!(trace.meta().app, "producer-consumer");
+//! ```
+
+pub mod appbt;
+pub mod barnes;
+pub mod dsmc;
+pub mod meta;
+pub mod micro;
+pub mod moldyn;
+pub mod rng;
+pub mod unstructured;
+
+use simx::{driver, IterationPlan, Machine, SimError, SystemConfig};
+use stache::ProtocolConfig;
+use trace::TraceBundle;
+
+pub use appbt::Appbt;
+pub use barnes::Barnes;
+pub use dsmc::Dsmc;
+pub use moldyn::Moldyn;
+pub use unstructured::Unstructured;
+
+/// A benchmark: a named, deterministic stream of per-iteration access plans.
+///
+/// `Send` so suites of boxed workloads can be generated on worker threads.
+pub trait Workload: Send {
+    /// The workload's name (trace metadata / table row label).
+    fn name(&self) -> &'static str;
+
+    /// Number of processors the workload is written for.
+    fn nodes(&self) -> usize;
+
+    /// Number of iterations a full run executes.
+    fn iterations(&self) -> u32;
+
+    /// Builds the access plan for one iteration. Implementations must be
+    /// deterministic: calling `plan(i)` twice on identically-constructed
+    /// workloads yields identical plans.
+    fn plan(&mut self, iteration: u32) -> IterationPlan;
+}
+
+/// Appends a phase touching a slice of the workload's *quiet* blocks —
+/// data referenced once in the whole run (array interiors, unshared mesh
+/// nodes). Each quiet block gets a single read by a fixed remote node,
+/// costing two coherence messages. Quiet blocks dominate the MHR
+/// population of real applications and never earn a PHT entry, which is
+/// what keeps Table 7's PHT/MHR ratios near the paper's magnitudes.
+///
+/// Blocks are spread evenly across iterations so no single iteration's
+/// accuracy craters from the cold misses.
+pub fn push_quiet_phase(
+    plan: &mut IterationPlan,
+    region: u64,
+    quiet_blocks: usize,
+    nodes: usize,
+    iteration: u32,
+    iterations: u32,
+) {
+    if quiet_blocks == 0 {
+        return;
+    }
+    let per_iter = (quiet_blocks as u32).div_ceil(iterations.max(1)) as usize;
+    let base = iteration as usize * per_iter;
+    let mut phase = simx::Phase::new(nodes);
+    for idx in base..(base + per_iter).min(quiet_blocks) {
+        let block = stache::BlockAddr::new(region + idx as u64);
+        // A reader one node over from the block's position: remote from
+        // the home for the overwhelming majority of blocks.
+        let reader = stache::NodeId::new((idx + 1) % nodes);
+        phase.push(simx::Access::read(reader, block));
+    }
+    if !phase.is_empty() {
+        plan.push(phase);
+    }
+}
+
+/// Runs a workload to completion on a fresh machine and returns its
+/// coherence-message trace.
+///
+/// # Errors
+///
+/// Propagates any [`SimError`] — with correct generators this indicates a
+/// bug in the protocol substrate, so tests treat it as fatal.
+pub fn run_to_trace<W: Workload + ?Sized>(
+    workload: &mut W,
+    proto: ProtocolConfig,
+    sys: SystemConfig,
+) -> Result<TraceBundle, SimError> {
+    let (trace, _) = run_to_trace_with_stats(workload, proto, sys)?;
+    Ok(trace)
+}
+
+/// Like [`run_to_trace`] but also returns the machine statistics.
+///
+/// # Errors
+///
+/// Propagates any [`SimError`].
+pub fn run_to_trace_with_stats<W: Workload + ?Sized>(
+    workload: &mut W,
+    proto: ProtocolConfig,
+    sys: SystemConfig,
+) -> Result<(TraceBundle, simx::MachineStats), SimError> {
+    assert!(
+        workload.nodes() <= proto.nodes,
+        "workload needs {} nodes but machine has {}",
+        workload.nodes(),
+        proto.nodes
+    );
+    let mut machine = Machine::new(proto, sys);
+    machine.set_app(workload.name(), workload.iterations());
+    for it in 0..workload.iterations() {
+        let plan = workload.plan(it);
+        driver::run_iteration(&mut machine, &plan, it)?;
+    }
+    machine.verify_coherence()?;
+    let stats = machine.stats().clone();
+    Ok((machine.into_trace(), stats))
+}
+
+/// Runs a workload on the *concurrent* message-level engine
+/// ([`simx::concurrent`]) and returns its trace. Per-block message orders
+/// match the serialized [`run_to_trace`]; timestamps reflect genuine
+/// overlap of independent transactions.
+///
+/// # Errors
+///
+/// Propagates any [`SimError`].
+pub fn run_to_trace_concurrent<W: Workload + ?Sized>(
+    workload: &mut W,
+    proto: ProtocolConfig,
+    sys: SystemConfig,
+) -> Result<TraceBundle, SimError> {
+    assert!(
+        workload.nodes() <= proto.nodes,
+        "workload needs {} nodes but machine has {}",
+        workload.nodes(),
+        proto.nodes
+    );
+    let name = workload.name();
+    let iterations = workload.iterations();
+    let machine =
+        simx::concurrent::run_workload(name, iterations, |it| workload.plan(it), proto, sys)?;
+    Ok(machine.into_trace())
+}
+
+/// The five paper benchmarks at evaluation scale, boxed behind the trait.
+pub fn paper_suite() -> Vec<Box<dyn Workload>> {
+    vec![
+        Box::new(Appbt::default()),
+        Box::new(Barnes::default()),
+        Box::new(Dsmc::default()),
+        Box::new(Moldyn::default()),
+        Box::new(Unstructured::default()),
+    ]
+}
+
+/// The five benchmarks at reduced scale, for fast tests.
+pub fn small_suite() -> Vec<Box<dyn Workload>> {
+    vec![
+        Box::new(Appbt::small()),
+        Box::new(Barnes::small()),
+        Box::new(Dsmc::small()),
+        Box::new(Moldyn::small()),
+        Box::new(Unstructured::small()),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn suites_have_five_benchmarks() {
+        assert_eq!(paper_suite().len(), 5);
+        assert_eq!(small_suite().len(), 5);
+        let names: Vec<&str> = paper_suite().iter().map(|w| w.name()).collect();
+        assert_eq!(
+            names,
+            vec!["appbt", "barnes", "dsmc", "moldyn", "unstructured"]
+        );
+    }
+
+    #[test]
+    fn small_suite_runs_clean() {
+        for mut w in small_suite() {
+            let trace = run_to_trace(w.as_mut(), ProtocolConfig::paper(), SystemConfig::paper())
+                .unwrap_or_else(|e| panic!("{} failed: {e}", w.name()));
+            assert!(!trace.is_empty(), "{} produced no messages", w.name());
+        }
+    }
+
+    #[test]
+    fn plans_are_deterministic() {
+        for (mut a, mut b) in small_suite().into_iter().zip(small_suite()) {
+            for it in 0..a.iterations().min(3) {
+                assert_eq!(a.plan(it), b.plan(it), "{} not deterministic", a.name());
+            }
+        }
+    }
+}

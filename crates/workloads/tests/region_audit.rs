@@ -1,0 +1,44 @@
+//! Region audit: the five generators must keep their data structures in
+//! disjoint block-address regions (a collision would silently merge two
+//! structures' predictor histories).
+
+use simx::SystemConfig;
+use stache::ProtocolConfig;
+use workloads::{run_to_trace, small_suite};
+
+#[test]
+fn each_workload_uses_disjoint_regions_per_structure() {
+    // Every block address groups into a region by its 2^20 bucket; within
+    // one workload, each region must be used consistently (all regions
+    // observed are the documented ones: 0..=4).
+    for mut w in small_suite() {
+        let t = run_to_trace(w.as_mut(), ProtocolConfig::paper(), SystemConfig::paper()).unwrap();
+        for b in t.blocks() {
+            let region = b.number() >> 20;
+            assert!(
+                region <= 4,
+                "{}: block {b} in unexpected region {region}",
+                w.name()
+            );
+        }
+    }
+}
+
+#[test]
+fn quiet_regions_never_gain_patterns() {
+    // Quiet blocks are touched once: no block in the quiet region may
+    // accumulate more than a fill's worth of messages.
+    for mut w in small_suite() {
+        let t = run_to_trace(w.as_mut(), ProtocolConfig::paper(), SystemConfig::paper()).unwrap();
+        for b in t.blocks() {
+            if b.number() >> 20 == 3 {
+                let msgs = t.for_block(b).count();
+                assert!(
+                    msgs <= 2,
+                    "{}: quiet block {b} saw {msgs} messages",
+                    w.name()
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,55 @@
+//! Acceleration: the §4 pipeline — predict the next incoming message, map
+//! it to a speculative protocol action (Table 2 / Figure 4), and estimate
+//! the runtime effect with the §4.4 model (Figure 5).
+//!
+//! ```text
+//! cargo run --release --example acceleration
+//! ```
+
+use cosmos::actions::simulate_speculation;
+use cosmos::CosmosPredictor;
+use simx::SystemConfig;
+use stache::ProtocolConfig;
+use workloads::{run_to_trace, small_suite};
+
+fn main() {
+    println!(
+        "{:<14} {:>8} {:>10} {:>10} {:>12} {:>12}",
+        "benchmark", "msgs", "accel'd", "wasted", "speedup f=.3", "speedup f=.5"
+    );
+    for mut w in small_suite() {
+        let trace = run_to_trace(&mut *w, ProtocolConfig::paper(), SystemConfig::paper())
+            .expect("benchmark runs clean");
+        let report = simulate_speculation(&trace, |_, _| Box::new(CosmosPredictor::new(2, 0)));
+        println!(
+            "{:<14} {:>8} {:>9.1}% {:>9.1}% {:>11.2}x {:>11.2}x",
+            w.name(),
+            report.total_messages,
+            100.0 * report.acceleration_rate(),
+            100.0 * report.wasted_speculations as f64 / report.total_messages.max(1) as f64,
+            report.estimated_speedup(0.3, 1.0),
+            report.estimated_speedup(0.5, 0.5),
+        );
+    }
+
+    println!("\nper-action breakdown for unstructured (depth-2 Cosmos):");
+    let mut w = workloads::Unstructured::small();
+    let trace = run_to_trace(&mut w, ProtocolConfig::paper(), SystemConfig::paper())
+        .expect("benchmark runs clean");
+    let report = simulate_speculation(&trace, |_, _| Box::new(CosmosPredictor::new(2, 0)));
+    let mut actions: Vec<_> = report.per_action.iter().collect();
+    actions.sort_by_key(|(name, _)| *name);
+    for (name, counts) in actions {
+        println!(
+            "  {:<20} fired {:>6} times, {:>5.1}% of them usefully",
+            name,
+            counts.total,
+            counts.percent()
+        );
+    }
+    println!(
+        "\n(the paper's model: speedup = 1 / (p*f + (1-p)*(1+r)); at p=0.8,\n\
+         f=0.3, r=1 it reports 'as high as 56%' — our measured p feeds the\n\
+         same formula above)"
+    );
+}

@@ -1,0 +1,51 @@
+//! Integration: the paper's §8 next step, live — Cosmos predictors wired
+//! into the running protocol, issuing speculative exclusive grants and
+//! self-invalidations, compared against the unmodified machine and the
+//! directed-predictor pairing.
+//!
+//! ```text
+//! cargo run --release --example integration
+//! ```
+
+use accel::directed_policy::DirectedPolicy;
+use accel::{compare, CosmosPolicy};
+use workloads::{small_suite, Workload};
+
+fn fresh(name: &str) -> Box<dyn Workload> {
+    small_suite()
+        .into_iter()
+        .find(|w| w.name() == name)
+        .expect("known benchmark")
+}
+
+fn main() {
+    println!(
+        "{:<14} {:>22} {:>22}",
+        "benchmark", "cosmos (msg- / time)", "directed (msg- / time)"
+    );
+    for name in ["appbt", "barnes", "dsmc", "moldyn", "unstructured"] {
+        let cosmos = compare(fresh(name).as_mut(), fresh(name).as_mut(), || {
+            Box::new(CosmosPolicy::new(2))
+        })
+        .expect("coherent run");
+        let directed = compare(fresh(name).as_mut(), fresh(name).as_mut(), || {
+            Box::new(DirectedPolicy::new())
+        })
+        .expect("coherent run");
+        println!(
+            "{:<14} {:>12.1}% {:>7.2}x {:>13.1}% {:>7.2}x",
+            name,
+            100.0 * cosmos.message_saving(),
+            cosmos.speedup(),
+            100.0 * directed.message_saving(),
+            directed.speedup(),
+        );
+    }
+    println!(
+        "\nCosmos speculates only on learned per-block patterns, so it never\n\
+         fires blind; the directed pairing (Origin-style RMW grants + dynamic\n\
+         self-invalidation) bets unconditionally — bigger wins on its own\n\
+         patterns, and real slowdowns where they do not hold (barnes). Run\n\
+         `repro integration` for the full-scale study."
+    );
+}

@@ -1,0 +1,46 @@
+//! Message signatures: runs the five benchmarks (reduced scale) and prints
+//! each one's dominant incoming-message signatures with the paper's `X/Y`
+//! arc labels — a fast rendition of Figures 6 and 7.
+//!
+//! ```text
+//! cargo run --release --example signatures
+//! ```
+
+use cosmos::eval::evaluate_cosmos;
+use simx::SystemConfig;
+use stache::{ProtocolConfig, Role};
+use trace::TraceStats;
+use workloads::{run_to_trace, small_suite};
+
+fn main() {
+    for mut w in small_suite() {
+        let trace = run_to_trace(w.as_mut(), ProtocolConfig::paper(), SystemConfig::paper())
+            .expect("benchmark runs clean");
+        let stats = TraceStats::compute(&trace);
+        let report = evaluate_cosmos(&trace, 1, 0);
+
+        println!("\n======== {} ========", w.name());
+        println!(
+            "{} messages ({} at caches, {} at directories), {} blocks",
+            stats.total, stats.at_cache, stats.at_directory, stats.distinct_blocks
+        );
+        println!(
+            "depth-1 Cosmos: cache {:.0}%, directory {:.0}%, overall {:.0}%",
+            report.cache.percent(),
+            report.directory.percent(),
+            report.overall.percent()
+        );
+        for role in [Role::Cache, Role::Directory] {
+            println!("  dominant signatures at the {role} (accuracy%/share%):");
+            for (arc, acc, share) in report.dominant_arcs(role, 4) {
+                println!(
+                    "    {:<22} -> {:<22} {:>3.0}/{:<3.0}",
+                    arc.prev.paper_name(),
+                    arc.next.paper_name(),
+                    acc,
+                    share
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,114 @@
+//! Integration: the paper's headline accuracy claims hold end to end —
+//! generate traces on the simulated machine, evaluate Cosmos, check the
+//! qualitative structure of Table 5 (these run the reduced-scale
+//! workloads; the full-scale numbers come from `repro table5`).
+
+use cosmos_repro::cosmos::eval::evaluate_cosmos;
+use cosmos_repro::simx::SystemConfig;
+use cosmos_repro::stache::ProtocolConfig;
+use cosmos_repro::workloads::{run_to_trace, small_suite};
+use std::collections::HashMap;
+
+fn overall_by_app(depth: usize) -> HashMap<String, (f64, f64, f64)> {
+    small_suite()
+        .into_iter()
+        .map(|mut w| {
+            let t =
+                run_to_trace(w.as_mut(), ProtocolConfig::paper(), SystemConfig::paper()).unwrap();
+            let r = evaluate_cosmos(&t, depth, 0);
+            (
+                w.name().to_string(),
+                (
+                    r.cache.percent(),
+                    r.directory.percent(),
+                    r.overall.percent(),
+                ),
+            )
+        })
+        .collect()
+}
+
+#[test]
+fn caches_predict_better_than_directories() {
+    // §6.1: "Cosmos has higher accuracy for a cache compared to a
+    // directory" — a cache's senders are fixed (its home), a directory's
+    // vary.
+    for (app, (c, d, _)) in overall_by_app(1) {
+        assert!(c > d, "{app}: cache {c:.1} should beat directory {d:.1}");
+    }
+}
+
+#[test]
+fn barnes_is_the_hardest_benchmark() {
+    // §6.1: barnes' octree address reassignment gives it the lowest
+    // accuracy in the suite.
+    let by_app = overall_by_app(1);
+    let barnes = by_app["barnes"].2;
+    for (app, (_, _, o)) in &by_app {
+        if app != "barnes" {
+            assert!(
+                barnes < *o,
+                "barnes ({barnes:.1}) should be below {app} ({o:.1})"
+            );
+        }
+    }
+}
+
+#[test]
+fn unstructured_gains_most_from_history() {
+    // §6.1/Table 5: unstructured's pattern oscillation makes it the big
+    // depth winner (74% -> 92% in the paper).
+    let d1 = overall_by_app(1);
+    let d3 = overall_by_app(3);
+    let gain = |app: &str| d3[app].2 - d1[app].2;
+    let unstructured = gain("unstructured");
+    assert!(
+        unstructured > 8.0,
+        "unstructured should gain strongly with depth, got {unstructured:.1}"
+    );
+    for app in ["appbt", "moldyn"] {
+        assert!(
+            unstructured > gain(app),
+            "unstructured's gain should exceed {app}'s"
+        );
+    }
+}
+
+#[test]
+fn accuracies_land_in_plausible_bands() {
+    // The paper's Table 5 spans 62-93% overall; at reduced scale allow a
+    // wider band but insist everything is far above chance and below
+    // perfection.
+    for depth in [1, 2, 3] {
+        for (app, (_, _, o)) in overall_by_app(depth) {
+            assert!(
+                (40.0..=99.0).contains(&o),
+                "{app} depth {depth}: overall {o:.1} out of band"
+            );
+        }
+    }
+}
+
+#[test]
+fn filters_help_only_at_depth_one() {
+    // §6.2/Table 6: filters buy a little accuracy at depth 1 and roughly
+    // nothing at depth 2 (history already absorbs the noise).
+    let mut d1_gains = Vec::new();
+    let mut d2_gains = Vec::new();
+    for mut w in small_suite() {
+        let t = run_to_trace(w.as_mut(), ProtocolConfig::paper(), SystemConfig::paper()).unwrap();
+        let base1 = evaluate_cosmos(&t, 1, 0).overall.percent();
+        let filt1 = evaluate_cosmos(&t, 1, 1).overall.percent();
+        let base2 = evaluate_cosmos(&t, 2, 0).overall.percent();
+        let filt2 = evaluate_cosmos(&t, 2, 1).overall.percent();
+        d1_gains.push(filt1 - base1);
+        d2_gains.push(filt2 - base2);
+    }
+    let mean = |v: &[f64]| v.iter().sum::<f64>() / v.len() as f64;
+    // Depth-1 filtering helps on average; depth-2 filtering helps less.
+    assert!(mean(&d1_gains) > -0.5, "depth-1 filter gains: {d1_gains:?}");
+    assert!(
+        mean(&d1_gains) >= mean(&d2_gains) - 0.5,
+        "filters should matter more at depth 1: d1 {d1_gains:?} d2 {d2_gains:?}"
+    );
+}
