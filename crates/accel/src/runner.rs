@@ -48,6 +48,41 @@ impl Comparison {
         }
         self.baseline.execution_time_ns as f64 / self.accelerated.execution_time_ns as f64
     }
+
+    /// Exports the comparison into a metrics snapshot under `accel.` —
+    /// message counts for both runs, the speedup and saving headline
+    /// figures, and the policy-action counters.
+    pub fn export_obs(&self, snap: &mut obs::Snapshot) {
+        snap.counter("accel.baseline.messages", self.baseline.messages);
+        snap.counter("accel.accelerated.messages", self.accelerated.messages);
+        snap.counter(
+            "accel.baseline.execution_time_ns",
+            self.baseline.execution_time_ns,
+        );
+        snap.counter(
+            "accel.accelerated.execution_time_ns",
+            self.accelerated.execution_time_ns,
+        );
+        snap.gauge("accel.speedup", self.speedup());
+        snap.gauge("accel.message_saving_pct", 100.0 * self.message_saving());
+        snap.counter(
+            "accel.policy.exclusive_grants",
+            self.accelerated.exclusive_grants,
+        );
+        snap.counter(
+            "accel.policy.voluntary_replacements",
+            self.accelerated.voluntary_replacements,
+        );
+        // Mispredictions surface as extra coherence misses relative to the
+        // baseline's identical access stream (a wrong grant or a premature
+        // replacement must be re-fetched).
+        let base_misses = self.baseline.accesses - self.baseline.hits;
+        let accel_misses = self.accelerated.accesses - self.accelerated.hits;
+        snap.counter(
+            "accel.speculation.extra_misses",
+            accel_misses.saturating_sub(base_misses),
+        );
+    }
 }
 
 impl fmt::Display for Comparison {
@@ -237,6 +272,27 @@ mod tests {
             .unwrap();
         assert!(c.accelerated.exclusive_grants > 0, "{c}");
         assert!(c.accelerated.messages < c.baseline.messages, "{c}");
+    }
+
+    #[test]
+    fn export_obs_carries_the_headline_comparison() {
+        let make = || ProducerConsumer {
+            blocks: 2,
+            iterations: 20,
+            ..Default::default()
+        };
+        let c = compare(&mut make(), &mut make(), || Box::new(CosmosPolicy::new(2))).unwrap();
+        let mut snap = obs::Snapshot::new();
+        c.export_obs(&mut snap);
+        assert!(snap.names().iter().all(|n| n.starts_with("accel.")));
+        assert_eq!(
+            snap.get("accel.baseline.messages"),
+            Some(&obs::MetricValue::Counter(c.baseline.messages))
+        );
+        assert!(matches!(
+            snap.get("accel.speedup"),
+            Some(obs::MetricValue::Gauge(s)) if *s > 1.0
+        ));
     }
 
     #[test]

@@ -3,35 +3,25 @@
 //! cost of consulting and training the predictors.
 
 use accel::{run_with_policy, CosmosPolicy};
-use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use bench_suite::Harness;
 use workloads::micro::ProducerConsumer;
 
-fn bench_integration(c: &mut Criterion) {
+fn main() {
     let make = || ProducerConsumer {
         blocks: 8,
         iterations: 20,
         ..Default::default()
     };
-    let mut g = c.benchmark_group("integration");
-    g.bench_function("baseline_machine", |bench| {
-        bench.iter(|| {
-            let summary = run_with_policy(&mut make(), None).expect("clean run");
-            black_box(summary.messages)
-        });
+    let mut h = Harness::new("integration").with_samples(20);
+    h.run("baseline_machine", || {
+        run_with_policy(&mut make(), None)
+            .expect("clean run")
+            .messages
     });
-    g.bench_function("cosmos_policy_machine", |bench| {
-        bench.iter(|| {
-            let summary = run_with_policy(&mut make(), Some(Box::new(CosmosPolicy::new(2))))
-                .expect("clean run");
-            black_box(summary.messages)
-        });
+    h.run("cosmos_policy_machine", || {
+        run_with_policy(&mut make(), Some(Box::new(CosmosPolicy::new(2))))
+            .expect("clean run")
+            .messages
     });
-    g.finish();
+    h.finish();
 }
-
-criterion_group! {
-    name = benches;
-    config = Criterion::default().sample_size(20);
-    targets = bench_integration
-}
-criterion_main!(benches);

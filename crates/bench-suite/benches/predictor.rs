@@ -4,9 +4,9 @@
 //! directory/cache controller's critical path, so its cost matters for
 //! the §4 integration story.
 
+use bench_suite::Harness;
 use cosmos::directed::{Composition, LastTuple, MigratoryPredictor};
 use cosmos::{CosmosPredictor, MessagePredictor, PredTuple};
-use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use stache::{BlockAddr, MsgType, NodeId, Role};
 
 /// A synthetic stream: `blocks` blocks, each cycling through a 3-message
@@ -37,64 +37,32 @@ fn drive(p: &mut dyn MessagePredictor, s: &[(BlockAddr, PredTuple)]) -> u64 {
     hits
 }
 
-fn bench_cosmos_depths(c: &mut Criterion) {
+fn main() {
     let s = stream(256, 10_000);
-    let mut g = c.benchmark_group("cosmos_predict_observe");
-    g.throughput(Throughput::Elements(s.len() as u64));
+
+    let mut h = Harness::new("cosmos_predict_observe (10k messages)").with_samples(20);
     for depth in [1usize, 2, 3, 4] {
-        g.bench_with_input(BenchmarkId::from_parameter(depth), &depth, |bench, &d| {
-            bench.iter(|| {
-                let mut p = CosmosPredictor::new(d, 0);
-                black_box(drive(&mut p, &s))
-            });
+        h.run(&format!("depth_{depth}"), || {
+            drive(&mut CosmosPredictor::new(depth, 0), &s)
         });
     }
-    g.finish();
-}
+    h.finish();
 
-fn bench_filters(c: &mut Criterion) {
-    let s = stream(256, 10_000);
-    let mut g = c.benchmark_group("cosmos_filter");
-    g.throughput(Throughput::Elements(s.len() as u64));
+    let mut h = Harness::new("cosmos_filter (10k messages)").with_samples(20);
     for fmax in [0u8, 1, 2] {
-        g.bench_with_input(BenchmarkId::from_parameter(fmax), &fmax, |bench, &f| {
-            bench.iter(|| {
-                let mut p = CosmosPredictor::new(1, f);
-                black_box(drive(&mut p, &s))
-            });
+        h.run(&format!("filter_max_{fmax}"), || {
+            drive(&mut CosmosPredictor::new(1, fmax), &s)
         });
     }
-    g.finish();
-}
+    h.finish();
 
-fn bench_directed(c: &mut Criterion) {
-    let s = stream(256, 10_000);
-    let mut g = c.benchmark_group("directed_predictors");
-    g.throughput(Throughput::Elements(s.len() as u64));
-    g.bench_function("migratory", |bench| {
-        bench.iter(|| {
-            let mut p = MigratoryPredictor::new(Role::Cache);
-            black_box(drive(&mut p, &s))
-        });
+    let mut h = Harness::new("directed_predictors (10k messages)").with_samples(20);
+    h.run("migratory", || {
+        drive(&mut MigratoryPredictor::new(Role::Cache), &s)
     });
-    g.bench_function("composition", |bench| {
-        bench.iter(|| {
-            let mut p = Composition::new(Role::Cache);
-            black_box(drive(&mut p, &s))
-        });
+    h.run("composition", || {
+        drive(&mut Composition::new(Role::Cache), &s)
     });
-    g.bench_function("last_tuple", |bench| {
-        bench.iter(|| {
-            let mut p = LastTuple::new();
-            black_box(drive(&mut p, &s))
-        });
-    });
-    g.finish();
+    h.run("last_tuple", || drive(&mut LastTuple::new(), &s));
+    h.finish();
 }
-
-criterion_group! {
-    name = benches;
-    config = Criterion::default().sample_size(20);
-    targets = bench_cosmos_depths, bench_filters, bench_directed
-}
-criterion_main!(benches);

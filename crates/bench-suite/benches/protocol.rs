@@ -1,8 +1,9 @@
 //! Benchmarks of the Stache protocol substrate: coherence-transaction
 //! throughput on the simulated machine, for the access mixes that dominate
-//! the five workloads.
+//! the five workloads — plus the observability overhead check: the same
+//! producer/consumer mix with the flight recorder on vs. off.
 
-use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+use bench_suite::Harness;
 use simx::{Machine, SystemConfig};
 use stache::{BlockAddr, NodeId, ProcOp, ProtocolConfig};
 
@@ -12,92 +13,91 @@ fn machine() -> Machine {
     Machine::new(ProtocolConfig::paper(), SystemConfig::paper())
 }
 
-fn bench_producer_consumer(c: &mut Criterion) {
-    let mut g = c.benchmark_group("protocol_transactions");
-    g.throughput(Throughput::Elements(OPS as u64));
-    g.bench_function("producer_consumer", |bench| {
-        bench.iter(|| {
-            let mut m = machine();
-            for i in 0..OPS {
-                let b = BlockAddr::new((i % 64) as u64);
-                if i % 2 == 0 {
-                    m.access(NodeId::new(1), b, ProcOp::Write, 0).unwrap();
-                } else {
-                    m.access(NodeId::new(2), b, ProcOp::Read, 0).unwrap();
-                }
-            }
-            black_box(m.stats().messages_total())
-        });
-    });
-    g.bench_function("migratory", |bench| {
-        bench.iter(|| {
-            let mut m = machine();
-            for i in 0..OPS / 2 {
-                let b = BlockAddr::new((i % 64) as u64);
-                let w = NodeId::new(1 + (i / 64) % 3);
-                m.access(w, b, ProcOp::Read, 0).unwrap();
-                m.access(w, b, ProcOp::Write, 0).unwrap();
-            }
-            black_box(m.stats().messages_total())
-        });
-    });
-    g.bench_function("local_hits", |bench| {
-        bench.iter(|| {
-            let mut m = machine();
-            for i in 0..OPS {
-                // Block 0 is homed on node 0: all local after the first.
-                m.access(
-                    NodeId::new(0),
-                    BlockAddr::new(0),
-                    if i == 0 { ProcOp::Write } else { ProcOp::Read },
-                    0,
-                )
-                .unwrap();
-            }
-            black_box(m.stats().hits)
-        });
-    });
-    g.finish();
+fn producer_consumer(m: &mut Machine) -> u64 {
+    for i in 0..OPS {
+        let b = BlockAddr::new((i % 64) as u64);
+        if i % 2 == 0 {
+            m.access(NodeId::new(1), b, ProcOp::Write, 0).unwrap();
+        } else {
+            m.access(NodeId::new(2), b, ProcOp::Read, 0).unwrap();
+        }
+    }
+    m.stats().messages_total()
 }
 
-fn bench_concurrent_engine(c: &mut Criterion) {
-    use simx::concurrent::ConcurrentMachine;
-    use simx::{Access, IterationPlan, Phase};
-    let mut g = c.benchmark_group("concurrent_engine");
-    g.bench_function("all_to_all_phase", |bench| {
-        bench.iter(|| {
-            let mut m = ConcurrentMachine::new(ProtocolConfig::paper(), SystemConfig::paper());
-            let mut plan = IterationPlan::new();
-            let mut publish = Phase::new(16);
+fn main() {
+    let mut h = Harness::new(format!("protocol_transactions ({OPS} ops)")).with_samples(20);
+    h.run("producer_consumer", || producer_consumer(&mut machine()));
+    h.run("migratory", || {
+        let mut m = machine();
+        for i in 0..OPS / 2 {
+            let b = BlockAddr::new((i % 64) as u64);
+            let w = NodeId::new(1 + (i / 64) % 3);
+            m.access(w, b, ProcOp::Read, 0).unwrap();
+            m.access(w, b, ProcOp::Write, 0).unwrap();
+        }
+        m.stats().messages_total()
+    });
+    h.run("local_hits", || {
+        let mut m = machine();
+        for i in 0..OPS {
+            // Block 0 is homed on node 0: all local after the first.
+            m.access(
+                NodeId::new(0),
+                BlockAddr::new(0),
+                if i == 0 { ProcOp::Write } else { ProcOp::Read },
+                0,
+            )
+            .unwrap();
+        }
+        m.stats().hits
+    });
+
+    // The observability overhead budget: metrics are always-on plain
+    // counters; the event ring is the switchable part. Both configurations
+    // must stay within a few percent of each other.
+    let on = h.run("producer_consumer_ring_on", || {
+        let mut m = machine();
+        m.set_ring_enabled(true);
+        producer_consumer(&mut m)
+    });
+    let off = h.run("producer_consumer_ring_off", || {
+        let mut m = machine();
+        m.set_ring_enabled(false);
+        producer_consumer(&mut m)
+    });
+    h.finish();
+    let overhead = 100.0 * (on as f64 - off as f64) / off as f64;
+    println!("flight-recorder overhead: {overhead:+.2}% (ring on {on} ns, off {off} ns)");
+
+    let mut h = Harness::new("concurrent_engine").with_samples(20);
+    h.run("all_to_all_phase", || {
+        use simx::concurrent::ConcurrentMachine;
+        use simx::{Access, IterationPlan, Phase};
+        let mut m = ConcurrentMachine::new(ProtocolConfig::paper(), SystemConfig::paper());
+        let mut plan = IterationPlan::new();
+        let mut publish = Phase::new(16);
+        for owner in 0..16usize {
+            publish.push(Access::write(
+                NodeId::new(owner),
+                BlockAddr::new(owner as u64 * 64),
+            ));
+        }
+        plan.push(publish);
+        let mut exchange = Phase::new(16);
+        for reader in 0..16usize {
             for owner in 0..16usize {
-                publish.push(Access::write(
-                    NodeId::new(owner),
-                    BlockAddr::new(owner as u64 * 64),
-                ));
-            }
-            plan.push(publish);
-            let mut exchange = Phase::new(16);
-            for reader in 0..16usize {
-                for owner in 0..16usize {
-                    if owner != reader {
-                        exchange.push(Access::read(
-                            NodeId::new(reader),
-                            BlockAddr::new(owner as u64 * 64),
-                        ));
-                    }
+                if owner != reader {
+                    exchange.push(Access::read(
+                        NodeId::new(reader),
+                        BlockAddr::new(owner as u64 * 64),
+                    ));
                 }
             }
-            plan.push(exchange);
-            m.run_plan(&plan, 0).unwrap();
-            black_box(m.trace().len())
-        });
+        }
+        plan.push(exchange);
+        m.run_plan(&plan, 0).unwrap();
+        m.trace().len()
     });
-    g.finish();
+    h.finish();
 }
-
-criterion_group! {
-    name = benches;
-    config = Criterion::default().sample_size(20);
-    targets = bench_producer_consumer, bench_concurrent_engine
-}
-criterion_main!(benches);

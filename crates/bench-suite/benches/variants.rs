@@ -2,11 +2,11 @@
 //! macroblock grouping, confidence gating, the preallocated layout, and
 //! the evicting MHT all touch different data structures on the hot path.
 
+use bench_suite::Harness;
 use cosmos::{
     ConfidenceCosmos, CosmosPredictor, EvictingCosmos, MacroblockCosmos, MessagePredictor,
     PreallocCosmos, PredTuple,
 };
-use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
 use stache::{BlockAddr, MsgType, NodeId};
 
 fn stream(len: usize) -> Vec<(BlockAddr, PredTuple)> {
@@ -34,34 +34,20 @@ fn drive(p: &mut dyn MessagePredictor, s: &[(BlockAddr, PredTuple)]) -> u64 {
     hits
 }
 
-fn bench_variants(c: &mut Criterion) {
+fn main() {
     let s = stream(10_000);
-    let mut g = c.benchmark_group("predictor_variants");
-    g.throughput(Throughput::Elements(s.len() as u64));
-    g.bench_function("plain", |bench| {
-        bench.iter(|| black_box(drive(&mut CosmosPredictor::new(2, 0), &s)));
+    let mut h = Harness::new("predictor_variants (10k messages)").with_samples(20);
+    h.run("plain", || drive(&mut CosmosPredictor::new(2, 0), &s));
+    h.run("macroblock_x4", || {
+        drive(&mut MacroblockCosmos::new(2, 0, 2), &s)
     });
-    g.bench_function("macroblock_x4", |bench| {
-        bench.iter(|| black_box(drive(&mut MacroblockCosmos::new(2, 0, 2), &s)));
+    h.run("confidence", || drive(&mut ConfidenceCosmos::new(2, 2), &s));
+    h.run("prealloc", || drive(&mut PreallocCosmos::paper(2, 256), &s));
+    h.run("hybrid_1_3", || {
+        drive(&mut cosmos::HybridCosmos::new(1, 3), &s)
     });
-    g.bench_function("confidence", |bench| {
-        bench.iter(|| black_box(drive(&mut ConfidenceCosmos::new(2, 2), &s)));
+    h.run("evicting_128", || {
+        drive(&mut EvictingCosmos::new(2, 0, 128), &s)
     });
-    g.bench_function("prealloc", |bench| {
-        bench.iter(|| black_box(drive(&mut PreallocCosmos::paper(2, 256), &s)));
-    });
-    g.bench_function("hybrid_1_3", |bench| {
-        bench.iter(|| black_box(drive(&mut cosmos::HybridCosmos::new(1, 3), &s)));
-    });
-    g.bench_function("evicting_128", |bench| {
-        bench.iter(|| black_box(drive(&mut EvictingCosmos::new(2, 0, 128), &s)));
-    });
-    g.finish();
+    h.finish();
 }
-
-criterion_group! {
-    name = benches;
-    config = Criterion::default().sample_size(20);
-    targets = bench_variants
-}
-criterion_main!(benches);

@@ -1,36 +1,27 @@
 //! Benchmarks trace generation: how fast each benchmark's access stream
 //! runs through the simulated machine end-to-end (small scale).
 
-use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use bench_suite::Harness;
 use simx::SystemConfig;
 use stache::ProtocolConfig;
 use workloads::{run_to_trace, small_suite};
 
-fn bench_generation(c: &mut Criterion) {
-    let mut g = c.benchmark_group("trace_generation_small");
+fn main() {
+    let mut h = Harness::new("trace_generation_small").with_samples(10);
     for w in small_suite() {
         let name = w.name();
-        g.bench_with_input(BenchmarkId::from_parameter(name), &name, |bench, _| {
-            bench.iter(|| {
-                // Re-create the workload each iteration: generators carry
-                // no cross-call state, but cloning a boxed trait object is
-                // not possible, so rebuild the suite entry by name.
-                let mut w = small_suite()
-                    .into_iter()
-                    .find(|x| x.name() == name)
-                    .expect("known benchmark");
-                let t = run_to_trace(w.as_mut(), ProtocolConfig::paper(), SystemConfig::paper())
-                    .expect("clean run");
-                black_box(t.len())
-            });
+        h.run(name, || {
+            // Re-create the workload each iteration: generators carry
+            // no cross-call state, but cloning a boxed trait object is
+            // not possible, so rebuild the suite entry by name.
+            let mut w = small_suite()
+                .into_iter()
+                .find(|x| x.name() == name)
+                .expect("known benchmark");
+            run_to_trace(w.as_mut(), ProtocolConfig::paper(), SystemConfig::paper())
+                .expect("clean run")
+                .len()
         });
     }
-    g.finish();
+    h.finish();
 }
-
-criterion_group! {
-    name = benches;
-    config = Criterion::default().sample_size(10);
-    targets = bench_generation
-}
-criterion_main!(benches);

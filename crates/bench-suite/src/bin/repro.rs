@@ -15,8 +15,13 @@
 //! is the paper-calibrated scale. `--csv DIR` additionally writes
 //! machine-readable CSV files for the plottable artefacts (tables 5-8,
 //! figure 5) into DIR.
+//!
+//! `--obs-json PATH` runs one instrumented benchmark end-to-end (`--obs-app
+//! NAME` selects it; default `appbt`) and writes the workspace-wide metrics
+//! snapshot — machine, protocol, trace, predictor, and speculation layers —
+//! as `obs.v1` JSON to PATH. Given alone, it runs only the report.
 
-use bench_suite::{extras, figures, tables, Scale, TraceSet};
+use bench_suite::{extras, figures, obs_report, tables, Scale, TraceSet};
 use simx::SystemConfig;
 use std::process::ExitCode;
 
@@ -53,18 +58,35 @@ fn main() -> ExitCode {
     let mut scale = Scale::Paper;
     let mut targets: Vec<String> = Vec::new();
     let mut csv_dir: Option<std::path::PathBuf> = None;
-    let mut expect_csv_dir = false;
+    let mut obs_json: Option<std::path::PathBuf> = None;
+    let mut obs_app = String::from("appbt");
+    let mut expect = None::<&str>;
     for a in &args {
-        if expect_csv_dir {
-            csv_dir = Some(std::path::PathBuf::from(a));
-            expect_csv_dir = false;
-            continue;
+        match expect.take() {
+            Some("--csv") => {
+                csv_dir = Some(std::path::PathBuf::from(a));
+                continue;
+            }
+            Some("--obs-json") => {
+                obs_json = Some(std::path::PathBuf::from(a));
+                continue;
+            }
+            Some("--obs-app") => {
+                obs_app = a.clone();
+                continue;
+            }
+            Some(_) => unreachable!(),
+            None => {}
         }
         match a.as_str() {
             "--small" => scale = Scale::Small,
-            "--csv" => expect_csv_dir = true,
+            "--csv" | "--obs-json" | "--obs-app" => expect = Some(a.as_str()),
             "--help" | "-h" => {
-                println!("usage: repro [--small] [{}|all ...]", TARGETS.join("|"));
+                println!(
+                    "usage: repro [--small] [--csv DIR] [--obs-json PATH [--obs-app NAME]] \
+                     [{}|all ...]",
+                    TARGETS.join("|")
+                );
                 return ExitCode::SUCCESS;
             }
             "all" => targets.extend(TARGETS.iter().map(|s| s.to_string())),
@@ -73,6 +95,29 @@ fn main() -> ExitCode {
                 eprintln!("unknown target `{other}`; try --help");
                 return ExitCode::FAILURE;
             }
+        }
+    }
+    if let Some(flag) = expect {
+        eprintln!("{flag} needs a value; try --help");
+        return ExitCode::FAILURE;
+    }
+
+    if let Some(path) = &obs_json {
+        let apps = bench_suite::report::report_apps();
+        if !apps.contains(&obs_app) {
+            eprintln!("unknown --obs-app `{obs_app}`; one of: {}", apps.join(", "));
+            return ExitCode::FAILURE;
+        }
+        eprintln!("running instrumented {obs_app} ({scale:?} scale)...");
+        let snap = obs_report(scale, &obs_app);
+        if let Err(e) = std::fs::write(path, snap.to_json()) {
+            eprintln!("writing {}: {e}", path.display());
+            return ExitCode::FAILURE;
+        }
+        eprintln!("wrote {} ({} metrics)", path.display(), snap.len());
+        // `--obs-json` alone runs only the report.
+        if targets.is_empty() {
+            return ExitCode::SUCCESS;
         }
     }
     if targets.is_empty() {

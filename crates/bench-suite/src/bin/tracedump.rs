@@ -6,6 +6,7 @@
 //! tracedump info <file.trace>                       header + volume stats
 //! tracedump arcs <file.trace>                       dominant signatures
 //! tracedump eval <file.trace> [depth] [filter]      Cosmos accuracy
+//! tracedump obs <file.trace> [depth]                metrics as obs.v1 JSON
 //! tracedump dump <file.trace> [limit]               records as text
 //! tracedump seq <file.trace> <block> [limit]        sequence diagram
 //! ```
@@ -26,6 +27,7 @@ fn usage() -> ExitCode {
         "usage:\n  tracedump gen <benchmark> <out.trace> [--small]\n  \
          tracedump info <file.trace>\n  tracedump arcs <file.trace>\n  \
          tracedump eval <file.trace> [depth] [filter]\n  \
+         tracedump obs <file.trace> [depth]\n  \
          tracedump dump <file.trace> [limit]\n  \
          tracedump seq <file.trace> <block> [limit]"
     );
@@ -89,6 +91,15 @@ fn main() -> ExitCode {
                 let r = evaluate_cosmos(bundle, depth.max(1), filter);
                 println!("depth {depth}, filter {filter}");
                 print!("{}", r.render_summary());
+            })
+        }
+        ("obs", 2..=3) => {
+            let depth: usize = args.get(2).map_or(Ok(1), |s| s.parse()).unwrap_or(1);
+            with_bundle(&args[1], |bundle| {
+                let mut snap = obs::Snapshot::new();
+                TraceStats::compute(bundle).export_obs(&mut snap);
+                evaluate_cosmos(bundle, depth.max(1), 0).export_obs(depth.max(1), &mut snap);
+                print!("{}", snap.to_json());
             })
         }
         ("seq", 3..=4) => {

@@ -1,0 +1,101 @@
+//! A dependency-free micro-benchmark harness.
+//!
+//! The `benches/` targets (all `harness = false`) time the evaluation
+//! machinery without an external benchmarking crate: each case runs a few
+//! warm-up iterations, then a fixed number of timed samples, and reports
+//! the **median** wall-clock nanoseconds per iteration — robust to the
+//! occasional slow sample on a shared machine. Results render through the
+//! same [`obs::Table`] the evaluation tables use.
+
+use std::hint::black_box;
+use std::time::Instant;
+
+/// One benchmark group: a named collection of timed cases.
+#[derive(Debug)]
+pub struct Harness {
+    name: String,
+    warmup: u32,
+    samples: u32,
+    results: Vec<(String, u64)>,
+}
+
+impl Harness {
+    /// A group with the default budget (3 warm-up + 15 timed samples).
+    pub fn new<S: Into<String>>(name: S) -> Self {
+        Harness {
+            name: name.into(),
+            warmup: 3,
+            samples: 15,
+            results: Vec::new(),
+        }
+    }
+
+    /// Overrides the timed-sample count (warm-up stays proportional).
+    pub fn with_samples(mut self, samples: u32) -> Self {
+        self.samples = samples.max(1);
+        self.warmup = (samples / 5).max(1);
+        self
+    }
+
+    /// Times one case and records its median ns/iteration.
+    ///
+    /// The closure's result passes through [`black_box`] so the work
+    /// cannot be optimised away.
+    pub fn run<T>(&mut self, label: &str, mut f: impl FnMut() -> T) -> u64 {
+        for _ in 0..self.warmup {
+            black_box(f());
+        }
+        let mut times: Vec<u64> = (0..self.samples)
+            .map(|_| {
+                let t0 = Instant::now();
+                black_box(f());
+                t0.elapsed().as_nanos() as u64
+            })
+            .collect();
+        times.sort_unstable();
+        let median = times[times.len() / 2];
+        self.results.push((label.to_string(), median));
+        median
+    }
+
+    /// The median recorded for a case, if it ran.
+    pub fn median_ns(&self, label: &str) -> Option<u64> {
+        self.results
+            .iter()
+            .find(|(l, _)| l == label)
+            .map(|&(_, ns)| ns)
+    }
+
+    /// The results as a rendered table.
+    pub fn report(&self) -> String {
+        let mut t = obs::Table::new(vec!["bench", "median ns/iter"])
+            .with_title(self.name.clone())
+            .with_aligns(vec![obs::Align::Left, obs::Align::Right]);
+        for (label, ns) in &self.results {
+            t.push_row(vec![label.clone(), ns.to_string()]);
+        }
+        t.render()
+    }
+
+    /// Prints the report to stdout (call once at the end of `main`).
+    pub fn finish(self) {
+        println!("{}", self.report());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn median_is_recorded_and_rendered() {
+        let mut h = Harness::new("unit").with_samples(5);
+        let ns = h.run("spin", || (0..100u64).sum::<u64>());
+        assert!(ns > 0);
+        assert_eq!(h.median_ns("spin"), Some(ns));
+        assert_eq!(h.median_ns("absent"), None);
+        let report = h.report();
+        assert!(report.contains("unit"));
+        assert!(report.contains("spin"));
+    }
+}

@@ -24,13 +24,20 @@
 //! | Design-choice ablations | [`extras::ablation_half_migratory`], [`extras::ablation_sender`] |
 //! | §4/§8 live integration | [`integration::integration`] |
 //!
-//! The `repro` binary drives them from the command line; the Criterion
-//! benches under `benches/` time the underlying machinery.
+//! The `repro` binary drives them from the command line; the [`Harness`]
+//! benches under `benches/` time the underlying machinery. The
+//! [`report::obs_report`] pipeline condenses one full run — machine,
+//! protocol, predictor, and speculation metrics — into a single
+//! machine-readable [`obs::Snapshot`] (`repro --obs-json`).
 
 pub mod extras;
 pub mod figures;
+pub mod harness;
 pub mod integration;
+pub mod report;
 pub mod tables;
 pub mod traces;
 
+pub use harness::Harness;
+pub use report::obs_report;
 pub use traces::{Scale, TraceSet};

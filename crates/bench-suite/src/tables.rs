@@ -377,60 +377,88 @@ pub fn render_table8(rows: &[Table8Row]) -> String {
 
 /// CSV for Table 5: `app,depth,cache,directory,overall`.
 pub fn csv_table5(rows: &[Table5Row]) -> String {
-    let mut out = String::from("app,depth,cache,directory,overall\n");
+    let mut t = obs::Table::new(vec!["app", "depth", "cache", "directory", "overall"]);
     for row in rows {
         for (i, &(c, d, o)) in row.by_depth.iter().enumerate() {
-            let _ = writeln!(out, "{},{},{c:.2},{d:.2},{o:.2}", row.app, DEPTHS[i]);
+            t.push_row(vec![
+                row.app.clone(),
+                DEPTHS[i].to_string(),
+                format!("{c:.2}"),
+                format!("{d:.2}"),
+                format!("{o:.2}"),
+            ]);
         }
     }
-    out
+    t.to_csv()
 }
 
 /// CSV for Table 6: `app,depth,filter_max,overall`.
 pub fn csv_table6(rows: &[Table6Row]) -> String {
-    let mut out = String::from("app,depth,filter_max,overall\n");
+    let mut t = obs::Table::new(vec!["app", "depth", "filter_max", "overall"]);
     for row in rows {
         for (i, cells) in row.by_depth.iter().enumerate() {
             for (fmax, &acc) in cells.iter().enumerate() {
-                let _ = writeln!(out, "{},{},{fmax},{acc:.2}", row.app, TABLE6_DEPTHS[i]);
+                t.push_row(vec![
+                    row.app.clone(),
+                    TABLE6_DEPTHS[i].to_string(),
+                    fmax.to_string(),
+                    format!("{acc:.2}"),
+                ]);
             }
         }
     }
-    out
+    t.to_csv()
 }
 
 /// CSV for Table 7: `app,depth,ratio,overhead_percent,mhr_entries,pht_entries`.
 pub fn csv_table7(rows: &[Table7Row]) -> String {
-    let mut out = String::from("app,depth,ratio,overhead_percent,mhr_entries,pht_entries\n");
+    let mut t = obs::Table::new(vec![
+        "app",
+        "depth",
+        "ratio",
+        "overhead_percent",
+        "mhr_entries",
+        "pht_entries",
+    ]);
     for row in rows {
         for (i, &(ratio, ovhd)) in row.by_depth.iter().enumerate() {
             let fp = row.footprints[i];
-            let _ = writeln!(
-                out,
-                "{},{},{ratio:.3},{ovhd:.2},{},{}",
-                row.app, DEPTHS[i], fp.mhr_entries, fp.pht_entries
-            );
+            t.push_row(vec![
+                row.app.clone(),
+                DEPTHS[i].to_string(),
+                format!("{ratio:.3}"),
+                format!("{ovhd:.2}"),
+                fp.mhr_entries.to_string(),
+                fp.pht_entries.to_string(),
+            ]);
         }
     }
-    out
+    t.to_csv()
 }
 
 /// CSV for Table 8: `role,prev,next,checkpoint,hits_percent,refs_percent`.
 pub fn csv_table8(rows: &[Table8Row]) -> String {
-    let mut out = String::from("role,prev,next,checkpoint,hits_percent,refs_percent\n");
+    let mut t = obs::Table::new(vec![
+        "role",
+        "prev",
+        "next",
+        "checkpoint",
+        "hits_percent",
+        "refs_percent",
+    ]);
     for row in rows {
         for (i, &(hits, refs)) in row.at_checkpoints.iter().enumerate() {
-            let _ = writeln!(
-                out,
-                "{},{},{},{},{hits:.2},{refs:.2}",
-                row.arc.role,
-                row.arc.prev.paper_name(),
-                row.arc.next.paper_name(),
-                TABLE8_CHECKPOINTS[i]
-            );
+            t.push_row(vec![
+                row.arc.role.to_string(),
+                row.arc.prev.paper_name().to_string(),
+                row.arc.next.paper_name().to_string(),
+                TABLE8_CHECKPOINTS[i].to_string(),
+                format!("{hits:.2}"),
+                format!("{refs:.2}"),
+            ]);
         }
     }
-    out
+    t.to_csv()
 }
 
 /// Evaluates an arbitrary depth/filter Cosmos over every trace — shared by
@@ -521,6 +549,38 @@ mod tests {
         }
         let rendered = render_table7(&rows);
         assert!(rendered.contains("Ratio"));
+    }
+
+    #[test]
+    fn csv_tables_keep_headers_and_row_counts() {
+        let set = small_set();
+        let cases = [
+            (
+                csv_table5(&table5(&set)),
+                "app,depth,cache,directory,overall",
+                5 * DEPTHS.len(),
+            ),
+            (
+                csv_table6(&table6(&set)),
+                "app,depth,filter_max,overall",
+                5 * TABLE6_DEPTHS.len() * 3,
+            ),
+            (
+                csv_table7(&table7(&set)),
+                "app,depth,ratio,overhead_percent,mhr_entries,pht_entries",
+                5 * DEPTHS.len(),
+            ),
+            (
+                csv_table8(&table8_from_set(&set)),
+                "role,prev,next,checkpoint,hits_percent,refs_percent",
+                3 * TABLE8_CHECKPOINTS.len(),
+            ),
+        ];
+        for (csv, header, rows) in cases {
+            let lines: Vec<&str> = csv.lines().collect();
+            assert_eq!(lines[0], header);
+            assert_eq!(lines.len(), rows + 1, "under {header}");
+        }
     }
 
     #[test]

@@ -217,6 +217,37 @@ impl AccuracyReport {
         out
     }
 
+    /// Exports the headline numbers into a metrics snapshot under
+    /// `cosmos.depth<d>.` — accuracy percentages (Table 5), coverage, and
+    /// the Table 7 memory footprint (PHT occupancy and byte cost).
+    pub fn export_obs(&self, depth: usize, snap: &mut obs::Snapshot) {
+        let p = format!("cosmos.depth{depth}");
+        snap.counter(&format!("{p}.messages"), self.overall.total);
+        snap.gauge(&format!("{p}.accuracy.overall_pct"), self.overall.percent());
+        snap.gauge(&format!("{p}.accuracy.cache_pct"), self.cache.percent());
+        snap.gauge(
+            &format!("{p}.accuracy.directory_pct"),
+            self.directory.percent(),
+        );
+        snap.gauge(&format!("{p}.coverage_pct"), self.coverage.percent());
+        snap.counter(
+            &format!("{p}.memory.mhr_entries"),
+            self.memory.mhr_entries as u64,
+        );
+        snap.counter(
+            &format!("{p}.memory.pht_entries"),
+            self.memory.pht_entries as u64,
+        );
+        snap.counter(
+            &format!("{p}.memory.bytes"),
+            self.memory.bytes(depth) as u64,
+        );
+        snap.gauge(
+            &format!("{p}.memory.overhead_pct"),
+            self.memory.overhead_percent(depth),
+        );
+    }
+
     /// Dominant arcs of a role by scored references, with `(accuracy %,
     /// share %)` — the Figure 6/7 labels.
     pub fn dominant_arcs(&self, role: Role, top: usize) -> Vec<(ArcKey, f64, f64)> {
@@ -458,6 +489,27 @@ mod tests {
         assert!(s.contains("cosmos"));
         assert!(s.contains("MHR"));
         assert!(s.contains("get_rw_response"));
+    }
+
+    #[test]
+    fn export_obs_emits_depth_prefixed_metrics() {
+        let bundle = cyclic_bundle(10);
+        let report = evaluate_cosmos(&bundle, 2, 0);
+        let mut snap = obs::Snapshot::new();
+        report.export_obs(2, &mut snap);
+        assert!(snap.names().iter().all(|n| n.starts_with("cosmos.depth2.")));
+        assert!(matches!(
+            snap.get("cosmos.depth2.accuracy.overall_pct"),
+            Some(obs::MetricValue::Gauge(p)) if (0.0..=100.0).contains(p)
+        ));
+        assert!(matches!(
+            snap.get("cosmos.depth2.memory.pht_entries"),
+            Some(obs::MetricValue::Counter(n)) if *n > 0
+        ));
+        assert!(matches!(
+            snap.get("cosmos.depth2.memory.bytes"),
+            Some(obs::MetricValue::Counter(n)) if *n > 0
+        ));
     }
 
     #[test]

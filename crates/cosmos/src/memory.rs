@@ -17,7 +17,6 @@
 //! its prediction).
 
 use crate::tuple::PredTuple;
-use serde::{Deserialize, Serialize};
 use std::fmt;
 use std::iter::Sum;
 use std::ops::Add;
@@ -26,7 +25,8 @@ use std::ops::Add;
 pub const TABLE7_BLOCK_BYTES: usize = 128;
 
 /// Table sizes of one or more predictors.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct MemoryFootprint {
     /// MHR entries (blocks referenced at least once).
     pub mhr_entries: usize,

@@ -14,10 +14,9 @@
 //! time(without prediction) / time(with prediction) = 1 / (p·f + (1−p)·(1+r))
 //! ```
 
-use serde::{Deserialize, Serialize};
-
 /// Model parameters.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct SpeedupParams {
     /// Prediction accuracy per message, in [0, 1].
     pub p: f64,
@@ -53,7 +52,8 @@ pub fn speedup_percent(params: SpeedupParams) -> f64 {
 }
 
 /// One point of a Figure 5 sweep.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct SweepPoint {
     /// The parameters at this point.
     pub params: SpeedupParams,

@@ -5,13 +5,13 @@
 //! packed encoding here realises exactly that layout, and the memory model
 //! uses [`PredTuple::SIZE_BYTES`] in the overhead formula.
 
-use serde::{Deserialize, Serialize};
 use stache::{MsgType, NodeId};
 use std::fmt;
 
 /// A `<sender, message-type>` pair: both what Cosmos remembers (MHR
 /// contents) and what it predicts (PHT entries).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct PredTuple {
     /// The message's sender.
     pub sender: NodeId,

@@ -1,0 +1,265 @@
+//! Power-of-two-bucket histograms.
+//!
+//! A [`Histogram`] is a fixed-size value type — 65 buckets, one per
+//! power-of-two magnitude, plus exact count/sum/min/max — so recording is
+//! a handful of integer operations with no allocation, merging is
+//! bucket-wise addition, and percentile queries walk at most 65 cells.
+//! Bucket `0` holds the value `0`; bucket `i ≥ 1` holds values in
+//! `[2^(i-1), 2^i - 1]` (bucket 64 tops out at `u64::MAX`). Reported
+//! percentiles are therefore upper bounds within a factor of two, which is
+//! the right fidelity for latencies spanning nanoseconds to milliseconds.
+
+/// Number of buckets: one for zero plus one per power of two.
+pub const BUCKETS: usize = 65;
+
+/// A power-of-two-bucket histogram of `u64` samples.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Histogram {
+    count: u64,
+    sum: u64,
+    min: u64,
+    max: u64,
+    buckets: [u64; BUCKETS],
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram {
+            count: 0,
+            sum: 0,
+            min: u64::MAX,
+            max: 0,
+            buckets: [0; BUCKETS],
+        }
+    }
+}
+
+/// The bucket a value falls into.
+fn bucket_of(v: u64) -> usize {
+    if v == 0 {
+        0
+    } else {
+        64 - v.leading_zeros() as usize
+    }
+}
+
+/// The largest value a bucket can hold.
+fn bucket_upper(i: usize) -> u64 {
+    match i {
+        0 => 0,
+        64 => u64::MAX,
+        _ => (1u64 << i) - 1,
+    }
+}
+
+impl Histogram {
+    /// Creates an empty histogram.
+    pub fn new() -> Self {
+        Histogram::default()
+    }
+
+    /// Records one sample. A few integer operations; no allocation.
+    #[inline]
+    pub fn record(&mut self, v: u64) {
+        self.count += 1;
+        self.sum = self.sum.saturating_add(v);
+        if v < self.min {
+            self.min = v;
+        }
+        if v > self.max {
+            self.max = v;
+        }
+        self.buckets[bucket_of(v)] += 1;
+    }
+
+    /// Number of samples recorded.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sum of all samples (saturating).
+    pub fn sum(&self) -> u64 {
+        self.sum
+    }
+
+    /// Smallest sample, or 0 when empty.
+    pub fn min(&self) -> u64 {
+        if self.count == 0 {
+            0
+        } else {
+            self.min
+        }
+    }
+
+    /// Largest sample, or 0 when empty.
+    pub fn max(&self) -> u64 {
+        self.max
+    }
+
+    /// Mean sample, or 0 when empty.
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            return 0.0;
+        }
+        self.sum as f64 / self.count as f64
+    }
+
+    /// Whether no samples were recorded.
+    pub fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+
+    /// An upper bound on the `q`-quantile (`q` in `[0, 1]`), clamped to
+    /// the largest observed sample; 0 when empty.
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let q = q.clamp(0.0, 1.0);
+        // Rank of the target sample, 1-based.
+        let rank = ((q * self.count as f64).ceil() as u64).max(1);
+        let mut seen = 0u64;
+        for (i, &c) in self.buckets.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                return bucket_upper(i).min(self.max);
+            }
+        }
+        self.max
+    }
+
+    /// The median upper bound (`quantile(0.5)`).
+    pub fn p50(&self) -> u64 {
+        self.quantile(0.50)
+    }
+
+    /// The 95th-percentile upper bound.
+    pub fn p95(&self) -> u64 {
+        self.quantile(0.95)
+    }
+
+    /// The 99th-percentile upper bound.
+    pub fn p99(&self) -> u64 {
+        self.quantile(0.99)
+    }
+
+    /// Merges another histogram into this one (bucket-wise addition).
+    pub fn merge(&mut self, other: &Histogram) {
+        if other.count == 0 {
+            return;
+        }
+        self.count += other.count;
+        self.sum = self.sum.saturating_add(other.sum);
+        if other.min < self.min {
+            self.min = other.min;
+        }
+        if other.max > self.max {
+            self.max = other.max;
+        }
+        for (b, o) in self.buckets.iter_mut().zip(other.buckets.iter()) {
+            *b += o;
+        }
+    }
+
+    /// The raw bucket counts (index = power-of-two magnitude).
+    pub fn buckets(&self) -> &[u64; BUCKETS] {
+        &self.buckets
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_histogram_reports_zeros() {
+        let h = Histogram::new();
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.min(), 0);
+        assert_eq!(h.max(), 0);
+        assert_eq!(h.mean(), 0.0);
+        assert_eq!(h.p50(), 0);
+        assert_eq!(h.p95(), 0);
+        assert!(h.is_empty());
+    }
+
+    #[test]
+    fn zero_lands_in_bucket_zero() {
+        let mut h = Histogram::new();
+        h.record(0);
+        assert_eq!(h.buckets()[0], 1);
+        assert_eq!(h.min(), 0);
+        assert_eq!(h.max(), 0);
+        assert_eq!(h.p50(), 0);
+    }
+
+    #[test]
+    fn u64_max_lands_in_top_bucket_without_overflow() {
+        let mut h = Histogram::new();
+        h.record(u64::MAX);
+        h.record(u64::MAX); // sum saturates rather than wrapping
+        assert_eq!(h.buckets()[64], 2);
+        assert_eq!(h.max(), u64::MAX);
+        assert_eq!(h.sum(), u64::MAX);
+        assert_eq!(h.p95(), u64::MAX);
+    }
+
+    #[test]
+    fn bucket_boundaries_are_powers_of_two() {
+        assert_eq!(bucket_of(1), 1);
+        assert_eq!(bucket_of(2), 2);
+        assert_eq!(bucket_of(3), 2);
+        assert_eq!(bucket_of(4), 3);
+        assert_eq!(bucket_of(1023), 10);
+        assert_eq!(bucket_of(1024), 11);
+        assert_eq!(bucket_of(u64::MAX), 64);
+    }
+
+    #[test]
+    fn quantiles_are_upper_bounds_clamped_to_max() {
+        let mut h = Histogram::new();
+        for v in [10, 20, 30, 40, 1000] {
+            h.record(v);
+        }
+        // p50 falls in the bucket of 30 (16..=31), clamped by nothing.
+        assert_eq!(h.p50(), 31);
+        // p95+ falls in the bucket of 1000 (512..=1023), clamped to max.
+        assert_eq!(h.p95(), 1000);
+        assert_eq!(h.quantile(1.0), 1000);
+        assert!((h.mean() - 220.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn merge_is_bucketwise_addition() {
+        let mut a = Histogram::new();
+        let mut b = Histogram::new();
+        for v in [0, 5, 100] {
+            a.record(v);
+        }
+        for v in [7, u64::MAX] {
+            b.record(v);
+        }
+        let mut merged = a;
+        merged.merge(&b);
+        assert_eq!(merged.count(), 5);
+        assert_eq!(merged.min(), 0);
+        assert_eq!(merged.max(), u64::MAX);
+        let mut direct = Histogram::new();
+        for v in [0, 5, 100, 7, u64::MAX] {
+            direct.record(v);
+        }
+        assert_eq!(merged, direct);
+    }
+
+    #[test]
+    fn merge_with_empty_is_identity() {
+        let mut a = Histogram::new();
+        a.record(42);
+        let before = a;
+        a.merge(&Histogram::new());
+        assert_eq!(a, before);
+        let mut e = Histogram::new();
+        e.merge(&before);
+        assert_eq!(e, before);
+    }
+}

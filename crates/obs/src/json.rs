@@ -1,0 +1,69 @@
+//! Minimal hand-rolled JSON emission.
+//!
+//! The snapshot layer needs exactly three things — escaped strings,
+//! integers, and finite floats — so this module provides them and nothing
+//! else. No parsing: reports are write-only artefacts consumed by
+//! external tooling.
+
+use std::fmt::Write as _;
+
+/// Appends a JSON string literal (with quotes) for `s`.
+pub fn push_str_literal(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+/// Appends a JSON number for `v`. Non-finite values become `null` (JSON
+/// has no NaN/Inf); finite values use Rust's shortest-roundtrip `{}`
+/// formatting, which is deterministic.
+pub fn push_f64(out: &mut String, v: f64) {
+    if v.is_finite() {
+        let _ = write!(out, "{v}");
+    } else {
+        out.push_str("null");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lit(s: &str) -> String {
+        let mut out = String::new();
+        push_str_literal(&mut out, s);
+        out
+    }
+
+    #[test]
+    fn escapes_quotes_backslashes_and_controls() {
+        assert_eq!(lit("plain"), "\"plain\"");
+        assert_eq!(lit("a\"b"), "\"a\\\"b\"");
+        assert_eq!(lit("a\\b"), "\"a\\\\b\"");
+        assert_eq!(lit("a\nb\tc"), "\"a\\nb\\tc\"");
+        assert_eq!(lit("\u{1}"), "\"\\u0001\"");
+    }
+
+    #[test]
+    fn non_finite_floats_become_null() {
+        let mut out = String::new();
+        push_f64(&mut out, f64::NAN);
+        out.push(',');
+        push_f64(&mut out, f64::INFINITY);
+        out.push(',');
+        push_f64(&mut out, 2.5);
+        assert_eq!(out, "null,null,2.5");
+    }
+}

@@ -1,0 +1,56 @@
+#![warn(missing_docs)]
+
+//! # obs — workspace-wide observability substrate
+//!
+//! The paper's entire evaluation is counting — prediction accuracy,
+//! message mixes, predictor memory — and a production coherence system
+//! needs the same visibility at run time. This crate is the common,
+//! dependency-free substrate every other crate reports through:
+//!
+//! * a **metrics registry** ([`Registry`]) of counters, gauges, and
+//!   power-of-two-bucket latency [`Histogram`]s, cheap enough for the
+//!   simulator hot path (plain integer cells behind clonable handles;
+//!   atomics only in [`sync`] for cross-thread tallies);
+//! * a **bounded ring-buffer event trace** ([`EventRing`]) — message
+//!   sends/receives, state transitions, predictor and policy actions —
+//!   with severity levels, dumpable on invariant failure so protocol bugs
+//!   come with a flight recorder;
+//! * machine-readable **snapshot exporters** ([`Snapshot::to_json`],
+//!   [`Snapshot::to_csv`]) and a shared text/CSV [`Table`] formatter. No
+//!   serde: the snapshot *is* the serialisation layer.
+//!
+//! ## Metric naming
+//!
+//! Names are lowercase, dot-separated: `<crate>.<subsystem>.<metric>`,
+//! with a unit suffix where one applies (`simx.access.latency_ns`).
+//! Snapshots keep names sorted, so exports are deterministic byte-for-byte
+//! for deterministic workloads.
+//!
+//! ## Example
+//!
+//! ```
+//! use obs::{Registry, Snapshot};
+//!
+//! let mut reg = Registry::new();
+//! let hits = reg.counter("cache.hits");
+//! let lat = reg.histogram("cache.latency_ns");
+//! hits.inc();
+//! lat.record(120);
+//! let snap = reg.snapshot();
+//! assert!(snap.to_json().contains("\"cache.hits\""));
+//! ```
+
+pub mod hist;
+pub mod json;
+pub mod registry;
+pub mod ring;
+pub mod snapshot;
+pub mod sync;
+pub mod table;
+
+pub use hist::Histogram;
+pub use registry::{Counter, Gauge, HistogramHandle, Registry};
+pub use ring::{Event, EventRing, Severity};
+pub use snapshot::{MetricValue, Snapshot};
+pub use sync::SharedCounter;
+pub use table::{Align, Table};

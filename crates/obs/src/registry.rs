@@ -1,0 +1,179 @@
+//! The metrics registry: named counters, gauges, and histograms behind
+//! cheap clonable handles.
+//!
+//! A [`Registry`] is a per-node (per-machine, per-thread) object: handles
+//! are `Rc<Cell<_>>`-backed, so an increment is a plain integer add with
+//! no locking — the cost profile the simulator hot path needs. Cross-
+//! thread tallies use [`crate::sync::SharedCounter`] instead; separate
+//! threads keep separate registries and merge [`Snapshot`]s at report
+//! time.
+
+use crate::hist::Histogram;
+use crate::snapshot::Snapshot;
+use std::cell::{Cell, RefCell};
+use std::collections::BTreeMap;
+use std::rc::Rc;
+
+/// A monotonically increasing counter handle.
+#[derive(Debug, Clone, Default)]
+pub struct Counter(Rc<Cell<u64>>);
+
+impl Counter {
+    /// Adds one.
+    #[inline]
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Adds `n`.
+    #[inline]
+    pub fn add(&self, n: u64) {
+        self.0.set(self.0.get().wrapping_add(n));
+    }
+
+    /// The current value.
+    pub fn get(&self) -> u64 {
+        self.0.get()
+    }
+}
+
+/// A gauge handle: a value that can move both ways.
+#[derive(Debug, Clone, Default)]
+pub struct Gauge(Rc<Cell<f64>>);
+
+impl Gauge {
+    /// Sets the value.
+    #[inline]
+    pub fn set(&self, v: f64) {
+        self.0.set(v);
+    }
+
+    /// The current value.
+    pub fn get(&self) -> f64 {
+        self.0.get()
+    }
+}
+
+/// A histogram handle.
+#[derive(Debug, Clone, Default)]
+pub struct HistogramHandle(Rc<RefCell<Histogram>>);
+
+impl HistogramHandle {
+    /// Records one sample.
+    #[inline]
+    pub fn record(&self, v: u64) {
+        self.0.borrow_mut().record(v);
+    }
+
+    /// A copy of the current histogram.
+    pub fn get(&self) -> Histogram {
+        *self.0.borrow()
+    }
+}
+
+/// A registry of named metrics. Names are lowercase dot paths
+/// (`simx.access.latency_ns`); see the crate docs for the convention.
+#[derive(Debug, Default)]
+pub struct Registry {
+    counters: BTreeMap<String, Counter>,
+    gauges: BTreeMap<String, Gauge>,
+    histograms: BTreeMap<String, HistogramHandle>,
+}
+
+impl Registry {
+    /// Creates an empty registry.
+    pub fn new() -> Self {
+        Registry::default()
+    }
+
+    /// Returns (registering on first use) the counter named `name`.
+    pub fn counter(&mut self, name: &str) -> Counter {
+        self.counters.entry(name.to_string()).or_default().clone()
+    }
+
+    /// Returns (registering on first use) the gauge named `name`.
+    pub fn gauge(&mut self, name: &str) -> Gauge {
+        self.gauges.entry(name.to_string()).or_default().clone()
+    }
+
+    /// Returns (registering on first use) the histogram named `name`.
+    pub fn histogram(&mut self, name: &str) -> HistogramHandle {
+        self.histograms.entry(name.to_string()).or_default().clone()
+    }
+
+    /// Number of registered metrics.
+    pub fn len(&self) -> usize {
+        self.counters.len() + self.gauges.len() + self.histograms.len()
+    }
+
+    /// Whether no metrics are registered.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// A point-in-time snapshot of every registered metric, sorted by
+    /// name (deterministic regardless of registration order).
+    pub fn snapshot(&self) -> Snapshot {
+        let mut snap = Snapshot::new();
+        for (name, c) in &self.counters {
+            snap.counter(name, c.get());
+        }
+        for (name, g) in &self.gauges {
+            snap.gauge(name, g.get());
+        }
+        for (name, h) in &self.histograms {
+            snap.histogram(name, &h.get());
+        }
+        snap
+    }
+
+    /// Snapshots into an existing snapshot (for multi-registry reports).
+    pub fn snapshot_into(&self, snap: &mut Snapshot) {
+        snap.merge(&self.snapshot());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn handles_share_the_cell() {
+        let mut reg = Registry::new();
+        let a = reg.counter("x.hits");
+        let b = reg.counter("x.hits");
+        a.inc();
+        b.add(2);
+        assert_eq!(reg.counter("x.hits").get(), 3);
+        assert_eq!(reg.len(), 1);
+    }
+
+    #[test]
+    fn snapshot_is_sorted_and_registration_order_independent() {
+        let mut fwd = Registry::new();
+        fwd.counter("a.one").inc();
+        fwd.counter("b.two").add(2);
+        fwd.gauge("c.three").set(3.0);
+        let mut rev = Registry::new();
+        rev.gauge("c.three").set(3.0);
+        rev.counter("b.two").add(2);
+        rev.counter("a.one").inc();
+        assert_eq!(fwd.snapshot().to_json(), rev.snapshot().to_json());
+        let names = fwd.snapshot().names();
+        let mut sorted = names.clone();
+        sorted.sort();
+        assert_eq!(names, sorted);
+    }
+
+    #[test]
+    fn histograms_snapshot_their_summary() {
+        let mut reg = Registry::new();
+        let h = reg.histogram("lat_ns");
+        h.record(100);
+        h.record(200);
+        let snap = reg.snapshot();
+        let json = snap.to_json();
+        assert!(json.contains("\"lat_ns\""));
+        assert!(json.contains("\"count\":2"));
+    }
+}

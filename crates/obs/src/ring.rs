@@ -1,0 +1,308 @@
+//! Bounded ring-buffer event tracing — a flight recorder.
+//!
+//! Subsystems push small, `Copy`, allocation-free [`Event`]s (static
+//! strings, packed ids) as they run; the ring keeps only the last `cap`
+//! of them. When an invariant trips, [`EventRing::dump`] reconstructs the
+//! recent history — which messages arrived, which transitions fired, what
+//! the predictor and policy did — so protocol bugs come with context
+//! instead of a bare assertion message.
+
+use std::fmt;
+
+/// Event severity, ordered `Debug < Info < Warn < Error`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Severity {
+    /// High-volume detail (per-transition).
+    Debug,
+    /// Normal operational events (message receipt, policy actions).
+    Info,
+    /// Suspicious but recoverable (fault injection, overflow evictions).
+    Warn,
+    /// Invariant failures and protocol errors.
+    Error,
+}
+
+impl fmt::Display for Severity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            Severity::Debug => "DEBUG",
+            Severity::Info => "INFO",
+            Severity::Warn => "WARN",
+            Severity::Error => "ERROR",
+        };
+        f.write_str(s)
+    }
+}
+
+/// One traced event. `Copy` and allocation-free: `kind` and `msg` are
+/// static strings, everything else is packed integers, so pushing on the
+/// simulator hot path is a couple of stores.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Event {
+    /// Simulated time of the event in nanoseconds.
+    pub time_ns: u64,
+    /// Severity level.
+    pub severity: Severity,
+    /// What happened, e.g. `"msg.recv"`, `"cache.transition"`.
+    pub kind: &'static str,
+    /// Node involved, if any.
+    pub node: Option<u16>,
+    /// Memory block involved, if any.
+    pub block: Option<u64>,
+    /// Extra static detail (message type name, state names), if any.
+    pub msg: Option<&'static str>,
+    /// A free numeric payload (sender id, depth, count — kind-dependent).
+    pub value: u64,
+}
+
+impl Event {
+    /// Creates an event with the given time, severity, and kind; ids and
+    /// detail attach via the builder methods.
+    pub fn new(time_ns: u64, severity: Severity, kind: &'static str) -> Self {
+        Event {
+            time_ns,
+            severity,
+            kind,
+            node: None,
+            block: None,
+            msg: None,
+            value: 0,
+        }
+    }
+
+    /// Attaches the node id.
+    pub fn node(mut self, node: u16) -> Self {
+        self.node = Some(node);
+        self
+    }
+
+    /// Attaches the block address.
+    pub fn block(mut self, block: u64) -> Self {
+        self.block = Some(block);
+        self
+    }
+
+    /// Attaches static detail text.
+    pub fn msg(mut self, msg: &'static str) -> Self {
+        self.msg = Some(msg);
+        self
+    }
+
+    /// Attaches the numeric payload.
+    pub fn value(mut self, value: u64) -> Self {
+        self.value = value;
+        self
+    }
+}
+
+impl fmt::Display for Event {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "[{:>12} ns] {:5} {}",
+            self.time_ns, self.severity, self.kind
+        )?;
+        if let Some(node) = self.node {
+            write!(f, " node={node}")?;
+        }
+        if let Some(block) = self.block {
+            write!(f, " block={block:#x}")?;
+        }
+        if let Some(msg) = self.msg {
+            write!(f, " {msg}")?;
+        }
+        if self.value != 0 {
+            write!(f, " value={}", self.value)?;
+        }
+        Ok(())
+    }
+}
+
+/// Default ring capacity: enough history to see the message exchange
+/// leading up to a failure without holding a whole run.
+pub const DEFAULT_CAPACITY: usize = 256;
+
+/// A bounded ring buffer of [`Event`]s.
+#[derive(Debug, Clone)]
+pub struct EventRing {
+    buf: Vec<Event>,
+    cap: usize,
+    /// Index the next event will be written to.
+    next: usize,
+    /// Total events ever pushed (including dropped and filtered-out).
+    total: u64,
+    enabled: bool,
+    min_severity: Severity,
+}
+
+impl Default for EventRing {
+    fn default() -> Self {
+        EventRing::new(DEFAULT_CAPACITY)
+    }
+}
+
+impl EventRing {
+    /// Creates an enabled ring holding the last `cap` events at
+    /// [`Severity::Info`] and above. A `cap` of 0 is bumped to 1.
+    pub fn new(cap: usize) -> Self {
+        let cap = cap.max(1);
+        EventRing {
+            buf: Vec::with_capacity(cap),
+            cap,
+            next: 0,
+            total: 0,
+            enabled: true,
+            min_severity: Severity::Info,
+        }
+    }
+
+    /// Enables or disables recording (pushes become no-ops when off).
+    pub fn set_enabled(&mut self, enabled: bool) {
+        self.enabled = enabled;
+    }
+
+    /// Whether recording is on.
+    pub fn is_enabled(&self) -> bool {
+        self.enabled
+    }
+
+    /// Sets the minimum severity recorded.
+    pub fn set_min_severity(&mut self, min: Severity) {
+        self.min_severity = min;
+    }
+
+    /// Capacity of the ring.
+    pub fn capacity(&self) -> usize {
+        self.cap
+    }
+
+    /// Events currently held (≤ capacity).
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Whether no events are held.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// Total events offered over the ring's lifetime, including ones that
+    /// were dropped by overwrite or filtered by severity.
+    pub fn total_pushed(&self) -> u64 {
+        self.total
+    }
+
+    /// Records an event (a couple of stores; no allocation once the ring
+    /// is full).
+    #[inline]
+    pub fn push(&mut self, ev: Event) {
+        self.total += 1;
+        if !self.enabled || ev.severity < self.min_severity {
+            return;
+        }
+        if self.buf.len() < self.cap {
+            self.buf.push(ev);
+        } else {
+            self.buf[self.next] = ev;
+        }
+        self.next = (self.next + 1) % self.cap;
+    }
+
+    /// The held events, oldest first.
+    pub fn events(&self) -> Vec<Event> {
+        if self.buf.len() < self.cap {
+            self.buf.clone()
+        } else {
+            let mut out = Vec::with_capacity(self.cap);
+            out.extend_from_slice(&self.buf[self.next..]);
+            out.extend_from_slice(&self.buf[..self.next]);
+            out
+        }
+    }
+
+    /// Discards all held events (counters and settings survive).
+    pub fn clear(&mut self) {
+        self.buf.clear();
+        self.next = 0;
+    }
+
+    /// Renders the held events, oldest first, as a multi-line report —
+    /// the flight-recorder dump printed on invariant failure.
+    pub fn dump(&self) -> String {
+        let mut out = format!(
+            "=== flight recorder: last {} of {} events ===\n",
+            self.len(),
+            self.total
+        );
+        for ev in self.events() {
+            out.push_str(&ev.to_string());
+            out.push('\n');
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(t: u64) -> Event {
+        Event::new(t, Severity::Info, "test")
+    }
+
+    #[test]
+    fn keeps_only_the_last_cap_events_oldest_first() {
+        let mut ring = EventRing::new(3);
+        for t in 0..5 {
+            ring.push(ev(t));
+        }
+        let times: Vec<u64> = ring.events().iter().map(|e| e.time_ns).collect();
+        assert_eq!(times, vec![2, 3, 4]);
+        assert_eq!(ring.len(), 3);
+        assert_eq!(ring.total_pushed(), 5);
+    }
+
+    #[test]
+    fn severity_filter_and_disable() {
+        let mut ring = EventRing::new(8);
+        ring.push(Event::new(1, Severity::Debug, "noise"));
+        assert!(ring.is_empty(), "Debug is below the default Info floor");
+        ring.set_min_severity(Severity::Debug);
+        ring.push(Event::new(2, Severity::Debug, "detail"));
+        assert_eq!(ring.len(), 1);
+        ring.set_enabled(false);
+        ring.push(ev(3));
+        assert_eq!(ring.len(), 1);
+        assert_eq!(ring.total_pushed(), 3);
+    }
+
+    #[test]
+    fn dump_includes_node_block_and_msg_context() {
+        let mut ring = EventRing::new(4);
+        ring.push(
+            Event::new(100, Severity::Error, "invariant.failure")
+                .node(3)
+                .block(0x40)
+                .msg("multiple writers")
+                .value(2),
+        );
+        let dump = ring.dump();
+        assert!(dump.contains("invariant.failure"));
+        assert!(dump.contains("node=3"));
+        assert!(dump.contains("block=0x40"));
+        assert!(dump.contains("multiple writers"));
+        assert!(dump.contains("ERROR"));
+    }
+
+    #[test]
+    fn clear_resets_contents_but_not_total() {
+        let mut ring = EventRing::new(2);
+        ring.push(ev(1));
+        ring.push(ev(2));
+        ring.clear();
+        assert!(ring.is_empty());
+        assert_eq!(ring.total_pushed(), 2);
+        ring.push(ev(3));
+        assert_eq!(ring.events()[0].time_ns, 3);
+    }
+}

@@ -1,0 +1,61 @@
+//! Cross-thread counters.
+//!
+//! The rest of the crate is deliberately single-threaded (`Rc`-backed
+//! handles); this module is the one concession to parallel drivers like
+//! the bench-suite trace generator, which tally work across worker
+//! threads. Keep per-thread [`crate::Registry`] instances for anything
+//! hot and merge snapshots at the end; use [`SharedCounter`] only for
+//! coarse cross-thread totals.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// An atomically shared counter (`Relaxed` ordering — totals only, no
+/// synchronisation guarantees beyond the count itself).
+#[derive(Debug, Clone, Default)]
+pub struct SharedCounter(Arc<AtomicU64>);
+
+impl SharedCounter {
+    /// Creates a counter at zero.
+    pub fn new() -> Self {
+        SharedCounter::default()
+    }
+
+    /// Adds one.
+    #[inline]
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Adds `n`.
+    #[inline]
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// The current value.
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clones_share_state_across_threads() {
+        let c = SharedCounter::new();
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                let c = c.clone();
+                s.spawn(move || {
+                    for _ in 0..1000 {
+                        c.inc();
+                    }
+                });
+            }
+        });
+        assert_eq!(c.get(), 4000);
+    }
+}

@@ -1,0 +1,176 @@
+//! A small shared table formatter.
+//!
+//! `trace::stats` and `bench-suite::tables` both need "headers + rows →
+//! aligned text or CSV"; this type is the single implementation. Rendered
+//! text pads columns to their widest cell; CSV quotes only cells that need
+//! it, so output is stable and diff-friendly.
+
+/// Column alignment for rendered text output.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Align {
+    /// Left-aligned (the default).
+    #[default]
+    Left,
+    /// Right-aligned — use for numeric columns.
+    Right,
+}
+
+/// An owned table of string cells with optional title and per-column
+/// alignment.
+#[derive(Debug, Clone, Default)]
+pub struct Table {
+    title: Option<String>,
+    headers: Vec<String>,
+    aligns: Vec<Align>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates a table with the given column headers, all left-aligned.
+    pub fn new<S: Into<String>>(headers: Vec<S>) -> Self {
+        let headers: Vec<String> = headers.into_iter().map(Into::into).collect();
+        let aligns = vec![Align::Left; headers.len()];
+        Table {
+            title: None,
+            headers,
+            aligns,
+            rows: Vec::new(),
+        }
+    }
+
+    /// Sets a title line printed above the rendered table.
+    pub fn with_title<S: Into<String>>(mut self, title: S) -> Self {
+        self.title = Some(title.into());
+        self
+    }
+
+    /// Sets per-column alignment (pads with [`Align::Left`] if short).
+    pub fn with_aligns(mut self, aligns: Vec<Align>) -> Self {
+        self.aligns = aligns;
+        self.aligns.resize(self.headers.len(), Align::Left);
+        self
+    }
+
+    /// Appends one row; it is padded or truncated to the header width.
+    pub fn push_row<S: Into<String>>(&mut self, row: Vec<S>) {
+        let mut row: Vec<String> = row.into_iter().map(Into::into).collect();
+        row.resize(self.headers.len(), String::new());
+        self.rows.push(row);
+    }
+
+    /// Number of data rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Whether the table has no data rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Renders as aligned plain text with a header separator line.
+    pub fn render(&self) -> String {
+        let ncols = self.headers.len();
+        let mut widths: Vec<usize> = self.headers.iter().map(|h| h.chars().count()).collect();
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate().take(ncols) {
+                widths[i] = widths[i].max(cell.chars().count());
+            }
+        }
+        let mut out = String::new();
+        if let Some(title) = &self.title {
+            out.push_str(title);
+            out.push('\n');
+        }
+        let emit = |out: &mut String, cells: &[String]| {
+            for (i, cell) in cells.iter().enumerate().take(ncols) {
+                if i > 0 {
+                    out.push_str("  ");
+                }
+                let pad = widths[i].saturating_sub(cell.chars().count());
+                match self.aligns[i] {
+                    Align::Left => {
+                        out.push_str(cell);
+                        // No trailing padding on the last column.
+                        if i + 1 < ncols {
+                            out.extend(std::iter::repeat_n(' ', pad));
+                        }
+                    }
+                    Align::Right => {
+                        out.extend(std::iter::repeat_n(' ', pad));
+                        out.push_str(cell);
+                    }
+                }
+            }
+            out.push('\n');
+        };
+        emit(&mut out, &self.headers);
+        let rule: usize = widths.iter().sum::<usize>() + 2 * (ncols.saturating_sub(1));
+        out.extend(std::iter::repeat_n('-', rule));
+        out.push('\n');
+        for row in &self.rows {
+            emit(&mut out, row);
+        }
+        out
+    }
+
+    /// Renders as CSV (RFC-4180 quoting: cells containing `,`, `"`, or a
+    /// newline are quoted, embedded quotes doubled).
+    pub fn to_csv(&self) -> String {
+        let mut out = String::new();
+        let emit = |out: &mut String, cells: &[String]| {
+            for (i, cell) in cells.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                if cell.contains([',', '"', '\n']) {
+                    out.push('"');
+                    out.push_str(&cell.replace('"', "\"\""));
+                    out.push('"');
+                } else {
+                    out.push_str(cell);
+                }
+            }
+            out.push('\n');
+        };
+        emit(&mut out, &self.headers);
+        for row in &self.rows {
+            emit(&mut out, row);
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn render_pads_and_aligns() {
+        let mut t = Table::new(vec!["name", "value"]).with_aligns(vec![Align::Left, Align::Right]);
+        t.push_row(vec!["alpha", "1"]);
+        t.push_row(vec!["b", "12345"]);
+        let text = t.render();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines[0], "name   value");
+        assert_eq!(lines[1], "------------");
+        assert_eq!(lines[2], "alpha      1");
+        assert_eq!(lines[3], "b      12345");
+    }
+
+    #[test]
+    fn csv_quotes_only_when_needed() {
+        let mut t = Table::new(vec!["a", "b"]);
+        t.push_row(vec!["plain", "has,comma"]);
+        t.push_row(vec!["has\"quote", "x"]);
+        let csv = t.to_csv();
+        assert_eq!(csv, "a,b\nplain,\"has,comma\"\n\"has\"\"quote\",x\n");
+    }
+
+    #[test]
+    fn short_rows_are_padded_to_header_width() {
+        let mut t = Table::new(vec!["a", "b", "c"]);
+        t.push_row(vec!["1"]);
+        assert_eq!(t.to_csv(), "a,b,c\n1,,\n");
+    }
+}

@@ -29,11 +29,15 @@ use crate::driver::{AccessOp, IterationPlan, Phase};
 use crate::event::EventQueue;
 use crate::machine::{SimError, SpeculationPolicy};
 use crate::stats::MachineStats;
+use obs::{Event as ObsEvent, EventRing, Severity};
 use stache::cache::{self, CacheAction};
 use stache::directory::{self};
 use stache::invariants::check_block;
 use stache::placement::home_of_block;
-use stache::{BlockAddr, CacheState, DirState, Msg, MsgType, NodeId, ProcOp, ProtocolConfig};
+use stache::{
+    BlockAddr, CacheState, DirState, Msg, MsgType, NodeId, ProcOp, ProtocolConfig, ProtocolTally,
+};
+use std::cell::RefCell;
 use std::collections::{HashMap, HashSet, VecDeque};
 use trace::{MsgRecord, TraceBundle, TraceMeta};
 
@@ -95,6 +99,12 @@ pub struct ConcurrentMachine {
     iteration: u32,
     /// The §4 speculation hook, if any.
     policy: Option<Box<dyn SpeculationPolicy>>,
+    /// Per-transition and invariant-check tallies, exported by
+    /// [`ConcurrentMachine::obs_snapshot`].
+    tally: ProtocolTally,
+    /// Bounded flight recorder (`RefCell` so the `&self` audit path can
+    /// log violations).
+    ring: RefCell<EventRing>,
 }
 
 impl ConcurrentMachine {
@@ -122,6 +132,8 @@ impl ConcurrentMachine {
             next_stamp: 0,
             iteration: 0,
             policy: None,
+            tally: ProtocolTally::new(),
+            ring: RefCell::new(EventRing::default()),
         }
     }
 
@@ -155,6 +167,43 @@ impl ConcurrentMachine {
         &self.stats
     }
 
+    /// Per-transition and invariant-check tallies.
+    pub fn tally(&self) -> &ProtocolTally {
+        &self.tally
+    }
+
+    /// Enables or disables the flight recorder (enabled by default).
+    pub fn set_ring_enabled(&mut self, enabled: bool) {
+        self.ring.get_mut().set_enabled(enabled);
+    }
+
+    /// Sets the minimum severity the flight recorder retains.
+    pub fn set_ring_min_severity(&mut self, min: Severity) {
+        self.ring.get_mut().set_min_severity(min);
+    }
+
+    /// The flight recorder's retained events, oldest first.
+    pub fn flight_events(&self) -> Vec<ObsEvent> {
+        self.ring.borrow().events()
+    }
+
+    /// Renders the flight recorder for post-mortem inspection.
+    pub fn dump_flight_recorder(&self) -> String {
+        self.ring.borrow().dump()
+    }
+
+    /// Point-in-time export of every machine metric, including the
+    /// event-queue depth distribution this engine uniquely sustains.
+    pub fn obs_snapshot(&self) -> obs::Snapshot {
+        let mut snap = obs::Snapshot::new();
+        self.stats.export_obs(&mut snap);
+        self.tally.export_obs(&mut snap);
+        snap.counter("simx.trace.records", self.trace.len() as u64);
+        snap.counter("simx.ring.events_total", self.ring.borrow().total_pushed());
+        snap.histogram("simx.queue.depth", self.queue.depth_histogram());
+        snap
+    }
+
     /// Execution time so far (latest node clock).
     pub fn execution_time_ns(&self) -> u64 {
         self.clocks.iter().copied().max().unwrap_or(0)
@@ -172,11 +221,23 @@ impl ConcurrentMachine {
     }
 
     fn set_cache_state(&mut self, node: NodeId, block: BlockAddr, s: CacheState) {
+        let prev = self.cache_state(node, block);
+        self.tally.cache_transition(prev, s);
         if s == CacheState::Invalid {
             self.caches[node.index()].remove(&block);
         } else {
             self.caches[node.index()].insert(block, s);
         }
+        self.ring.get_mut().push(
+            ObsEvent::new(
+                self.clocks[node.index()],
+                Severity::Debug,
+                "cache.transition",
+            )
+            .node(node.raw())
+            .block(block.number())
+            .msg(s.short_name()),
+        );
     }
 
     fn set_dir(&mut self, block: BlockAddr, next: DirState) {
@@ -191,11 +252,20 @@ impl ConcurrentMachine {
                 self.overflowed.remove(&block);
             }
         }
+        self.tally
+            .dir_transition(self.dirs.get(&block).unwrap_or(&DirState::Idle), &next);
         self.dirs.insert(block, next);
     }
 
     fn record(&mut self, time: u64, msg: &Msg) {
         self.stats.count_message(msg.mtype);
+        self.ring.get_mut().push(
+            ObsEvent::new(time, Severity::Info, "msg.recv")
+                .node(msg.receiver.raw())
+                .block(msg.block.number())
+                .msg(msg.mtype.paper_name())
+                .value(msg.sender.raw() as u64),
+        );
         let rec = MsgRecord::from_msg(msg, time, self.iteration);
         if let Some(policy) = self.policy.as_mut() {
             policy.observe(&rec);
@@ -204,8 +274,9 @@ impl ConcurrentMachine {
     }
 
     fn send(&mut self, at: u64, msg: Msg) {
-        let arrive = at + self.one_way(msg.sender, msg.receiver);
-        self.queue.push(arrive, Event::Deliver(msg));
+        let hop = self.one_way(msg.sender, msg.receiver);
+        self.stats.net_latency_ns.record(hop);
+        self.queue.push(at + hop, Event::Deliver(msg));
     }
 
     /// Executes one iteration plan: each phase runs to quiescence, then a
@@ -433,6 +504,11 @@ impl ConcurrentMachine {
                 effective = MsgType::GetRwRequest;
                 reply_override = Some(MsgType::GetRwResponse);
                 self.stats.exclusive_grants += 1;
+                self.ring.get_mut().push(
+                    ObsEvent::new(dispatch, Severity::Info, "policy.grant_exclusive")
+                        .node(msg.sender.raw())
+                        .block(block.number()),
+                );
             }
         }
         let outcome = if local {
@@ -621,6 +697,11 @@ impl ConcurrentMachine {
             self.mem_values.insert(block, v);
         }
         self.set_cache_state(node, block, CacheState::Invalid);
+        self.ring.get_mut().push(
+            ObsEvent::new(now, Severity::Info, "policy.self_invalidate")
+                .node(node.raw())
+                .block(block.number()),
+        );
         self.send(now, Msg::new(node, home, block, MsgType::InvalRwResponse));
         self.stats.voluntary_replacements += 1;
     }
@@ -664,7 +745,22 @@ impl ConcurrentMachine {
                     }
                 })
                 .collect();
-            check_block(block, &dir, &states).map_err(SimError::from)?;
+            self.tally.count_invariant_check();
+            if let Err(v) = check_block(block, &dir, &states) {
+                self.tally.count_invariant_failure();
+                let mut ev = ObsEvent::new(
+                    self.execution_time_ns(),
+                    Severity::Error,
+                    "invariant.failure",
+                )
+                .block(block.number())
+                .msg(v.kind_name());
+                if let Some(n) = v.node() {
+                    ev = ev.node(n.raw());
+                }
+                self.ring.borrow_mut().push(ev);
+                return Err(SimError::from(v));
+            }
         }
         Ok(())
     }
@@ -872,6 +968,24 @@ mod tests {
         m.run_plan(&plan, 0).unwrap();
         m.verify_coherence().unwrap();
         assert_eq!(m.stats().writes, 2);
+    }
+
+    #[test]
+    fn obs_snapshot_covers_queue_depth_and_net_latency() {
+        let mut m = machine();
+        let plan = plan_of(vec![vec![Access::read(n(1), BlockAddr::new(0))]]);
+        m.run_plan(&plan, 0).unwrap();
+        let snap = m.obs_snapshot();
+        assert!(matches!(
+            snap.get("simx.queue.depth"),
+            Some(obs::MetricValue::Histogram(h)) if h.count() > 0
+        ));
+        assert!(matches!(
+            snap.get("simx.net.one_way_ns"),
+            Some(obs::MetricValue::Histogram(h)) if h.count() == 2
+        ));
+        assert!(snap.get("stache.cache.transition.invalid.i_to_s").is_some());
+        assert!(m.flight_events().iter().any(|e| e.kind == "msg.recv"));
     }
 
     #[test]

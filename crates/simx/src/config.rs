@@ -1,7 +1,6 @@
 //! System (timing) configuration — the paper's Table 3.
 
 use crate::network::Topology;
-use serde::{Deserialize, Serialize};
 
 /// Timing and sizing parameters of the simulated machine.
 ///
@@ -9,7 +8,8 @@ use serde::{Deserialize, Serialize};
 /// prediction accuracy is largely insensitive to network latency (changing
 /// 40 ns to 1 µs "hardly changes" the rates); the sensitivity harness
 /// sweeps [`SystemConfig::network_latency_ns`] to reproduce that claim.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct SystemConfig {
     /// Processor clock in GHz (Table 3: 1 GHz).
     pub processor_ghz: f64,

@@ -25,6 +25,7 @@ use std::collections::BinaryHeap;
 pub struct EventQueue<T> {
     heap: BinaryHeap<Reverse<Entry<T>>>,
     seq: u64,
+    depth: obs::Histogram,
 }
 
 #[derive(Debug, Clone)]
@@ -57,6 +58,7 @@ impl<T> EventQueue<T> {
         EventQueue {
             heap: BinaryHeap::new(),
             seq: 0,
+            depth: obs::Histogram::new(),
         }
     }
 
@@ -68,6 +70,7 @@ impl<T> EventQueue<T> {
             payload,
         }));
         self.seq += 1;
+        self.depth.record(self.heap.len() as u64);
     }
 
     /// Pops the earliest event (FIFO among equal times).
@@ -88,6 +91,12 @@ impl<T> EventQueue<T> {
     /// Whether no events are pending.
     pub fn is_empty(&self) -> bool {
         self.heap.is_empty()
+    }
+
+    /// Distribution of queue depth sampled after every push — how much
+    /// in-flight work the simulated machine sustains.
+    pub fn depth_histogram(&self) -> &obs::Histogram {
+        &self.depth
     }
 }
 
@@ -119,6 +128,19 @@ mod tests {
         }
         let order: Vec<i32> = std::iter::from_fn(|| q.pop().map(|(_, p)| p)).collect();
         assert_eq!(order, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn depth_histogram_samples_every_push() {
+        let mut q = EventQueue::new();
+        q.push(1, ());
+        q.push(2, ());
+        q.pop();
+        q.push(3, ());
+        let d = q.depth_histogram();
+        assert_eq!(d.count(), 3);
+        assert_eq!(d.max(), 2);
+        assert_eq!(d.min(), 1);
     }
 
     #[test]

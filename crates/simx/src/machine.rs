@@ -2,13 +2,16 @@
 
 use crate::config::SystemConfig;
 use crate::stats::MachineStats;
+use obs::{Event, EventRing, Severity};
 use stache::cache::{self, CacheAction};
 use stache::directory::{self, DirOutcome};
 use stache::invariants::{check_block, InvariantViolation};
 use stache::placement::home_of_block;
 use stache::{
     BlockAddr, CacheState, DirState, MsgType, NodeId, ProcOp, ProtocolConfig, ProtocolError,
+    ProtocolTally,
 };
+use std::cell::RefCell;
 use std::collections::{HashMap, HashSet};
 use std::error::Error;
 use std::fmt;
@@ -170,6 +173,12 @@ pub struct Machine {
     /// free. Stache runs protocol handlers in software (§2.1), so a busy
     /// home serialises incoming requests — requests arriving early wait.
     dir_busy: Vec<u64>,
+    /// Per-transition protocol tallies, exported via
+    /// [`Machine::obs_snapshot`].
+    tally: ProtocolTally,
+    /// Flight recorder of recent protocol events. `RefCell` so the
+    /// `&self` verification paths can log failures.
+    ring: RefCell<EventRing>,
 }
 
 impl Machine {
@@ -192,6 +201,8 @@ impl Machine {
             policy: None,
             overflowed: HashSet::new(),
             dir_busy: vec![0; nodes],
+            tally: ProtocolTally::new(),
+            ring: RefCell::new(EventRing::default()),
         }
     }
 
@@ -239,6 +250,61 @@ impl Machine {
         &self.stats
     }
 
+    /// Per-transition protocol tallies.
+    pub fn tally(&self) -> &ProtocolTally {
+        &self.tally
+    }
+
+    /// Enables or disables the flight recorder (on by default).
+    pub fn set_ring_enabled(&mut self, enabled: bool) {
+        self.ring.get_mut().set_enabled(enabled);
+    }
+
+    /// Sets the minimum severity the flight recorder keeps. The default
+    /// is [`Severity::Info`]; lower it to [`Severity::Debug`] to also
+    /// capture every state transition.
+    pub fn set_ring_min_severity(&mut self, min: Severity) {
+        self.ring.get_mut().set_min_severity(min);
+    }
+
+    /// A copy of the flight recorder's held events, oldest first.
+    pub fn flight_events(&self) -> Vec<Event> {
+        self.ring.borrow().events()
+    }
+
+    /// Renders the flight recorder's recent events — call this when a
+    /// verification fails to see the message/transition history that led
+    /// up to the violation.
+    pub fn dump_flight_recorder(&self) -> String {
+        self.ring.borrow().dump()
+    }
+
+    /// Point-in-time export of every machine metric: access and message
+    /// counters, latency histograms, per-transition tallies, and
+    /// invariant-check counts.
+    pub fn obs_snapshot(&self) -> obs::Snapshot {
+        let mut snap = obs::Snapshot::new();
+        self.stats.export_obs(&mut snap);
+        self.tally.export_obs(&mut snap);
+        snap.counter("simx.trace.records", self.trace.len() as u64);
+        snap.counter("simx.ring.events_total", self.ring.borrow().total_pushed());
+        snap
+    }
+
+    /// Fault injection for tests: force a cache line to `state` without a
+    /// protocol transition, so invariant checking (and the flight
+    /// recorder dump it triggers) can be exercised deliberately.
+    pub fn inject_cache_state(&mut self, node: NodeId, block: BlockAddr, state: CacheState) {
+        let t = self.clocks[node.index()];
+        self.ring.get_mut().push(
+            Event::new(t, Severity::Warn, "fault.inject_cache_state")
+                .node(node.raw())
+                .block(block.number())
+                .msg(state.short_name()),
+        );
+        self.set_cache_state(node, block, state);
+    }
+
     /// A node's local clock in ns.
     pub fn clock(&self, node: NodeId) -> u64 {
         self.clocks[node.index()]
@@ -274,6 +340,14 @@ impl Machine {
         self.sys.one_way_between_ns(from, to, self.proto.nodes)
     }
 
+    /// [`Machine::one_way`] plus a sample in the network-latency
+    /// histogram — use for hops a message actually traverses.
+    fn one_way_rec(&mut self, from: NodeId, to: NodeId) -> u64 {
+        let ns = self.one_way(from, to);
+        self.stats.net_latency_ns.record(ns);
+        ns
+    }
+
     fn cache_state(&self, node: NodeId, block: BlockAddr) -> CacheState {
         self.caches[node.index()]
             .get(&block)
@@ -296,6 +370,8 @@ impl Machine {
                 self.overflowed.remove(&block);
             }
         }
+        self.tally
+            .dir_transition(self.dirs.get(&block).unwrap_or(&DirState::Idle), &next);
         self.dirs.insert(block, next);
     }
 
@@ -310,11 +386,23 @@ impl Machine {
     }
 
     fn set_cache_state(&mut self, node: NodeId, block: BlockAddr, s: CacheState) {
+        let prev = self.cache_state(node, block);
+        self.tally.cache_transition(prev, s);
         if s == CacheState::Invalid {
             self.caches[node.index()].remove(&block);
         } else {
             self.caches[node.index()].insert(block, s);
         }
+        self.ring.get_mut().push(
+            Event::new(
+                self.clocks[node.index()],
+                Severity::Debug,
+                "cache.transition",
+            )
+            .node(node.raw())
+            .block(block.number())
+            .msg(s.short_name()),
+        );
     }
 
     fn record(
@@ -327,6 +415,13 @@ impl Machine {
         iteration: u32,
     ) {
         self.stats.count_message(mtype);
+        self.ring.get_mut().push(
+            Event::new(time, Severity::Info, "msg.recv")
+                .node(receiver.raw())
+                .block(block.number())
+                .msg(mtype.paper_name())
+                .value(sender.raw() as u64),
+        );
         let rec = MsgRecord {
             time_ns: time,
             node: receiver,
@@ -380,6 +475,15 @@ impl Machine {
                 .as_mut()
                 .is_some_and(|p| p.self_invalidate(node, block));
             if wants {
+                self.ring.get_mut().push(
+                    Event::new(
+                        self.clocks[node.index()],
+                        Severity::Info,
+                        "policy.self_invalidate",
+                    )
+                    .node(node.raw())
+                    .block(block.number()),
+                );
                 self.replace_exclusive(node, block, iteration);
             }
         }
@@ -404,14 +508,14 @@ impl Machine {
             Some(node),
             "exclusive cache copy implies directory ownership"
         );
-        let t = self.clocks[node.index()] + self.one_way(node, home);
+        let t = self.clocks[node.index()] + self.one_way_rec(node, home);
         self.record(t, home, block, node, MsgType::InvalRwResponse, iteration);
         if let Some(v) = self.cache_values[node.index()].get(&block).copied() {
             self.mem_values.insert(block, v);
         }
         self.cache_values[node.index()].remove(&block);
         self.set_cache_state(node, block, CacheState::Invalid);
-        self.dirs.insert(block, DirState::Idle);
+        self.set_dir(block, DirState::Idle);
         // Posting the replacement does not stall the processor.
         self.clocks[node.index()] += self.sys.cache_hit_ns;
         self.stats.voluntary_replacements += 1;
@@ -490,7 +594,7 @@ impl Machine {
 
         let start = self.clocks[node.index()];
         // Request travels to the directory.
-        let t_req = start + self.one_way(node, home);
+        let t_req = start + self.one_way_rec(node, home);
         self.record(t_req, home, block, node, req, iteration);
         let mut messages = 1;
 
@@ -502,6 +606,11 @@ impl Machine {
                 if policy.grant_exclusive(home, node, block) {
                     effective_req = MsgType::GetRwRequest;
                     self.stats.exclusive_grants += 1;
+                    self.ring.get_mut().push(
+                        Event::new(t_req, Severity::Info, "policy.grant_exclusive")
+                            .node(node.raw())
+                            .block(block.number()),
+                    );
                 }
             }
         }
@@ -525,7 +634,7 @@ impl Machine {
 
         // Reply to the requester.
         let reply = outcome.reply.expect("remote requests always get a reply");
-        let t_reply = ready + self.one_way(home, node);
+        let t_reply = ready + self.one_way_rec(home, node);
         self.record(t_reply, node, block, home, reply, iteration);
         messages += 1;
 
@@ -568,7 +677,7 @@ impl Machine {
         let mut ready = dispatch;
         let mut messages = 0;
         for &(target, imsg) in &outcome.holder_requests {
-            let t_inv = dispatch + self.one_way(outcome_home, target);
+            let t_inv = dispatch + self.one_way_rec(outcome_home, target);
             self.record(t_inv, target, block, outcome_home, imsg, iteration);
             messages += 1;
 
@@ -577,7 +686,7 @@ impl Machine {
             // nodes without a copy; the cache controller acknowledges
             // without consulting the line.
             if state == CacheState::Invalid && imsg == MsgType::InvalRoRequest {
-                let t_resp = t_inv + self.sys.handler_ns + self.one_way(target, outcome_home);
+                let t_resp = t_inv + self.sys.handler_ns + self.one_way_rec(target, outcome_home);
                 self.record(
                     t_resp,
                     outcome_home,
@@ -604,7 +713,7 @@ impl Machine {
             }
 
             let reply = reply.expect("invalidations and downgrades are acknowledged");
-            let t_resp = t_inv + self.sys.handler_ns + self.one_way(target, outcome_home);
+            let t_resp = t_inv + self.sys.handler_ns + self.one_way_rec(target, outcome_home);
             self.record(t_resp, outcome_home, block, target, reply, iteration);
             messages += 1;
             ready = ready.max(t_resp + self.sys.handler_ns);
@@ -654,6 +763,7 @@ impl Machine {
     ///
     /// Returns the violation, if any.
     pub fn verify_block(&self, block: BlockAddr) -> Result<(), SimError> {
+        self.tally.count_invariant_check();
         let home = home_of_block(block, &self.proto);
         let dir = self.dirs.get(&block).cloned().unwrap_or_default();
         let states: Vec<CacheState> = (0..self.proto.nodes)
@@ -673,7 +783,21 @@ impl Machine {
                 }
             })
             .collect();
-        check_block(block, &dir, &states).map_err(SimError::from)
+        check_block(block, &dir, &states).map_err(|v| {
+            self.tally.count_invariant_failure();
+            let mut ev = Event::new(
+                self.execution_time_ns(),
+                Severity::Error,
+                "invariant.failure",
+            )
+            .block(block.number())
+            .msg(v.kind_name());
+            if let Some(n) = v.node() {
+                ev = ev.node(n.raw());
+            }
+            self.ring.borrow_mut().push(ev);
+            SimError::from(v)
+        })
     }
 
     /// Audits every block ever touched.
@@ -898,6 +1022,59 @@ mod tests {
         assert_eq!(s.reads, 2);
         assert_eq!(s.hits, 1);
         assert_eq!(s.messages_total(), 2);
+    }
+
+    #[test]
+    fn obs_snapshot_spans_stats_and_tally() {
+        let mut m = machine();
+        m.access(n(1), b0(), ProcOp::Read, 0).unwrap();
+        m.verify_coherence().unwrap();
+        let snap = m.obs_snapshot();
+        assert!(matches!(
+            snap.get("simx.access.reads"),
+            Some(obs::MetricValue::Counter(1))
+        ));
+        assert!(snap.get("stache.cache.transition.invalid.i_to_s").is_some());
+        assert!(matches!(
+            snap.get("stache.invariant.checks"),
+            Some(obs::MetricValue::Counter(c)) if *c > 0
+        ));
+        assert!(matches!(
+            snap.get("simx.net.one_way_ns"),
+            Some(obs::MetricValue::Histogram(h)) if h.count() == 2
+        ));
+    }
+
+    #[test]
+    fn invariant_failure_dumps_flight_recorder_context() {
+        let mut m = machine();
+        m.access(n(1), b0(), ProcOp::Read, 0).unwrap();
+        // Force a second, bogus exclusive copy: node 2 claims ownership
+        // while node 1 legitimately shares the block.
+        m.inject_cache_state(n(2), b0(), CacheState::Exclusive);
+        let err = m.verify_block(b0()).unwrap_err();
+        assert!(matches!(err, SimError::Invariant(_)));
+        assert_eq!(m.tally().invariant_failures(), 1);
+        let dump = m.dump_flight_recorder();
+        // The dump carries the message history plus the injection and the
+        // failure itself, each with node/block/message context.
+        assert!(dump.contains("msg.recv"));
+        assert!(dump.contains("get_ro_request"));
+        assert!(dump.contains("fault.inject_cache_state"));
+        assert!(dump.contains("invariant.failure"));
+        assert!(dump.contains("writer_with_readers"));
+        assert!(dump.contains("node=2"));
+        assert!(dump.contains("block=0x0"));
+    }
+
+    #[test]
+    fn disabled_ring_records_nothing() {
+        let mut m = machine();
+        m.set_ring_enabled(false);
+        m.access(n(1), b0(), ProcOp::Write, 0).unwrap();
+        assert!(m.flight_events().is_empty());
+        // Metrics still accumulate regardless of the recorder.
+        assert_eq!(m.stats().messages_total(), 2);
     }
 }
 

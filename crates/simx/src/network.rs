@@ -8,11 +8,11 @@
 //! count, so per-block message orders — the thing Cosmos learns — remain
 //! stable even though absolute times shift.
 
-use serde::{Deserialize, Serialize};
 use stache::NodeId;
 
 /// How nodes are wired together.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub enum Topology {
     /// Full crossbar: every pair is one hop apart (the paper's model).
     #[default]

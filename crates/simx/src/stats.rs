@@ -26,8 +26,12 @@ pub struct MachineStats {
     /// Limited-pointer directory entries that lost precision (sharer
     /// count exceeded the pointer budget; the next write broadcasts).
     pub directory_overflows: u64,
-    /// Sum of access latencies in ns.
-    pub total_latency_ns: u64,
+    /// Distribution of per-access latencies in ns (count, sum, and
+    /// power-of-two percentiles — p50/p95/max replace the old bare sum).
+    pub latency_ns: obs::Histogram,
+    /// Distribution of one-way network hop latencies in ns, one sample
+    /// per message actually sent.
+    pub net_latency_ns: obs::Histogram,
     /// Messages sent, by type.
     pub messages: BTreeMap<MsgType, u64>,
 }
@@ -43,7 +47,7 @@ impl MachineStats {
         } else {
             self.misses += 1;
         }
-        self.total_latency_ns += latency_ns;
+        self.latency_ns.record(latency_ns);
     }
 
     pub(crate) fn count_message(&mut self, mtype: MsgType) {
@@ -68,12 +72,36 @@ impl MachineStats {
         self.hits as f64 / self.accesses() as f64
     }
 
+    /// Sum of access latencies in ns.
+    pub fn total_latency_ns(&self) -> u64 {
+        self.latency_ns.sum()
+    }
+
     /// Mean access latency in ns; 0 for an idle machine.
     pub fn mean_latency_ns(&self) -> f64 {
-        if self.accesses() == 0 {
-            return 0.0;
+        self.latency_ns.mean()
+    }
+
+    /// Exports into a metrics snapshot under the `simx.` prefix.
+    pub fn export_obs(&self, snap: &mut obs::Snapshot) {
+        snap.counter("simx.access.reads", self.reads);
+        snap.counter("simx.access.writes", self.writes);
+        snap.counter("simx.access.hits", self.hits);
+        snap.counter("simx.access.misses", self.misses);
+        snap.gauge("simx.access.hit_rate", self.hit_rate());
+        snap.histogram("simx.access.latency_ns", &self.latency_ns);
+        snap.histogram("simx.net.one_way_ns", &self.net_latency_ns);
+        snap.counter("simx.barriers", self.barriers);
+        snap.counter("simx.speculation.exclusive_grants", self.exclusive_grants);
+        snap.counter(
+            "simx.speculation.voluntary_replacements",
+            self.voluntary_replacements,
+        );
+        snap.counter("simx.directory.overflows", self.directory_overflows);
+        snap.counter("simx.msg.total", self.messages_total());
+        for (t, c) in &self.messages {
+            snap.counter(&format!("simx.msg.sent.{}", t.paper_name()), *c);
         }
-        self.total_latency_ns as f64 / self.accesses() as f64
     }
 }
 
@@ -81,12 +109,15 @@ impl fmt::Display for MachineStats {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         writeln!(
             f,
-            "{} accesses ({} reads, {} writes), hit rate {:.1}%, mean latency {:.0} ns",
+            "{} accesses ({} reads, {} writes), hit rate {:.1}%, latency ns mean {:.0} p50 {} p95 {} max {}",
             self.accesses(),
             self.reads,
             self.writes,
             100.0 * self.hit_rate(),
             self.mean_latency_ns(),
+            self.latency_ns.p50(),
+            self.latency_ns.p95(),
+            self.latency_ns.max(),
         )?;
         writeln!(
             f,
@@ -131,9 +162,28 @@ mod tests {
         assert_eq!(s.accesses(), 2);
         assert_eq!(s.hits, 1);
         assert_eq!(s.misses, 1);
-        assert_eq!(s.total_latency_ns, 1000);
+        assert_eq!(s.total_latency_ns(), 1000);
         assert_eq!(s.mean_latency_ns(), 500.0);
+        assert_eq!(s.latency_ns.max(), 999);
         assert_eq!(s.messages[&MsgType::GetRwRequest], 2);
         assert!(!s.to_string().is_empty());
+    }
+
+    #[test]
+    fn export_names_span_the_simx_prefix() {
+        let mut s = MachineStats::default();
+        s.count_access(ProcOp::Read, false, 120);
+        s.count_message(MsgType::GetRoRequest);
+        let mut snap = obs::Snapshot::new();
+        s.export_obs(&mut snap);
+        assert!(snap.names().iter().all(|n| n.starts_with("simx.")));
+        assert_eq!(
+            snap.get("simx.msg.sent.get_ro_request"),
+            Some(&obs::MetricValue::Counter(1))
+        );
+        assert!(matches!(
+            snap.get("simx.access.latency_ns"),
+            Some(obs::MetricValue::Histogram(h)) if h.count() == 1
+        ));
     }
 }

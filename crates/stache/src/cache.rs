@@ -12,11 +12,11 @@
 
 use crate::error::ProtocolError;
 use crate::msg::{MsgType, ProcOp, Role};
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// Per-block cache state.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Hash)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub enum CacheState {
     /// No valid copy.
     #[default]
@@ -60,6 +60,18 @@ impl CacheState {
             CacheState::IToS => "IToS",
             CacheState::IToE => "IToE",
             CacheState::SToE => "SToE",
+        }
+    }
+
+    /// Lowercase snake-case name, for metric paths and trace events.
+    pub fn short_name(self) -> &'static str {
+        match self {
+            CacheState::Invalid => "invalid",
+            CacheState::Shared => "shared",
+            CacheState::Exclusive => "exclusive",
+            CacheState::IToS => "i_to_s",
+            CacheState::IToE => "i_to_e",
+            CacheState::SToE => "s_to_e",
         }
     }
 }

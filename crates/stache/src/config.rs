@@ -1,7 +1,5 @@
 //! Protocol configuration.
 
-use serde::{Deserialize, Serialize};
-
 /// Static configuration of the Stache protocol instance.
 ///
 /// Defaults follow the paper: 16 nodes (Table 3), 64-byte blocks (Table 3),
@@ -14,7 +12,8 @@ use serde::{Deserialize, Serialize};
 /// assert_eq!(cfg.blocks_per_page(), 64);
 /// assert!(cfg.half_migratory);
 /// ```
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct ProtocolConfig {
     /// Number of single-processor nodes.
     pub nodes: usize,

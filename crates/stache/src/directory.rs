@@ -18,11 +18,11 @@ use crate::config::ProtocolConfig;
 use crate::error::ProtocolError;
 use crate::ids::{NodeId, NodeSet};
 use crate::msg::{MsgType, ProcOp, Role};
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// Per-block directory state (the full map).
-#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub enum DirState {
     /// No cached copies.
     #[default]
@@ -64,6 +64,16 @@ impl DirState {
     /// Whether `node` may write the block without coherence action.
     pub fn node_writable(&self, node: NodeId) -> bool {
         matches!(self, DirState::Exclusive(o) if *o == node)
+    }
+
+    /// Lowercase kind name (holder sets elided), for metric paths and
+    /// trace events.
+    pub fn kind_name(&self) -> &'static str {
+        match self {
+            DirState::Idle => "idle",
+            DirState::Shared(_) => "shared",
+            DirState::Exclusive(_) => "exclusive",
+        }
     }
 }
 

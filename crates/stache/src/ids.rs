@@ -6,7 +6,6 @@
 //! number), which is the granularity at which both the directory and Cosmos
 //! keep state.
 
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// Maximum number of nodes representable in a prediction tuple (12 bits).
@@ -21,7 +20,8 @@ pub const MAX_NODES: usize = 1 << 12;
 /// assert_eq!(n.index(), 3);
 /// assert_eq!(n.to_string(), "P3");
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct NodeId(u16);
 
 impl NodeId {
@@ -68,7 +68,8 @@ impl From<NodeId> for usize {
 /// A cache-block address: the block *number*, i.e. byte address divided by
 /// the block size. Directory entries, cache lines, and Cosmos MHRs are all
 /// keyed by `BlockAddr`.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct BlockAddr(u64);
 
 impl BlockAddr {
@@ -101,7 +102,8 @@ impl fmt::Display for BlockAddr {
 
 /// A page identifier. Pages are the unit of round-robin home placement
 /// (paper §5.1): page `X` is homed on node `X mod N`.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct PageId(u64);
 
 impl PageId {
@@ -143,7 +145,8 @@ impl fmt::Display for PageId {
 /// let members: Vec<_> = s.iter().map(|n| n.index()).collect();
 /// assert_eq!(members, vec![2, 5]);
 /// ```
-#[derive(Debug, Clone, Default, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq, Eq, Hash)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct NodeSet {
     words: Vec<u64>,
 }

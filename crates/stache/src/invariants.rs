@@ -56,6 +56,38 @@ pub enum InvariantViolation {
     },
 }
 
+impl InvariantViolation {
+    /// Lowercase kind name, for metric paths and trace events.
+    pub fn kind_name(&self) -> &'static str {
+        match self {
+            InvariantViolation::MultipleWriters { .. } => "multiple_writers",
+            InvariantViolation::WriterWithReaders { .. } => "writer_with_readers",
+            InvariantViolation::DirectoryMismatch { .. } => "directory_mismatch",
+            InvariantViolation::TransientAtRest { .. } => "transient_at_rest",
+        }
+    }
+
+    /// The block in violation.
+    pub fn block(&self) -> BlockAddr {
+        match self {
+            InvariantViolation::MultipleWriters { block, .. }
+            | InvariantViolation::WriterWithReaders { block, .. }
+            | InvariantViolation::DirectoryMismatch { block, .. }
+            | InvariantViolation::TransientAtRest { block, .. } => *block,
+        }
+    }
+
+    /// A node implicated in the violation, if one is identifiable.
+    pub fn node(&self) -> Option<NodeId> {
+        match self {
+            InvariantViolation::MultipleWriters { writers, .. } => writers.first().copied(),
+            InvariantViolation::WriterWithReaders { writer, .. } => Some(*writer),
+            InvariantViolation::DirectoryMismatch { actual, .. } => actual.first().map(|(n, _)| *n),
+            InvariantViolation::TransientAtRest { node, .. } => Some(*node),
+        }
+    }
+}
+
 impl fmt::Display for InvariantViolation {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {

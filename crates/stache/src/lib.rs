@@ -47,6 +47,7 @@ pub mod ids;
 pub mod invariants;
 pub mod msg;
 pub mod placement;
+pub mod tally;
 
 pub use cache::CacheState;
 pub use config::ProtocolConfig;
@@ -54,3 +55,4 @@ pub use directory::{DirOutcome, DirState};
 pub use error::ProtocolError;
 pub use ids::{BlockAddr, NodeId, NodeSet, PageId};
 pub use msg::{Msg, MsgType, ProcOp, Role};
+pub use tally::ProtocolTally;

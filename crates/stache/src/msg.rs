@@ -8,11 +8,11 @@
 //! its incoming stream uniformly.
 
 use crate::ids::{BlockAddr, NodeId};
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// Which protocol agent a message (or a predictor) is attached to.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub enum Role {
     /// The per-node remote-data cache.
     Cache,
@@ -30,7 +30,8 @@ impl fmt::Display for Role {
 }
 
 /// A processor-side memory operation.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub enum ProcOp {
     /// A load.
     Read,
@@ -55,7 +56,8 @@ impl fmt::Display for ProcOp {
 /// The discriminants are stable and fit in 4 bits, matching the tuple
 /// encoding the paper assumes in Table 7 ("12 bits for processors and
 /// 4 bits for coherence message types").
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 #[repr(u8)]
 pub enum MsgType {
     /// Get a block in read-only (shared) state. Received by a directory.
@@ -192,7 +194,8 @@ impl fmt::Display for MsgType {
 
 /// A coherence message in flight: who sent it, who receives it, for which
 /// block, and what it says.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct Msg {
     /// Sending node.
     pub sender: NodeId,

@@ -1,0 +1,171 @@
+//! Per-state-transition tallies for the protocol FSMs.
+//!
+//! The state machines in this crate are pure functions, so they cannot
+//! count their own invocations; a [`ProtocolTally`] is the mutable
+//! companion a driver (the `simx` machine) holds to record every
+//! transition it applies, plus how often the coherence invariants were
+//! checked and how often they failed. The tally exports into an
+//! [`obs::Snapshot`] under the `stache.` prefix.
+
+use crate::cache::CacheState;
+use crate::directory::DirState;
+use std::cell::Cell;
+use std::collections::BTreeMap;
+
+/// Counts of applied FSM transitions and invariant checks.
+///
+/// Transition keys are the lowercase state names
+/// ([`CacheState::short_name`], [`DirState::kind_name`]); self-loops
+/// (state unchanged) are counted too, since a re-grant to the same state
+/// is still protocol work. Invariant counters are `Cell`s so the
+/// `&self` verification paths can count without threading `&mut`.
+#[derive(Debug, Clone, Default)]
+pub struct ProtocolTally {
+    cache: BTreeMap<(&'static str, &'static str), u64>,
+    dir: BTreeMap<(&'static str, &'static str), u64>,
+    invariant_checks: Cell<u64>,
+    invariant_failures: Cell<u64>,
+}
+
+impl ProtocolTally {
+    /// Creates an empty tally.
+    pub fn new() -> Self {
+        ProtocolTally::default()
+    }
+
+    /// Records one applied cache-side transition.
+    #[inline]
+    pub fn cache_transition(&mut self, from: CacheState, to: CacheState) {
+        *self
+            .cache
+            .entry((from.short_name(), to.short_name()))
+            .or_insert(0) += 1;
+    }
+
+    /// Records one applied directory-side transition (by state kind).
+    #[inline]
+    pub fn dir_transition(&mut self, from: &DirState, to: &DirState) {
+        *self
+            .dir
+            .entry((from.kind_name(), to.kind_name()))
+            .or_insert(0) += 1;
+    }
+
+    /// Records one invariant check.
+    #[inline]
+    pub fn count_invariant_check(&self) {
+        self.invariant_checks.set(self.invariant_checks.get() + 1);
+    }
+
+    /// Records one invariant failure.
+    #[inline]
+    pub fn count_invariant_failure(&self) {
+        self.invariant_failures
+            .set(self.invariant_failures.get() + 1);
+    }
+
+    /// Total cache-side transitions recorded.
+    pub fn cache_transitions(&self) -> u64 {
+        self.cache.values().sum()
+    }
+
+    /// Total directory-side transitions recorded.
+    pub fn dir_transitions(&self) -> u64 {
+        self.dir.values().sum()
+    }
+
+    /// Invariant checks recorded.
+    pub fn invariant_checks(&self) -> u64 {
+        self.invariant_checks.get()
+    }
+
+    /// Invariant failures recorded.
+    pub fn invariant_failures(&self) -> u64 {
+        self.invariant_failures.get()
+    }
+
+    /// Merges another tally into this one.
+    pub fn merge(&mut self, other: &ProtocolTally) {
+        for (k, v) in &other.cache {
+            *self.cache.entry(*k).or_insert(0) += v;
+        }
+        for (k, v) in &other.dir {
+            *self.dir.entry(*k).or_insert(0) += v;
+        }
+        self.invariant_checks
+            .set(self.invariant_checks.get() + other.invariant_checks.get());
+        self.invariant_failures
+            .set(self.invariant_failures.get() + other.invariant_failures.get());
+    }
+
+    /// Exports into a metrics snapshot under the `stache.` prefix:
+    /// `stache.cache.transition.<from>.<to>`,
+    /// `stache.dir.transition.<from>.<to>`, and
+    /// `stache.invariant.{checks,failures}`.
+    pub fn export_obs(&self, snap: &mut obs::Snapshot) {
+        for ((from, to), v) in &self.cache {
+            snap.counter(&format!("stache.cache.transition.{from}.{to}"), *v);
+        }
+        for ((from, to), v) in &self.dir {
+            snap.counter(&format!("stache.dir.transition.{from}.{to}"), *v);
+        }
+        snap.counter("stache.invariant.checks", self.invariant_checks.get());
+        snap.counter("stache.invariant.failures", self.invariant_failures.get());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ids::{NodeId, NodeSet};
+
+    #[test]
+    fn transitions_accumulate_by_state_pair() {
+        let mut t = ProtocolTally::new();
+        t.cache_transition(CacheState::Invalid, CacheState::IToS);
+        t.cache_transition(CacheState::Invalid, CacheState::IToS);
+        t.cache_transition(CacheState::IToS, CacheState::Shared);
+        t.dir_transition(&DirState::Idle, &DirState::Exclusive(NodeId::new(1)));
+        assert_eq!(t.cache_transitions(), 3);
+        assert_eq!(t.dir_transitions(), 1);
+        let mut snap = obs::Snapshot::new();
+        t.export_obs(&mut snap);
+        assert_eq!(
+            snap.get("stache.cache.transition.invalid.i_to_s"),
+            Some(&obs::MetricValue::Counter(2))
+        );
+        assert_eq!(
+            snap.get("stache.dir.transition.idle.exclusive"),
+            Some(&obs::MetricValue::Counter(1))
+        );
+    }
+
+    #[test]
+    fn invariant_counters_work_through_shared_ref() {
+        let t = ProtocolTally::new();
+        t.count_invariant_check();
+        t.count_invariant_check();
+        t.count_invariant_failure();
+        assert_eq!(t.invariant_checks(), 2);
+        assert_eq!(t.invariant_failures(), 1);
+    }
+
+    #[test]
+    fn merge_sums_everything() {
+        let mut a = ProtocolTally::new();
+        a.cache_transition(CacheState::Shared, CacheState::Invalid);
+        a.count_invariant_check();
+        let mut b = ProtocolTally::new();
+        b.cache_transition(CacheState::Shared, CacheState::Invalid);
+        b.dir_transition(
+            &DirState::Shared(NodeSet::singleton(NodeId::new(0))),
+            &DirState::Idle,
+        );
+        b.count_invariant_failure();
+        a.merge(&b);
+        assert_eq!(a.cache_transitions(), 2);
+        assert_eq!(a.dir_transitions(), 1);
+        assert_eq!(a.invariant_checks(), 1);
+        assert_eq!(a.invariant_failures(), 1);
+    }
+}

@@ -1,12 +1,12 @@
 //! Trace bundles: a run's records plus metadata.
 
 use crate::record::MsgRecord;
-use serde::{Deserialize, Serialize};
 use stache::{BlockAddr, NodeId, Role};
 use std::collections::BTreeSet;
 
 /// Metadata describing the run a trace came from.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct TraceMeta {
     /// Workload name (e.g. `"appbt"`).
     pub app: String,
@@ -32,7 +32,8 @@ impl TraceMeta {
 /// Records are kept in reception order, which for a serialized simulation
 /// is also (node-local) program order per block — the order in which a
 /// predictor sitting at the receiving agent would observe them.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct TraceBundle {
     meta: TraceMeta,
     records: Vec<MsgRecord>,

@@ -10,7 +10,6 @@
 
 use crate::bundle::{TraceBundle, TraceMeta};
 use crate::record::MsgRecord;
-use bytes::{Buf, BufMut, Bytes, BytesMut};
 use stache::{BlockAddr, MsgType, NodeId, Role};
 use std::error::Error;
 use std::fmt;
@@ -44,29 +43,71 @@ impl fmt::Display for DecodeError {
 
 impl Error for DecodeError {}
 
+/// A big-endian cursor over the input being decoded.
+struct Reader<'a> {
+    data: &'a [u8],
+}
+
+impl<'a> Reader<'a> {
+    fn new(data: &'a [u8]) -> Self {
+        Reader { data }
+    }
+
+    fn need(&self, n: usize) -> Result<(), DecodeError> {
+        if self.data.len() < n {
+            Err(DecodeError::Truncated)
+        } else {
+            Ok(())
+        }
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8], DecodeError> {
+        self.need(n)?;
+        let (head, rest) = self.data.split_at(n);
+        self.data = rest;
+        Ok(head)
+    }
+
+    fn u8(&mut self) -> Result<u8, DecodeError> {
+        Ok(self.take(1)?[0])
+    }
+
+    fn u16(&mut self) -> Result<u16, DecodeError> {
+        Ok(u16::from_be_bytes(self.take(2)?.try_into().unwrap()))
+    }
+
+    fn u32(&mut self) -> Result<u32, DecodeError> {
+        Ok(u32::from_be_bytes(self.take(4)?.try_into().unwrap()))
+    }
+
+    fn u64(&mut self) -> Result<u64, DecodeError> {
+        Ok(u64::from_be_bytes(self.take(8)?.try_into().unwrap()))
+    }
+}
+
 /// Encodes a bundle to the binary format.
-pub fn encode(bundle: &TraceBundle) -> Bytes {
+pub fn encode(bundle: &TraceBundle) -> Vec<u8> {
     let meta = bundle.meta();
-    let mut buf = BytesMut::with_capacity(32 + meta.app.len() + bundle.len() * 26);
-    buf.put_slice(MAGIC);
-    buf.put_u16(meta.app.len() as u16);
-    buf.put_slice(meta.app.as_bytes());
-    buf.put_u32(meta.nodes as u32);
-    buf.put_u32(meta.iterations);
-    buf.put_u64(bundle.len() as u64);
+    let mut buf = Vec::with_capacity(32 + meta.app.len() + bundle.len() * 26);
+    buf.extend_from_slice(MAGIC);
+    buf.extend_from_slice(&(meta.app.len() as u16).to_be_bytes());
+    buf.extend_from_slice(meta.app.as_bytes());
+    buf.extend_from_slice(&(meta.nodes as u32).to_be_bytes());
+    buf.extend_from_slice(&meta.iterations.to_be_bytes());
+    buf.extend_from_slice(&(bundle.len() as u64).to_be_bytes());
     for r in bundle.records() {
-        buf.put_u64(r.time_ns);
-        buf.put_u16(r.node.raw());
-        buf.put_u8(match r.role {
+        buf.extend_from_slice(&r.time_ns.to_be_bytes());
+        buf.extend_from_slice(&r.node.raw().to_be_bytes());
+        buf.push(match r.role {
             Role::Cache => 0,
             Role::Directory => 1,
         });
-        buf.put_u64(r.block.number());
-        buf.put_u16(r.sender.raw());
-        buf.put_u8(r.mtype.code());
-        buf.put_u32(r.iteration);
+        buf.extend_from_slice(&r.block.number().to_be_bytes());
+        buf.extend_from_slice(&r.sender.raw().to_be_bytes());
+        buf.push(r.mtype.code());
+        buf.extend_from_slice(&r.iteration.to_be_bytes());
     }
-    buf.freeze()
+    buf
 }
 
 /// Decodes a bundle from the binary format.
@@ -74,48 +115,32 @@ pub fn encode(bundle: &TraceBundle) -> Bytes {
 /// # Errors
 ///
 /// Returns a [`DecodeError`] on malformed input; never panics.
-pub fn decode(mut data: &[u8]) -> Result<TraceBundle, DecodeError> {
-    fn need(data: &[u8], n: usize) -> Result<(), DecodeError> {
-        if data.remaining() < n {
-            Err(DecodeError::Truncated)
-        } else {
-            Ok(())
-        }
-    }
-    need(data, 4)?;
-    let mut magic = [0u8; 4];
-    data.copy_to_slice(&mut magic);
-    if &magic != MAGIC {
+pub fn decode(data: &[u8]) -> Result<TraceBundle, DecodeError> {
+    let mut r = Reader::new(data);
+    if r.take(4)? != MAGIC {
         return Err(DecodeError::BadMagic);
     }
-    need(data, 2)?;
-    let app_len = data.get_u16() as usize;
-    need(data, app_len)?;
-    let mut app_bytes = vec![0u8; app_len];
-    data.copy_to_slice(&mut app_bytes);
-    let app = String::from_utf8(app_bytes).map_err(|_| DecodeError::BadField { field: "app" })?;
-    need(data, 16)?;
-    let nodes = data.get_u32() as usize;
-    let iterations = data.get_u32();
-    let count = data.get_u64() as usize;
+    let app_len = r.u16()? as usize;
+    let app = String::from_utf8(r.take(app_len)?.to_vec())
+        .map_err(|_| DecodeError::BadField { field: "app" })?;
+    let nodes = r.u32()? as usize;
+    let iterations = r.u32()?;
+    let count = r.u64()? as usize;
 
     let mut bundle = TraceBundle::new(TraceMeta::new(app, nodes, iterations));
     for _ in 0..count {
-        need(data, 26)?;
-        let time_ns = data.get_u64();
-        let node =
-            NodeId::from_raw(data.get_u16()).ok_or(DecodeError::BadField { field: "node" })?;
-        let role = match data.get_u8() {
+        r.need(26)?;
+        let time_ns = r.u64()?;
+        let node = NodeId::from_raw(r.u16()?).ok_or(DecodeError::BadField { field: "node" })?;
+        let role = match r.u8()? {
             0 => Role::Cache,
             1 => Role::Directory,
             _ => return Err(DecodeError::BadField { field: "role" }),
         };
-        let block = BlockAddr::new(data.get_u64());
-        let sender =
-            NodeId::from_raw(data.get_u16()).ok_or(DecodeError::BadField { field: "sender" })?;
-        let mtype =
-            MsgType::from_code(data.get_u8()).ok_or(DecodeError::BadField { field: "mtype" })?;
-        let iteration = data.get_u32();
+        let block = BlockAddr::new(r.u64()?);
+        let sender = NodeId::from_raw(r.u16()?).ok_or(DecodeError::BadField { field: "sender" })?;
+        let mtype = MsgType::from_code(r.u8()?).ok_or(DecodeError::BadField { field: "mtype" })?;
+        let iteration = r.u32()?;
         bundle.push(MsgRecord {
             time_ns,
             node,

@@ -11,14 +11,14 @@
 
 use crate::bundle::TraceBundle;
 use crate::record::MsgRecord;
-use serde::{Deserialize, Serialize};
 use stache::{BlockAddr, MsgType, NodeId, Role};
 use std::collections::HashMap;
 use std::fmt;
 
 /// An arc: at agents of `role`, a message of type `prev` for a block was
 /// followed by one of type `next` for the same block.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct ArcKey {
     /// The receiving agent's role.
     pub role: Role,

@@ -70,6 +70,35 @@ impl TraceStats {
         }
         out
     }
+
+    /// The per-type mix as an [`obs::Table`] (also the `Display` body).
+    pub fn mix_table(&self) -> obs::Table {
+        let mut t = obs::Table::new(vec!["message", "count", "share"]).with_aligns(vec![
+            obs::Align::Left,
+            obs::Align::Right,
+            obs::Align::Right,
+        ]);
+        for (mtype, c) in &self.by_type {
+            t.push_row(vec![
+                mtype.paper_name().to_string(),
+                c.to_string(),
+                format!("{:.1}%", 100.0 * self.share(*mtype)),
+            ]);
+        }
+        t
+    }
+
+    /// Exports into a metrics snapshot under the `trace.` prefix.
+    pub fn export_obs(&self, snap: &mut obs::Snapshot) {
+        snap.counter("trace.messages.total", self.total as u64);
+        snap.counter("trace.messages.at_cache", self.at_cache as u64);
+        snap.counter("trace.messages.at_directory", self.at_directory as u64);
+        snap.counter("trace.blocks", self.distinct_blocks as u64);
+        snap.counter("trace.iterations", self.by_iteration.len() as u64);
+        for (mtype, c) in &self.by_type {
+            snap.counter(&format!("trace.msg.{}", mtype.paper_name()), *c as u64);
+        }
+    }
 }
 
 impl fmt::Display for TraceStats {
@@ -79,16 +108,7 @@ impl fmt::Display for TraceStats {
             "{} messages ({} at caches, {} at directories), {} blocks",
             self.total, self.at_cache, self.at_directory, self.distinct_blocks
         )?;
-        for (t, c) in &self.by_type {
-            writeln!(
-                f,
-                "  {:<20} {:>10}  ({:>5.1}%)",
-                t.paper_name(),
-                c,
-                100.0 * self.share(*t)
-            )?;
-        }
-        Ok(())
+        f.write_str(&self.mix_table().render())
     }
 }
 

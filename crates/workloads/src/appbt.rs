@@ -15,7 +15,6 @@
 
 use crate::rng::iter_rng;
 use crate::{push_quiet_phase, Workload};
-use rand::Rng;
 use simx::{Access, IterationPlan, Phase};
 use stache::{BlockAddr, NodeId};
 

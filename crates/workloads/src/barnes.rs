@@ -14,7 +14,6 @@
 
 use crate::rng::{choose_distinct, iter_rng, permutation};
 use crate::{push_quiet_phase, Workload};
-use rand::Rng;
 use simx::{Access, IterationPlan, Phase};
 use stache::{BlockAddr, NodeId};
 

@@ -27,7 +27,6 @@
 
 use crate::rng::{iter_rng, permutation};
 use crate::Workload;
-use rand::Rng;
 use simx::{Access, IterationPlan, Phase};
 use stache::{BlockAddr, NodeId};
 
@@ -108,7 +107,7 @@ impl Dsmc {
     /// which reproduces the ~300-iteration time-to-adapt of §6.2.
     fn stabilize_iteration(&self, k: usize) -> u32 {
         let mut rng = iter_rng(self.seed, 0, 100 + k as u64);
-        let u: f64 = rng.gen();
+        let u = rng.gen_f64();
         1 + (f64::from(self.stabilize_by.max(1) - 1) * u.powi(6)) as u32
     }
 

@@ -1,9 +1,8 @@
 //! Benchmark metadata — the paper's Table 4.
 
-use serde::{Deserialize, Serialize};
-
 /// A row of Table 4: what each benchmark is and how it is sized here.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct BenchmarkMeta {
     /// Benchmark name.
     pub name: &'static str,

@@ -14,7 +14,6 @@
 
 use crate::rng::{choose_distinct, consumer_count, iter_rng};
 use crate::{push_quiet_phase, Workload};
-use rand::Rng;
 use simx::{Access, IterationPlan, Phase};
 use stache::{BlockAddr, NodeId};
 

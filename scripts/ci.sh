@@ -1,0 +1,19 @@
+#!/usr/bin/env bash
+# Tier-1 CI gate. Everything runs --offline: the workspace has no external
+# dependencies by design (DESIGN.md §6), so a hermetic builder must pass.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "==> cargo fmt --check"
+cargo fmt --all -- --check
+
+echo "==> cargo clippy -D warnings"
+cargo clippy --workspace --all-targets --offline -- -D warnings
+
+echo "==> cargo build --release"
+cargo build --release --offline
+
+echo "==> cargo test"
+cargo test -q --offline
+
+echo "CI green."
