@@ -21,8 +21,8 @@
 //! snapshot — machine, protocol, trace, predictor, and speculation layers —
 //! as `obs.v1` JSON to PATH. Given alone, it runs only the report.
 
-use bench_suite::{extras, figures, obs_report, tables, Scale, TraceSet};
-use simx::SystemConfig;
+use bench_suite::{extras, faults, figures, obs_report, tables, Scale, TraceSet};
+use simx::{FaultPlan, SystemConfig};
 use std::process::ExitCode;
 
 const TARGETS: &[&str] = &[
@@ -51,6 +51,7 @@ const TARGETS: &[&str] = &[
     "engines",
     "lookahead",
     "seeds",
+    "faults",
 ];
 
 fn main() -> ExitCode {
@@ -60,6 +61,8 @@ fn main() -> ExitCode {
     let mut csv_dir: Option<std::path::PathBuf> = None;
     let mut obs_json: Option<std::path::PathBuf> = None;
     let mut obs_app = String::from("appbt");
+    let mut fault_plan: Option<FaultPlan> = None;
+    let mut faults_seed: Option<u64> = None;
     let mut expect = None::<&str>;
     for a in &args {
         match expect.take() {
@@ -75,17 +78,43 @@ fn main() -> ExitCode {
                 obs_app = a.clone();
                 continue;
             }
+            Some("--faults") => {
+                match FaultPlan::parse(a) {
+                    Ok(p) => fault_plan = Some(p),
+                    Err(e) => {
+                        eprintln!("--faults: {e}");
+                        return ExitCode::FAILURE;
+                    }
+                }
+                continue;
+            }
+            Some("--faults-seed") => {
+                match a.parse::<u64>() {
+                    Ok(s) => faults_seed = Some(s),
+                    Err(_) => {
+                        eprintln!("--faults-seed: `{a}` is not a u64");
+                        return ExitCode::FAILURE;
+                    }
+                }
+                continue;
+            }
             Some(_) => unreachable!(),
             None => {}
         }
         match a.as_str() {
             "--small" => scale = Scale::Small,
-            "--csv" | "--obs-json" | "--obs-app" => expect = Some(a.as_str()),
+            "--csv" | "--obs-json" | "--obs-app" | "--faults" | "--faults-seed" => {
+                expect = Some(a.as_str())
+            }
             "--help" | "-h" => {
                 println!(
                     "usage: repro [--small] [--csv DIR] [--obs-json PATH [--obs-app NAME]] \
-                     [{}|all ...]",
+                     [--faults SPEC [--faults-seed N]] [{}|all ...]",
                     TARGETS.join("|")
+                );
+                println!(
+                    "  --faults SPEC   fault plan for the `faults` target, e.g. \
+                     drop=0.01,dup=0.005,reorder=3 (keys: drop, dup, spike, reorder, spike_ns)"
                 );
                 return ExitCode::SUCCESS;
             }
@@ -101,6 +130,21 @@ fn main() -> ExitCode {
         eprintln!("{flag} needs a value; try --help");
         return ExitCode::FAILURE;
     }
+
+    // `--faults SPEC` alone runs the fault-sensitivity report; the
+    // `faults` target without a spec uses a small default perturbation.
+    if fault_plan.is_some() && targets.is_empty() && obs_json.is_none() {
+        targets.push("faults".to_string());
+    }
+    let fault_plan = {
+        let mut p = fault_plan.unwrap_or_else(|| {
+            FaultPlan::parse("drop=0.01,dup=0.005,reorder=3").expect("default fault spec")
+        });
+        if let Some(seed) = faults_seed {
+            p = p.with_seed(seed);
+        }
+        p
+    };
 
     if let Some(path) = &obs_json {
         let apps = bench_suite::report::report_apps();
@@ -231,6 +275,16 @@ fn main() -> ExitCode {
             }
             "seeds" => {
                 println!("{}", extras::seed_robustness(scale));
+            }
+            "faults" => {
+                eprintln!(
+                    "running fault-sensitivity report ({scale:?} scale, seed {})...",
+                    fault_plan.seed
+                );
+                let report = faults::fault_report(scale, &fault_plan);
+                println!("{}", faults::render_fault_report(&report));
+                write_csv(&csv_dir, "faults.csv", &faults::csv_fault_report(&report));
+                write_csv(&csv_dir, "faults_obs.json", &report.export_obs().to_json());
             }
             "integration" => {
                 let rows = bench_suite::integration::integration(scale, 2);

@@ -23,6 +23,7 @@
 //! | §7 directed-predictor comparison | [`extras::comparison`] |
 //! | Design-choice ablations | [`extras::ablation_half_migratory`], [`extras::ablation_sender`] |
 //! | §4/§8 live integration | [`integration::integration`] |
+//! | §5 fault-sensitivity (clean vs perturbed traces) | [`faults::fault_report`] |
 //!
 //! The `repro` binary drives them from the command line; the [`Harness`]
 //! benches under `benches/` time the underlying machinery. The
@@ -31,6 +32,7 @@
 //! machine-readable [`obs::Snapshot`] (`repro --obs-json`).
 
 pub mod extras;
+pub mod faults;
 pub mod figures;
 pub mod harness;
 pub mod integration;

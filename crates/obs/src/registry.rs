@@ -25,10 +25,12 @@ impl Counter {
         self.add(1);
     }
 
-    /// Adds `n`.
+    /// Adds `n`, saturating at `u64::MAX`. A counter that has been
+    /// incremented 2^64 times is pegged, not silently reset to a small
+    /// value — wrapping would corrupt rates and diffs downstream.
     #[inline]
     pub fn add(&self, n: u64) {
-        self.0.set(self.0.get().wrapping_add(n));
+        self.0.set(self.0.get().saturating_add(n));
     }
 
     /// The current value.
@@ -146,6 +148,22 @@ mod tests {
         b.add(2);
         assert_eq!(reg.counter("x.hits").get(), 3);
         assert_eq!(reg.len(), 1);
+    }
+
+    #[test]
+    fn counter_saturates_instead_of_wrapping() {
+        // Regression: `add` used `wrapping_add`, so a counter at the top
+        // of the range would wrap to a tiny value and silently corrupt
+        // every downstream rate computation.
+        let mut reg = Registry::new();
+        let c = reg.counter("edge.hits");
+        c.add(u64::MAX - 1);
+        c.inc();
+        assert_eq!(c.get(), u64::MAX);
+        c.inc();
+        assert_eq!(c.get(), u64::MAX, "increment past MAX must peg, not wrap");
+        c.add(u64::MAX);
+        assert_eq!(c.get(), u64::MAX);
     }
 
     #[test]

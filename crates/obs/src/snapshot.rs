@@ -107,7 +107,9 @@ impl Snapshot {
         for (name, v) in &other.metrics {
             match (self.metrics.get_mut(name), v) {
                 (Some(MetricValue::Counter(a)), MetricValue::Counter(b)) => {
-                    *a = a.wrapping_add(*b);
+                    // Saturate: merging near-full counters must peg at
+                    // u64::MAX, not wrap to a small value.
+                    *a = a.saturating_add(*b);
                 }
                 (Some(MetricValue::Histogram(a)), MetricValue::Histogram(b)) => {
                     a.merge(b);
@@ -230,6 +232,24 @@ mod tests {
         }
         // Gauges take the incoming value.
         assert_eq!(a.get("a.rate"), Some(&MetricValue::Gauge(0.5)));
+    }
+
+    #[test]
+    fn merge_saturates_counters_at_the_top_of_the_range() {
+        // Regression: merge used `wrapping_add`, so combining two
+        // near-full counters produced a small wrapped value.
+        let mut a = Snapshot::new();
+        a.counter("edge", u64::MAX - 1);
+        let mut b = Snapshot::new();
+        b.counter("edge", 5);
+        a.merge(&b);
+        assert_eq!(a.get("edge"), Some(&MetricValue::Counter(u64::MAX)));
+        a.merge(&b);
+        assert_eq!(
+            a.get("edge"),
+            Some(&MetricValue::Counter(u64::MAX)),
+            "repeated merges must stay pegged"
+        );
     }
 
     #[test]

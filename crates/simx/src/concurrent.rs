@@ -27,6 +27,7 @@
 use crate::config::SystemConfig;
 use crate::driver::{AccessOp, IterationPlan, Phase};
 use crate::event::EventQueue;
+use crate::fault::{FaultInjector, FaultPlan, FaultTally};
 use crate::machine::{SimError, SpeculationPolicy};
 use crate::stats::MachineStats;
 use obs::{Event as ObsEvent, EventRing, Severity};
@@ -35,7 +36,8 @@ use stache::directory::{self};
 use stache::invariants::check_block;
 use stache::placement::home_of_block;
 use stache::{
-    BlockAddr, CacheState, DirState, Msg, MsgType, NodeId, ProcOp, ProtocolConfig, ProtocolTally,
+    BlockAddr, CacheState, DedupFilter, DirState, Msg, MsgType, NodeId, ProcOp, ProtocolConfig,
+    ProtocolTally, RecoveryTally,
 };
 use std::cell::RefCell;
 use std::collections::{HashMap, HashSet, VecDeque};
@@ -46,8 +48,38 @@ use trace::{MsgRecord, TraceBundle, TraceMeta};
 enum Event {
     /// A processor attempts its next script operation.
     Issue(NodeId),
-    /// A message is delivered to its receiver.
-    Deliver(Msg),
+    /// A message is delivered to its receiver, carrying its transmission
+    /// sequence number (0 and unchecked on a perfect fabric).
+    Deliver(Msg, u64),
+    /// A NAK bounces a request for a busy block back to its sender
+    /// (fault mode only). NAKs are recovery-layer control traffic,
+    /// excluded from the trace vocabulary like §5.1 barrier messages.
+    Nak {
+        /// The NAKed requester.
+        node: NodeId,
+        /// The contended block.
+        block: BlockAddr,
+    },
+    /// A requester's retransmission timer (fault mode only). Lazily
+    /// cancelled: stale epochs are ignored when popped.
+    RetryCheck {
+        /// The waiting requester.
+        node: NodeId,
+        /// The miss epoch the timer was armed in.
+        epoch: u64,
+        /// Transmission attempts made so far.
+        attempt: u32,
+    },
+    /// A directory's invalidation-acknowledgment timer (fault mode
+    /// only), also lazily cancelled via the transaction epoch.
+    AckCheck {
+        /// The transaction's block.
+        block: BlockAddr,
+        /// The transaction epoch the timer was armed for.
+        epoch: u64,
+        /// Re-send rounds completed so far.
+        attempt: u32,
+    },
 }
 
 /// An in-flight directory transaction for one block.
@@ -61,6 +93,15 @@ struct DirTxn {
     outstanding: usize,
     /// Whether the requester is the home itself.
     local: bool,
+    /// The invalidations/downgrades sent, kept so fault-mode ack timers
+    /// can re-send exactly the unacknowledged ones.
+    holders: Vec<(NodeId, MsgType)>,
+    /// Holders whose acknowledgment has been counted (fault mode):
+    /// makes ack processing idempotent under re-sends and races.
+    acked: HashSet<NodeId>,
+    /// Monotone transaction id; a popped [`Event::AckCheck`] with a
+    /// different epoch belongs to an earlier transaction and is ignored.
+    epoch: u64,
 }
 
 /// A request waiting for a busy block at its home directory.
@@ -105,6 +146,23 @@ pub struct ConcurrentMachine {
     /// Bounded flight recorder (`RefCell` so the `&self` audit path can
     /// log violations).
     ring: RefCell<EventRing>,
+    /// Network fault injection, if installed. `None` (the default) means
+    /// a perfect fabric and the original code paths.
+    fault: Option<FaultInjector>,
+    /// Per-node duplicate filters (sequence-numbered idempotent delivery).
+    dedup: Vec<DedupFilter>,
+    /// Next transmission sequence number per *receiver*.
+    next_seq_to: Vec<u64>,
+    /// Per-node miss epoch, bumped when a miss completes — lazily
+    /// cancels that node's outstanding [`Event::RetryCheck`] timers.
+    miss_epoch: Vec<u64>,
+    /// Whether the node's current miss needed a recovery action, for the
+    /// recovery-latency histogram.
+    miss_recovered: Vec<bool>,
+    /// Monotone counter stamping [`DirTxn::epoch`].
+    txn_epoch: u64,
+    /// Everything the recovery layer did (quiet on a perfect fabric).
+    recovery: RecoveryTally,
 }
 
 impl ConcurrentMachine {
@@ -134,7 +192,46 @@ impl ConcurrentMachine {
             policy: None,
             tally: ProtocolTally::new(),
             ring: RefCell::new(EventRing::default()),
+            fault: None,
+            dedup: vec![DedupFilter::new(); nodes],
+            next_seq_to: vec![0; nodes],
+            miss_epoch: vec![0; nodes],
+            miss_recovered: vec![false; nodes],
+            txn_epoch: 0,
+            recovery: RecoveryTally::new(),
         }
+    }
+
+    /// Installs a network fault plan: every send passes through a
+    /// deterministic [`FaultInjector`], and the recovery layer engages —
+    /// requester retransmission timers with capped exponential backoff,
+    /// directory NAKs for requests hitting a busy block (instead of the
+    /// unbounded pending queue), idempotent re-grants and re-acks, and
+    /// sequence-numbered duplicate absorption. With no plan installed the
+    /// engine takes its original code paths.
+    pub fn set_fault_plan(&mut self, plan: FaultPlan) {
+        self.set_fault_injector(FaultInjector::new(plan));
+    }
+
+    /// Installs a pre-built injector — lets tests pin faults to exact
+    /// delivery indices with [`FaultInjector::force`].
+    pub fn set_fault_injector(&mut self, injector: FaultInjector) {
+        self.fault = Some(injector);
+    }
+
+    /// The installed injector, if any.
+    pub fn fault_injector_mut(&mut self) -> Option<&mut FaultInjector> {
+        self.fault.as_mut()
+    }
+
+    /// Faults injected so far, when a plan is installed.
+    pub fn fault_tally(&self) -> Option<&FaultTally> {
+        self.fault.as_ref().map(FaultInjector::tally)
+    }
+
+    /// Recovery-layer actions taken so far (quiet on a perfect fabric).
+    pub fn recovery_tally(&self) -> &RecoveryTally {
+        &self.recovery
     }
 
     /// Installs a speculation policy (the §4 integration): exclusive
@@ -201,6 +298,12 @@ impl ConcurrentMachine {
         snap.counter("simx.trace.records", self.trace.len() as u64);
         snap.counter("simx.ring.events_total", self.ring.borrow().total_pushed());
         snap.histogram("simx.queue.depth", self.queue.depth_histogram());
+        // Fault/recovery metrics appear only when an injector is
+        // installed, so clean runs keep their exact metric set.
+        if let Some(inj) = &self.fault {
+            inj.tally().export_obs(&mut snap);
+            self.recovery.export_obs(&mut snap);
+        }
         snap
     }
 
@@ -276,7 +379,74 @@ impl ConcurrentMachine {
     fn send(&mut self, at: u64, msg: Msg) {
         let hop = self.one_way(msg.sender, msg.receiver);
         self.stats.net_latency_ns.record(hop);
-        self.queue.push(at + hop, Event::Deliver(msg));
+        if self.fault.is_none() {
+            self.queue.push(at + hop, Event::Deliver(msg, 0));
+            return;
+        }
+        let seq = self.next_seq_to[msg.receiver.index()];
+        self.next_seq_to[msg.receiver.index()] += 1;
+        let d = self.fault.as_mut().unwrap().next_delivery(hop);
+        if d.dropped {
+            return;
+        }
+        self.queue
+            .push(at + hop + d.extra_ns, Event::Deliver(msg, seq));
+        if d.duplicated {
+            // The copy traverses the wire too, carrying the same
+            // sequence number; the receiver's filter absorbs it.
+            self.stats.net_latency_ns.record(hop);
+            self.queue
+                .push(at + hop + d.extra_ns, Event::Deliver(msg, seq));
+        }
+    }
+
+    /// Sends over the reliable control channel: never fault-injected.
+    /// Used for voluntary writebacks, whose loss the protocol has no
+    /// timer to detect (nothing waits on them).
+    fn send_reliable(&mut self, at: u64, msg: Msg) {
+        let hop = self.one_way(msg.sender, msg.receiver);
+        self.stats.net_latency_ns.record(hop);
+        let seq = if self.fault.is_some() {
+            let s = self.next_seq_to[msg.receiver.index()];
+            self.next_seq_to[msg.receiver.index()] += 1;
+            s
+        } else {
+            0
+        };
+        self.queue.push(at + hop, Event::Deliver(msg, seq));
+    }
+
+    /// Arms a requester-side retransmission timer for the node's current
+    /// miss (no-op on a perfect fabric).
+    fn arm_retry(&mut self, node: NodeId, now: u64, attempt: u32) {
+        let Some(inj) = &self.fault else { return };
+        let timeout = inj.retry().timeout_for(attempt);
+        self.queue.push(
+            now + timeout,
+            Event::RetryCheck {
+                node,
+                epoch: self.miss_epoch[node.index()],
+                attempt,
+            },
+        );
+    }
+
+    /// Retransmits the request for the node's in-flight miss, deriving
+    /// the message type from the cache's transient state (which tracks
+    /// upgrade-race conversions automatically).
+    fn resend_request(&mut self, node: NodeId, at: u64) {
+        let Some((block, _, _)) = self.waiting[node.index()] else {
+            return;
+        };
+        let home = home_of_block(block, &self.proto);
+        let req = match self.cache_state(node, block) {
+            CacheState::IToS => MsgType::GetRoRequest,
+            CacheState::IToE => MsgType::GetRwRequest,
+            CacheState::SToE => MsgType::UpgradeRequest,
+            // The grant raced this retransmission and won: nothing to do.
+            _ => return,
+        };
+        self.send(at, Msg::new(node, home, block, req));
     }
 
     /// Executes one iteration plan: each phase runs to quiescence, then a
@@ -320,9 +490,124 @@ impl ConcurrentMachine {
         while let Some((t, ev)) = self.queue.pop() {
             match ev {
                 Event::Issue(node) => self.on_issue(node, t)?,
-                Event::Deliver(msg) => self.on_deliver(&msg, t)?,
+                Event::Deliver(msg, seq) => {
+                    if self.fault.is_some() && !self.dedup[msg.receiver.index()].observe(seq) {
+                        // A duplicated transmission: absorbed before it
+                        // can re-run a handler or pollute the trace.
+                        self.recovery.dups_absorbed += 1;
+                        continue;
+                    }
+                    self.on_deliver(&msg, t)?;
+                }
+                Event::Nak { node, block } => self.on_nak(node, block, t),
+                Event::RetryCheck {
+                    node,
+                    epoch,
+                    attempt,
+                } => self.on_retry_check(node, epoch, attempt, t)?,
+                Event::AckCheck {
+                    block,
+                    epoch,
+                    attempt,
+                } => self.on_ack_check(block, epoch, attempt, t)?,
             }
         }
+        Ok(())
+    }
+
+    /// A NAK reached the requester: its cache handler turns it straight
+    /// around into a fresh copy of the outstanding request.
+    fn on_nak(&mut self, node: NodeId, block: BlockAddr, t: u64) {
+        self.recovery.naks_received += 1;
+        // Only react if the node is still waiting on the NAKed block; a
+        // NAK for an already-completed miss is stale.
+        if self.waiting[node.index()].is_some_and(|(b, _, _)| b == block) {
+            self.miss_recovered[node.index()] = true;
+            self.resend_request(node, t + self.sys.handler_ns);
+        }
+    }
+
+    /// A requester's retransmission timer fired.
+    fn on_retry_check(
+        &mut self,
+        node: NodeId,
+        epoch: u64,
+        attempt: u32,
+        t: u64,
+    ) -> Result<(), SimError> {
+        if self.miss_epoch[node.index()] != epoch || self.waiting[node.index()].is_none() {
+            return Ok(()); // lazily cancelled: the miss completed
+        }
+        self.recovery.timeouts += 1;
+        self.miss_recovered[node.index()] = true;
+        let retry = self
+            .fault
+            .as_ref()
+            .expect("timers are only armed under fault injection")
+            .retry()
+            .clone();
+        if !retry.can_retry(attempt) {
+            let (block, _, _) = self.waiting[node.index()].expect("checked above");
+            return Err(SimError::RetryExhausted {
+                from: node,
+                to: home_of_block(block, &self.proto),
+                attempts: attempt + 1,
+            });
+        }
+        self.recovery.retries += 1;
+        self.resend_request(node, t);
+        self.arm_retry(node, t, attempt + 1);
+        Ok(())
+    }
+
+    /// A directory's acknowledgment timer fired: re-send the
+    /// invalidations whose acks are still missing.
+    fn on_ack_check(
+        &mut self,
+        block: BlockAddr,
+        epoch: u64,
+        attempt: u32,
+        t: u64,
+    ) -> Result<(), SimError> {
+        let Some(txn) = self.txns.get(&block) else {
+            return Ok(()); // lazily cancelled: the transaction finished
+        };
+        if txn.epoch != epoch || txn.outstanding == 0 {
+            return Ok(());
+        }
+        self.recovery.timeouts += 1;
+        let retry = self
+            .fault
+            .as_ref()
+            .expect("timers are only armed under fault injection")
+            .retry()
+            .clone();
+        let home = home_of_block(block, &self.proto);
+        let unacked: Vec<(NodeId, MsgType)> = txn
+            .holders
+            .iter()
+            .filter(|(n, _)| !txn.acked.contains(n))
+            .copied()
+            .collect();
+        if !retry.can_retry(attempt) {
+            return Err(SimError::RetryExhausted {
+                from: home,
+                to: unacked.first().map_or(home, |&(n, _)| n),
+                attempts: attempt + 1,
+            });
+        }
+        for (target, imsg) in unacked {
+            self.recovery.retries += 1;
+            self.send(t, Msg::new(home, target, block, imsg));
+        }
+        self.queue.push(
+            t + retry.timeout_for(attempt + 1),
+            Event::AckCheck {
+                block,
+                epoch,
+                attempt: attempt + 1,
+            },
+        );
         Ok(())
     }
 
@@ -395,6 +680,7 @@ impl ConcurrentMachine {
                     self.waiting[node.index()] = Some((block, op, now));
                     self.clocks[node.index()] = now;
                     self.send(now, Msg::new(node, home, block, req));
+                    self.arm_retry(node, now, 0);
                     return Ok(());
                 }
             }
@@ -416,6 +702,9 @@ impl ConcurrentMachine {
             // Local markers (sender == receiver) are not real messages.
             if msg.sender != msg.receiver {
                 self.record(t, msg);
+                if self.fault.is_some() && self.fault_request_shortcut(msg, t) {
+                    return Ok(());
+                }
             }
             self.enqueue_or_start(*msg, t)
         } else {
@@ -441,7 +730,48 @@ impl ConcurrentMachine {
                     // In the replacement race the voluntary writeback
                     // doubles as the owner's acknowledgment; the crossing
                     // invalidation finds an empty cache and is suppressed
-                    // there, so the counts stay exact.
+                    // there, so the counts stay exact. Under fault
+                    // injection the same holder can acknowledge more than
+                    // once (a re-sent invalidation crossing the original
+                    // ack); the per-transaction set keeps counting exact.
+                    // A delayed ack can also belong to an *earlier*,
+                    // already-finished transaction on the same block, so
+                    // it only counts here if (a) this transaction asked
+                    // the sender for exactly this response and (b) the
+                    // sender's cache really gave up the conflicting copy.
+                    // Genuine acks always pass (b): a holder cannot
+                    // re-acquire while the block is busy, because its
+                    // request would be NAKed.
+                    if self.fault.is_some() {
+                        let expected = txn.holders.iter().any(|&(h, req)| {
+                            h == msg.sender
+                                && matches!(
+                                    (req, msg.mtype),
+                                    (MsgType::InvalRoRequest, MsgType::InvalRoResponse)
+                                        | (MsgType::InvalRwRequest, MsgType::InvalRwResponse)
+                                        | (MsgType::DowngradeRequest, MsgType::DowngradeResponse)
+                                )
+                        });
+                        let complied = match msg.mtype {
+                            MsgType::InvalRoResponse | MsgType::InvalRwResponse => !matches!(
+                                self.cache_state(msg.sender, msg.block),
+                                CacheState::Shared | CacheState::Exclusive
+                            ),
+                            MsgType::DowngradeResponse => {
+                                self.cache_state(msg.sender, msg.block) != CacheState::Exclusive
+                            }
+                            _ => true,
+                        };
+                        if !expected || !complied {
+                            self.recovery.dups_absorbed += 1;
+                            return Ok(());
+                        }
+                    }
+                    let txn = self.txns.get_mut(&msg.block).expect("checked above");
+                    if self.fault.is_some() && !txn.acked.insert(msg.sender) {
+                        self.recovery.dups_absorbed += 1;
+                        return Ok(());
+                    }
                     txn.outstanding -= 1;
                     if txn.outstanding == 0 {
                         let service = t + self.sys.handler_ns;
@@ -449,6 +779,17 @@ impl ConcurrentMachine {
                     }
                 }
                 None => {
+                    if self.fault.is_some()
+                        && (msg.mtype != MsgType::InvalRwResponse
+                            || self.cache_state(msg.sender, msg.block) != CacheState::Invalid)
+                    {
+                        // A stale re-acknowledgment for a transaction
+                        // that already finished — possibly racing the
+                        // sender's freshly re-acquired copy, which must
+                        // not clear the directory. Absorb it.
+                        self.recovery.dups_absorbed += 1;
+                        return Ok(());
+                    }
                     debug_assert_eq!(msg.mtype, MsgType::InvalRwResponse, "voluntary writeback");
                     let dir = self.dirs.entry(msg.block).or_default().clone();
                     if dir.owner() == Some(msg.sender) {
@@ -459,6 +800,47 @@ impl ConcurrentMachine {
                 }
             }
             Ok(())
+        }
+    }
+
+    /// Fault-mode fast paths for a remote request: NAK it if the block
+    /// is busy (instead of queueing without bound), or re-send the grant
+    /// if the directory already recorded this requester — a
+    /// retransmission whose original grant was lost or is still in
+    /// flight. Returns `true` when the request was fully handled.
+    fn fault_request_shortcut(&mut self, msg: &Msg, t: u64) -> bool {
+        if self.txns.contains_key(&msg.block) {
+            self.recovery.naks_sent += 1;
+            let hop = self.one_way(msg.receiver, msg.sender);
+            self.stats.net_latency_ns.record(hop);
+            self.queue.push(
+                t + self.sys.handler_ns + hop,
+                Event::Nak {
+                    node: msg.sender,
+                    block: msg.block,
+                },
+            );
+            return true;
+        }
+        let dir = self.dirs.entry(msg.block).or_default().clone();
+        let regrant = match msg.mtype {
+            MsgType::GetRoRequest if dir.node_readable(msg.sender) => Some(MsgType::GetRoResponse),
+            MsgType::GetRwRequest if dir.node_writable(msg.sender) => Some(MsgType::GetRwResponse),
+            MsgType::UpgradeRequest if dir.node_writable(msg.sender) => {
+                Some(MsgType::UpgradeResponse)
+            }
+            _ => None,
+        };
+        match regrant {
+            Some(resp) => {
+                self.recovery.regrants += 1;
+                self.send(
+                    t + self.sys.handler_ns,
+                    Msg::new(msg.receiver, msg.sender, msg.block, resp),
+                );
+                true
+            }
+            None => false,
         }
     }
 
@@ -542,19 +924,36 @@ impl ConcurrentMachine {
         } else {
             Some(reply_override.unwrap_or_else(|| outcome.reply.expect("remote grants reply")))
         };
+        self.txn_epoch += 1;
         let txn = DirTxn {
             requester: msg.sender,
             reply,
             next: outcome.next,
             outstanding: holder_requests.len(),
             local,
+            holders: holder_requests.clone(),
+            acked: HashSet::new(),
+            epoch: self.txn_epoch,
         };
+        let epoch = txn.epoch;
         for (target, imsg) in &holder_requests {
             self.send(dispatch, Msg::new(home, *target, block, *imsg));
         }
         self.txns.insert(block, txn);
         if holder_requests.is_empty() {
             self.finish_txn(block, dispatch)?;
+        } else if let Some(inj) = &self.fault {
+            // The directory waits for acknowledgments that a faulty
+            // fabric may eat: arm its re-send timer.
+            let timeout = inj.retry().timeout_for(0);
+            self.queue.push(
+                dispatch + timeout,
+                Event::AckCheck {
+                    block,
+                    epoch,
+                    attempt: 0,
+                },
+            );
         }
         Ok(())
     }
@@ -580,6 +979,8 @@ impl ConcurrentMachine {
     fn complete_local(&mut self, home: NodeId, block: BlockAddr, t: u64) -> Result<(), SimError> {
         let (wblock, op, issued) = self.waiting[home.index()].take().expect("home was waiting");
         debug_assert_eq!(wblock, block);
+        self.miss_epoch[home.index()] += 1;
+        self.miss_recovered[home.index()] = false;
         let done = t + self.sys.mem_access_ns;
         self.clocks[home.index()] = self.clocks[home.index()].max(done);
         self.stats
@@ -600,6 +1001,55 @@ impl ConcurrentMachine {
         let service = t.max(self.cache_busy[node.index()]);
         let handled = service + self.sys.handler_ns;
         self.cache_busy[node.index()] = handled;
+
+        if self.fault.is_some() {
+            match msg.mtype {
+                // A grant the cache cannot consume: the original grant
+                // raced a retransmission and won, so this re-grant is
+                // stale — absorb it without touching the line.
+                MsgType::GetRoResponse | MsgType::GetRwResponse | MsgType::UpgradeResponse => {
+                    let consumable = matches!(
+                        (state, msg.mtype),
+                        (CacheState::IToS, MsgType::GetRoResponse)
+                            | (CacheState::IToS, MsgType::GetRwResponse)
+                            | (CacheState::IToE, MsgType::GetRwResponse)
+                            | (CacheState::SToE, MsgType::UpgradeResponse)
+                    ) && self.waiting[node.index()]
+                        .is_some_and(|(b, _, _)| b == block);
+                    if !consumable {
+                        self.recovery.stale_grants_absorbed += 1;
+                        return Ok(());
+                    }
+                }
+                // A re-sent owner recall that was already applied (the
+                // original ack was lost or is still in flight): the
+                // now-empty cache acknowledges again so the directory's
+                // count can complete; the per-transaction acked set
+                // absorbs any double-count.
+                MsgType::InvalRwRequest
+                    if matches!(
+                        state,
+                        CacheState::Invalid | CacheState::IToS | CacheState::IToE
+                    ) =>
+                {
+                    self.send(
+                        handled,
+                        Msg::new(node, msg.sender, block, MsgType::InvalRwResponse),
+                    );
+                    return Ok(());
+                }
+                // Likewise a re-sent downgrade finding the copy already
+                // downgraded (or gone).
+                MsgType::DowngradeRequest if state != CacheState::Exclusive => {
+                    self.send(
+                        handled,
+                        Msg::new(node, msg.sender, block, MsgType::DowngradeResponse),
+                    );
+                    return Ok(());
+                }
+                _ => {}
+            }
+        }
 
         // The replacement race: an owner-recall crossing a voluntary
         // writeback finds the cache already empty — or already missing
@@ -649,6 +1099,14 @@ impl ConcurrentMachine {
                 let (wblock, op, issued) =
                     self.waiting[node.index()].take().expect("node was waiting");
                 debug_assert_eq!(wblock, block);
+                // Lazily cancel any outstanding retransmission timers.
+                self.miss_epoch[node.index()] += 1;
+                if self.miss_recovered[node.index()] {
+                    self.miss_recovered[node.index()] = false;
+                    self.recovery
+                        .recovery_latency_ns
+                        .record(handled.saturating_sub(issued));
+                }
                 match msg.mtype {
                     MsgType::GetRoResponse => {
                         let v = self.mem_values.get(&block).copied().unwrap_or(0);
@@ -702,7 +1160,9 @@ impl ConcurrentMachine {
                 .node(node.raw())
                 .block(block.number()),
         );
-        self.send(now, Msg::new(node, home, block, MsgType::InvalRwResponse));
+        // Over the reliable channel: nothing times out waiting for a
+        // voluntary writeback, so the protocol could not recover its loss.
+        self.send_reliable(now, Msg::new(node, home, block, MsgType::InvalRwResponse));
         self.stats.voluntary_replacements += 1;
     }
 
@@ -986,6 +1446,172 @@ mod tests {
         ));
         assert!(snap.get("stache.cache.transition.invalid.i_to_s").is_some());
         assert!(m.flight_events().iter().any(|e| e.kind == "msg.recv"));
+    }
+
+    #[test]
+    fn dropped_grant_is_recovered_by_the_retry_timer() {
+        use crate::fault::{FaultPlan, ForcedFault};
+        let mut m = machine();
+        let mut inj = crate::fault::FaultInjector::new(FaultPlan::default());
+        // Delivery 0 is the request, delivery 1 the grant.
+        inj.force(1, ForcedFault::Drop);
+        m.set_fault_injector(inj);
+        let plan = plan_of(vec![vec![Access::read(n(1), BlockAddr::new(0))]]);
+        m.run_plan(&plan, 0).unwrap();
+        let r = m.recovery_tally();
+        assert_eq!(r.timeouts, 1, "exactly one timeout fires");
+        assert_eq!(r.retries, 1, "exactly one retransmission");
+        assert_eq!(r.regrants, 1, "the home re-sends the lost grant");
+        assert_eq!(r.recovery_latency_ns.count(), 1);
+        assert_eq!(m.cache_state(n(1), BlockAddr::new(0)), CacheState::Shared);
+        m.verify_coherence().unwrap();
+    }
+
+    #[test]
+    fn duplicated_inval_ack_is_absorbed_by_the_sequence_filter() {
+        use crate::fault::{FaultInjector, FaultPlan, ForcedFault};
+        let mut m = machine();
+        let mut inj = FaultInjector::new(FaultPlan::default());
+        // Phase 1, write by node 1: request (0), grant (1). Phase 2,
+        // write by node 2: request (2), invalidation (3), ack (4),
+        // grant (5).
+        inj.force(4, ForcedFault::Duplicate);
+        m.set_fault_injector(inj);
+        let plan = plan_of(vec![
+            vec![Access::write(n(1), BlockAddr::new(0))],
+            vec![Access::write(n(2), BlockAddr::new(0))],
+        ]);
+        m.run_plan(&plan, 0).unwrap();
+        assert_eq!(m.recovery_tally().dups_absorbed, 1);
+        // Six receptions, exactly as a clean run: the duplicate never
+        // reaches a handler or the trace.
+        assert_eq!(m.trace().len(), 6);
+        m.verify_coherence().unwrap();
+    }
+
+    #[test]
+    fn dropped_inval_ack_is_recovered_by_the_directory_timer() {
+        use crate::fault::{FaultInjector, FaultPlan, ForcedFault};
+        let mut m = machine();
+        let mut inj = FaultInjector::new(FaultPlan::default());
+        // Same shape as above; delivery 4 is the inval ack — drop it.
+        inj.force(4, ForcedFault::Drop);
+        m.set_fault_injector(inj);
+        let plan = plan_of(vec![
+            vec![Access::write(n(1), BlockAddr::new(0))],
+            vec![Access::write(n(2), BlockAddr::new(0))],
+        ]);
+        m.run_plan(&plan, 0).unwrap();
+        let r = m.recovery_tally();
+        assert!(r.timeouts >= 1, "the directory's ack timer fired");
+        assert!(r.retries >= 1, "the invalidation was re-sent");
+        m.verify_coherence().unwrap();
+        assert_eq!(
+            m.cache_state(n(2), BlockAddr::new(0)),
+            CacheState::Exclusive
+        );
+        assert_eq!(m.cache_state(n(1), BlockAddr::new(0)), CacheState::Invalid);
+    }
+
+    #[test]
+    fn busy_block_naks_instead_of_queueing() {
+        use crate::fault::FaultPlan;
+        let mut m = machine();
+        m.set_fault_plan(FaultPlan::default());
+        // Seed an exclusive owner, then race two requests: whichever
+        // arrives second finds an invalidation transaction in flight and
+        // is NAKed instead of sitting in the pending queue.
+        let plan = plan_of(vec![
+            vec![Access::write(n(1), BlockAddr::new(0))],
+            vec![
+                Access::read(n(2), BlockAddr::new(0)),
+                Access::read(n(3), BlockAddr::new(0)),
+            ],
+        ]);
+        m.run_plan(&plan, 0).unwrap();
+        let r = m.recovery_tally();
+        assert!(r.naks_sent >= 1, "the busy home NAKed the loser");
+        assert_eq!(r.naks_sent, r.naks_received, "NAK channel is reliable");
+        m.verify_coherence().unwrap();
+        assert_eq!(m.cache_state(n(2), BlockAddr::new(0)), CacheState::Shared);
+        assert_eq!(m.cache_state(n(3), BlockAddr::new(0)), CacheState::Shared);
+    }
+
+    #[test]
+    fn perturbed_multiphase_run_passes_barrier_audits() {
+        use crate::fault::FaultPlan;
+        let plan_spec = FaultPlan::parse("drop=0.03,dup=0.03,reorder=3,spike=0.05")
+            .unwrap()
+            .with_seed(11);
+        let mut m = machine();
+        m.set_fault_plan(plan_spec);
+        // A contended multi-phase workload: every barrier audits the
+        // full-map/SWMR invariants over the perturbed traffic.
+        for it in 0..4u32 {
+            let mut phases = Vec::new();
+            for ph in 0..3usize {
+                let mut accesses = Vec::new();
+                for p in 1..6usize {
+                    let block = BlockAddr::new(((p + ph) % 4) as u64);
+                    if (p + ph + it as usize).is_multiple_of(3) {
+                        accesses.push(Access::write(n(p), block));
+                    } else {
+                        accesses.push(Access::read(n(p), block));
+                    }
+                }
+                phases.push(accesses);
+            }
+            m.run_plan(&plan_of(phases), it).unwrap();
+        }
+        m.verify_coherence().unwrap();
+        let t = m.fault_tally().unwrap();
+        assert!(t.drops > 0, "the plan injected drops");
+        assert!(!m.recovery_tally().is_quiet());
+        let snap = m.obs_snapshot();
+        assert!(snap.names().iter().any(|k| k.starts_with("simx.fault.")));
+        assert!(snap
+            .names()
+            .iter()
+            .any(|k| k.starts_with("stache.recovery.")));
+    }
+
+    #[test]
+    fn same_seed_same_faults_same_metrics() {
+        use crate::fault::FaultPlan;
+        let run = || {
+            let mut m = machine();
+            m.set_fault_plan(
+                FaultPlan::parse("drop=0.05,dup=0.05,reorder=2")
+                    .unwrap()
+                    .with_seed(42),
+            );
+            for it in 0..3u32 {
+                let plan = plan_of(vec![vec![
+                    Access::write(n(1), BlockAddr::new(0)),
+                    Access::read(n(2), BlockAddr::new(0)),
+                    Access::rmw(n(3), BlockAddr::new(64)),
+                ]]);
+                m.run_plan(&plan, it).unwrap();
+            }
+            m.obs_snapshot().to_json()
+        };
+        assert_eq!(run(), run(), "same seed, byte-identical metrics");
+    }
+
+    #[test]
+    fn quiet_plan_keeps_uncontended_runs_identical() {
+        use crate::fault::FaultPlan;
+        let plan = plan_of(vec![vec![
+            Access::read(n(2), BlockAddr::new(0)),
+            Access::read(n(3), BlockAddr::new(64)),
+        ]]);
+        let mut clean = machine();
+        clean.run_plan(&plan, 0).unwrap();
+        let mut faulted = machine();
+        faulted.set_fault_plan(FaultPlan::default());
+        faulted.run_plan(&plan, 0).unwrap();
+        assert_eq!(clean.trace().records(), faulted.trace().records());
+        assert!(faulted.recovery_tally().is_quiet());
     }
 
     #[test]

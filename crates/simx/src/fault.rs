@@ -1,0 +1,442 @@
+//! Deterministic network fault injection.
+//!
+//! A [`FaultPlan`] describes the disturbances a run's fabric exhibits —
+//! per-transmission drop and duplication probabilities, bounded reorder
+//! jitter, and per-delivery latency spikes — and a [`FaultInjector`]
+//! turns the plan into a reproducible schedule of per-delivery decisions,
+//! drawn from the workspace PRNG ([`crate::rng`], the same xoshiro256++
+//! core `workloads::rng` re-exports). Same plan + same seed → the same
+//! faults on the same deliveries → byte-identical metrics, which is what
+//! the `--faults-seed` reproducibility contract promises.
+//!
+//! The injector decides; the engines act. Both the serialized
+//! [`crate::Machine`] and the event-driven [`crate::ConcurrentMachine`]
+//! consult [`FaultInjector::next_delivery`] for every message
+//! transmission and weave the resulting drops/duplicates/jitter into
+//! their delivery logic, driving the `stache::recovery` layer (timeouts,
+//! retries, NAKs, duplicate absorption). With no injector installed the
+//! engines take their original, byte-identical code paths.
+//!
+//! Tests can pin faults to exact deliveries with
+//! [`FaultInjector::force`], e.g. "drop exactly the 3rd transmission",
+//! instead of hunting for a seed that happens to do so.
+
+use crate::rng::{iter_rng, SmallRng};
+use stache::RetryPolicy;
+use std::collections::BTreeMap;
+use std::error::Error;
+use std::fmt;
+
+/// The RNG stream id faults draw from (decorrelated from workload
+/// streams, which start at 0).
+const FAULT_STREAM: u64 = 0xFA17;
+
+/// A seeded description of the fabric's misbehaviour.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FaultPlan {
+    /// Per-transmission drop probability in `[0, 1]`.
+    pub drop: f64,
+    /// Per-transmission duplication probability in `[0, 1]`.
+    pub dup: f64,
+    /// Bounded reorder jitter: each delivery is delayed by up to this
+    /// many extra wire hops, drawn uniformly. Enough jitter lets a later
+    /// message overtake an earlier one — bounded reordering.
+    pub reorder: u32,
+    /// Per-delivery probability of a latency spike (a slow node or a
+    /// congested switch) in `[0, 1]`.
+    pub spike: f64,
+    /// Magnitude of one latency spike, in ns.
+    pub spike_ns: u64,
+    /// The fault schedule's seed (`--faults-seed`).
+    pub seed: u64,
+    /// The sender-side retransmission policy the recovery layer uses.
+    pub retry: RetryPolicy,
+}
+
+impl Default for FaultPlan {
+    fn default() -> Self {
+        FaultPlan {
+            drop: 0.0,
+            dup: 0.0,
+            reorder: 0,
+            spike: 0.0,
+            spike_ns: 2_000,
+            seed: 0,
+            retry: RetryPolicy::default(),
+        }
+    }
+}
+
+/// A malformed `--faults` specification.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FaultSpecError {
+    /// A clause was not `key=value`.
+    BadClause(String),
+    /// The key is not part of the fault grammar.
+    UnknownKey(String),
+    /// The value failed to parse or was out of range.
+    BadValue {
+        /// The offending key.
+        key: String,
+        /// The offending value.
+        value: String,
+    },
+}
+
+impl fmt::Display for FaultSpecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FaultSpecError::BadClause(c) => write!(f, "fault clause `{c}` is not key=value"),
+            FaultSpecError::UnknownKey(k) => write!(
+                f,
+                "unknown fault key `{k}` (known: drop, dup, reorder, spike, spike_ns)"
+            ),
+            FaultSpecError::BadValue { key, value } => {
+                write!(f, "fault value `{value}` for `{key}` is invalid")
+            }
+        }
+    }
+}
+
+impl Error for FaultSpecError {}
+
+impl FaultPlan {
+    /// Parses the `--faults` grammar: comma-separated `key=value` clauses,
+    /// e.g. `drop=0.01,dup=0.005,reorder=3`. Keys: `drop`, `dup`, `spike`
+    /// (probabilities in `[0, 1]`), `reorder` (max extra wire hops),
+    /// `spike_ns` (spike magnitude). Omitted keys keep their defaults
+    /// (off).
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`FaultSpecError`] describing the first malformed clause.
+    pub fn parse(spec: &str) -> Result<Self, FaultSpecError> {
+        let mut plan = FaultPlan::default();
+        for clause in spec.split(',').filter(|c| !c.trim().is_empty()) {
+            let (key, value) = clause
+                .split_once('=')
+                .ok_or_else(|| FaultSpecError::BadClause(clause.to_string()))?;
+            let (key, value) = (key.trim(), value.trim());
+            let bad = || FaultSpecError::BadValue {
+                key: key.to_string(),
+                value: value.to_string(),
+            };
+            let prob = || -> Result<f64, FaultSpecError> {
+                let p: f64 = value.parse().map_err(|_| bad())?;
+                if (0.0..=1.0).contains(&p) {
+                    Ok(p)
+                } else {
+                    Err(bad())
+                }
+            };
+            match key {
+                "drop" => plan.drop = prob()?,
+                "dup" => plan.dup = prob()?,
+                "spike" => plan.spike = prob()?,
+                "reorder" => plan.reorder = value.parse().map_err(|_| bad())?,
+                "spike_ns" => plan.spike_ns = value.parse().map_err(|_| bad())?,
+                _ => return Err(FaultSpecError::UnknownKey(key.to_string())),
+            }
+        }
+        Ok(plan)
+    }
+
+    /// The same plan with a different schedule seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Whether the plan injects anything at all.
+    pub fn is_quiet(&self) -> bool {
+        self.drop == 0.0 && self.dup == 0.0 && self.reorder == 0 && self.spike == 0.0
+    }
+}
+
+/// The injector's verdict for one transmission.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Delivery {
+    /// The packet is lost; the receiver never sees it.
+    pub dropped: bool,
+    /// A second, identical copy (same sequence number) also arrives.
+    pub duplicated: bool,
+    /// Extra delivery delay from reorder jitter and spikes, in ns.
+    pub extra_ns: u64,
+}
+
+/// A fault pinned to an exact delivery index by a test.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ForcedFault {
+    /// Drop that transmission.
+    Drop,
+    /// Duplicate that transmission.
+    Duplicate,
+}
+
+/// Counters for every fault actually injected, exported under
+/// `simx.fault.*`.
+#[derive(Debug, Clone, Default)]
+pub struct FaultTally {
+    /// Transmissions the injector ruled on.
+    pub deliveries: u64,
+    /// Packets dropped.
+    pub drops: u64,
+    /// Packets duplicated.
+    pub dups: u64,
+    /// Deliveries delayed by reorder jitter.
+    pub jitter_events: u64,
+    /// Latency spikes injected.
+    pub spikes: u64,
+    /// Extra delay injected per perturbed delivery, in ns.
+    pub extra_delay_ns: obs::Histogram,
+}
+
+impl FaultTally {
+    /// Exports the tally under `simx.fault.*`.
+    pub fn export_obs(&self, snap: &mut obs::Snapshot) {
+        snap.counter("simx.fault.deliveries", self.deliveries);
+        snap.counter("simx.fault.drops", self.drops);
+        snap.counter("simx.fault.dups", self.dups);
+        snap.counter("simx.fault.jitter_events", self.jitter_events);
+        snap.counter("simx.fault.spikes", self.spikes);
+        snap.histogram("simx.fault.extra_delay_ns", &self.extra_delay_ns);
+    }
+}
+
+/// Turns a [`FaultPlan`] into a deterministic per-delivery schedule.
+#[derive(Debug, Clone)]
+pub struct FaultInjector {
+    plan: FaultPlan,
+    rng: SmallRng,
+    deliveries: u64,
+    next_seq: u64,
+    forced: BTreeMap<u64, ForcedFault>,
+    tally: FaultTally,
+}
+
+impl FaultInjector {
+    /// Builds an injector for the plan (draws are seeded by `plan.seed`).
+    pub fn new(plan: FaultPlan) -> Self {
+        let rng = iter_rng(plan.seed, 0, FAULT_STREAM);
+        FaultInjector {
+            plan,
+            rng,
+            deliveries: 0,
+            next_seq: 0,
+            forced: BTreeMap::new(),
+            tally: FaultTally::default(),
+        }
+    }
+
+    /// The plan being executed.
+    pub fn plan(&self) -> &FaultPlan {
+        &self.plan
+    }
+
+    /// The retry policy the engines should recover with.
+    pub fn retry(&self) -> &RetryPolicy {
+        &self.plan.retry
+    }
+
+    /// Pins a fault to delivery index `index` (0-based, in transmission
+    /// order). Forced faults override the probabilistic draw for that
+    /// delivery; draws are still consumed, so the rest of the schedule is
+    /// unchanged.
+    pub fn force(&mut self, index: u64, fault: ForcedFault) {
+        self.forced.insert(index, fault);
+    }
+
+    /// Allocates the next transmission sequence number (shared by a
+    /// duplicate copy, fresh for a retransmission).
+    pub fn next_seq(&mut self) -> u64 {
+        let s = self.next_seq;
+        self.next_seq += 1;
+        s
+    }
+
+    /// Rules on the next transmission. `wire_ns` is one wire hop's
+    /// latency, the unit reorder jitter is expressed in.
+    pub fn next_delivery(&mut self, wire_ns: u64) -> Delivery {
+        let index = self.deliveries;
+        self.deliveries += 1;
+        self.tally.deliveries += 1;
+
+        // Fixed draw order keeps the schedule a pure function of the seed
+        // regardless of which probabilities are zero.
+        let mut dropped = self.rng.gen_bool(self.plan.drop);
+        let mut duplicated = self.rng.gen_bool(self.plan.dup);
+        let jitter_hops = if self.plan.reorder > 0 {
+            self.rng.gen_range(0..=self.plan.reorder as usize) as u64
+        } else {
+            0
+        };
+        let spiked = self.rng.gen_bool(self.plan.spike);
+
+        match self.forced.remove(&index) {
+            Some(ForcedFault::Drop) => {
+                dropped = true;
+                duplicated = false;
+            }
+            Some(ForcedFault::Duplicate) => {
+                dropped = false;
+                duplicated = true;
+            }
+            None => {}
+        }
+
+        let mut extra_ns = 0;
+        if !dropped {
+            if jitter_hops > 0 {
+                self.tally.jitter_events += 1;
+                extra_ns += jitter_hops * wire_ns;
+            }
+            if spiked {
+                self.tally.spikes += 1;
+                extra_ns += self.plan.spike_ns;
+            }
+            if extra_ns > 0 {
+                self.tally.extra_delay_ns.record(extra_ns);
+            }
+        }
+        if dropped {
+            self.tally.drops += 1;
+        }
+        if duplicated && !dropped {
+            self.tally.dups += 1;
+        }
+
+        Delivery {
+            dropped,
+            duplicated: duplicated && !dropped,
+            extra_ns,
+        }
+    }
+
+    /// The faults injected so far.
+    pub fn tally(&self) -> &FaultTally {
+        &self.tally
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_the_issue_grammar() {
+        let p = FaultPlan::parse("drop=0.01,dup=0.005,reorder=3").unwrap();
+        assert_eq!(p.drop, 0.01);
+        assert_eq!(p.dup, 0.005);
+        assert_eq!(p.reorder, 3);
+        assert_eq!(p.spike, 0.0);
+        assert!(!p.is_quiet());
+        let p = p.with_seed(7);
+        assert_eq!(p.seed, 7);
+    }
+
+    #[test]
+    fn parse_rejects_malformed_specs() {
+        assert!(matches!(
+            FaultPlan::parse("drop"),
+            Err(FaultSpecError::BadClause(_))
+        ));
+        assert!(matches!(
+            FaultPlan::parse("warp=0.1"),
+            Err(FaultSpecError::UnknownKey(_))
+        ));
+        assert!(matches!(
+            FaultPlan::parse("drop=1.5"),
+            Err(FaultSpecError::BadValue { .. })
+        ));
+        assert!(matches!(
+            FaultPlan::parse("reorder=-1"),
+            Err(FaultSpecError::BadValue { .. })
+        ));
+        assert!(FaultPlan::parse("").unwrap().is_quiet());
+        // Errors render something useful.
+        assert!(FaultPlan::parse("warp=1")
+            .unwrap_err()
+            .to_string()
+            .contains("warp"));
+    }
+
+    #[test]
+    fn schedule_is_reproducible() {
+        let plan = FaultPlan::parse("drop=0.2,dup=0.2,reorder=2")
+            .unwrap()
+            .with_seed(9);
+        let run = |mut inj: FaultInjector| -> Vec<Delivery> {
+            (0..200).map(|_| inj.next_delivery(40)).collect()
+        };
+        let a = run(FaultInjector::new(plan.clone()));
+        let b = run(FaultInjector::new(plan.clone()));
+        assert_eq!(a, b, "same seed, same schedule");
+        let c = run(FaultInjector::new(plan.with_seed(10)));
+        assert_ne!(a, c, "different seed, different schedule");
+    }
+
+    #[test]
+    fn rates_are_roughly_honoured() {
+        let plan = FaultPlan::parse("drop=0.1,dup=0.1").unwrap().with_seed(1);
+        let mut inj = FaultInjector::new(plan);
+        for _ in 0..10_000 {
+            inj.next_delivery(40);
+        }
+        let t = inj.tally();
+        assert!((800..1200).contains(&t.drops), "drops {}", t.drops);
+        // A duplicate is only counted when the packet survives: ~0.1·0.9.
+        assert!((700..1100).contains(&t.dups), "dups {}", t.dups);
+        assert_eq!(t.deliveries, 10_000);
+    }
+
+    #[test]
+    fn forced_faults_pin_exact_deliveries() {
+        let mut inj = FaultInjector::new(FaultPlan::default());
+        inj.force(1, ForcedFault::Drop);
+        inj.force(2, ForcedFault::Duplicate);
+        assert_eq!(inj.next_delivery(40), Delivery::default());
+        assert!(inj.next_delivery(40).dropped);
+        assert!(inj.next_delivery(40).duplicated);
+        assert_eq!(inj.next_delivery(40), Delivery::default());
+        assert_eq!(inj.tally().drops, 1);
+        assert_eq!(inj.tally().dups, 1);
+    }
+
+    #[test]
+    fn jitter_is_bounded_by_the_reorder_window() {
+        let plan = FaultPlan::parse("reorder=3").unwrap().with_seed(3);
+        let mut inj = FaultInjector::new(plan);
+        let mut max_seen = 0;
+        for _ in 0..1000 {
+            let d = inj.next_delivery(40);
+            assert!(!d.dropped && !d.duplicated);
+            assert!(d.extra_ns <= 3 * 40);
+            max_seen = max_seen.max(d.extra_ns);
+        }
+        assert_eq!(max_seen, 120, "the full window is exercised");
+    }
+
+    #[test]
+    fn seq_numbers_are_monotone() {
+        let mut inj = FaultInjector::new(FaultPlan::default());
+        assert_eq!(inj.next_seq(), 0);
+        assert_eq!(inj.next_seq(), 1);
+        assert_eq!(inj.next_seq(), 2);
+    }
+
+    #[test]
+    fn tally_exports_under_the_simx_prefix() {
+        let plan = FaultPlan::parse("drop=0.5,reorder=1").unwrap();
+        let mut inj = FaultInjector::new(plan);
+        for _ in 0..100 {
+            inj.next_delivery(40);
+        }
+        let mut snap = obs::Snapshot::new();
+        inj.tally().export_obs(&mut snap);
+        assert!(snap.names().iter().all(|n| n.starts_with("simx.fault.")));
+        assert!(matches!(
+            snap.get("simx.fault.deliveries"),
+            Some(obs::MetricValue::Counter(100))
+        ));
+    }
+}

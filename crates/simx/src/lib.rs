@@ -41,14 +41,17 @@ pub mod concurrent;
 pub mod config;
 pub mod driver;
 pub mod event;
+pub mod fault;
 pub mod machine;
 pub mod network;
+pub mod rng;
 pub mod stats;
 
 pub use concurrent::ConcurrentMachine;
 pub use config::SystemConfig;
 pub use driver::{Access, AccessOp, IterationPlan, Phase};
 pub use event::EventQueue;
+pub use fault::{FaultInjector, FaultPlan};
 pub use machine::{AccessOutcome, Machine, SimError, SpeculationPolicy};
 pub use network::Topology;
 pub use stats::MachineStats;

@@ -1,6 +1,7 @@
 //! The simulated machine: caches + directories + network + trace capture.
 
 use crate::config::SystemConfig;
+use crate::fault::{FaultInjector, FaultPlan, FaultTally};
 use crate::stats::MachineStats;
 use obs::{Event, EventRing, Severity};
 use stache::cache::{self, CacheAction};
@@ -8,8 +9,8 @@ use stache::directory::{self, DirOutcome};
 use stache::invariants::{check_block, InvariantViolation};
 use stache::placement::home_of_block;
 use stache::{
-    BlockAddr, CacheState, DirState, MsgType, NodeId, ProcOp, ProtocolConfig, ProtocolError,
-    ProtocolTally,
+    BlockAddr, CacheState, DedupFilter, DirState, MsgType, NodeId, ProcOp, ProtocolConfig,
+    ProtocolError, ProtocolTally, RecoveryTally,
 };
 use std::cell::RefCell;
 use std::collections::{HashMap, HashSet};
@@ -43,6 +44,16 @@ pub enum SimError {
         /// Number of nodes in the machine.
         nodes: usize,
     },
+    /// The fault-injected network dropped a message more times than the
+    /// retry budget allows; the sender declared the fabric broken.
+    RetryExhausted {
+        /// The sending node.
+        from: NodeId,
+        /// The intended receiver.
+        to: NodeId,
+        /// Transmission attempts made (original plus retries).
+        attempts: u32,
+    },
 }
 
 impl fmt::Display for SimError {
@@ -63,6 +74,12 @@ impl fmt::Display for SimError {
             }
             SimError::NodeOutOfRange { node, nodes } => {
                 write!(f, "{node} outside machine of {nodes} nodes")
+            }
+            SimError::RetryExhausted { from, to, attempts } => {
+                write!(
+                    f,
+                    "message {from} -> {to} lost {attempts} times; retry budget exhausted"
+                )
             }
         }
     }
@@ -99,6 +116,21 @@ pub struct AccessOutcome {
     pub latency_ns: u64,
     /// Coherence messages generated.
     pub messages: usize,
+}
+
+/// Which protocol leg a faulty transmission is on. A lost message is
+/// recovered differently per leg (who times out, and what extra traffic
+/// the retransmission costs) — see [`Machine::fault_leg`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Leg {
+    /// Cache → directory request.
+    Request,
+    /// Directory → requester grant.
+    Reply,
+    /// Directory → holder invalidation/downgrade.
+    Inval,
+    /// Holder → directory acknowledgment.
+    Ack,
 }
 
 /// A speculation policy: the §4 integration hook.
@@ -179,6 +211,17 @@ pub struct Machine {
     /// Flight recorder of recent protocol events. `RefCell` so the
     /// `&self` verification paths can log failures.
     ring: RefCell<EventRing>,
+    /// Network fault injection, if installed. `None` (the default) means
+    /// a perfect fabric and the original, byte-identical code paths.
+    fault: Option<FaultInjector>,
+    /// Per-node duplicate filters: sequence-numbered idempotent delivery
+    /// (only exercised under fault injection).
+    dedup: Vec<DedupFilter>,
+    /// Next transmission sequence number per *receiver*, so each node
+    /// observes a dense sequence stream and its filter stays compact.
+    next_seq_to: Vec<u64>,
+    /// Everything the recovery layer did (all zero on a perfect fabric).
+    recovery: RecoveryTally,
 }
 
 impl Machine {
@@ -203,7 +246,45 @@ impl Machine {
             dir_busy: vec![0; nodes],
             tally: ProtocolTally::new(),
             ring: RefCell::new(EventRing::default()),
+            fault: None,
+            dedup: vec![DedupFilter::new(); nodes],
+            next_seq_to: vec![0; nodes],
+            recovery: RecoveryTally::new(),
         }
+    }
+
+    /// Installs a network fault plan: every subsequent message leg passes
+    /// through a deterministic [`FaultInjector`] and the recovery layer
+    /// engages — sender-side timeout/retry with capped exponential
+    /// backoff, directory NAKs for requests hitting a busy home, and
+    /// sequence-numbered duplicate absorption. With no plan installed the
+    /// machine takes its original code paths and produces byte-identical
+    /// results.
+    pub fn set_fault_plan(&mut self, plan: FaultPlan) {
+        self.set_fault_injector(FaultInjector::new(plan));
+    }
+
+    /// Installs a pre-built injector — lets tests pin faults to exact
+    /// delivery indices with [`FaultInjector::force`] instead of hunting
+    /// for a seed.
+    pub fn set_fault_injector(&mut self, injector: FaultInjector) {
+        self.fault = Some(injector);
+    }
+
+    /// The installed injector, if any (mutable so tests can force faults
+    /// mid-run).
+    pub fn fault_injector_mut(&mut self) -> Option<&mut FaultInjector> {
+        self.fault.as_mut()
+    }
+
+    /// Faults injected so far, when a plan is installed.
+    pub fn fault_tally(&self) -> Option<&FaultTally> {
+        self.fault.as_ref().map(FaultInjector::tally)
+    }
+
+    /// Recovery-layer actions taken so far (quiet on a perfect fabric).
+    pub fn recovery_tally(&self) -> &RecoveryTally {
+        &self.recovery
     }
 
     /// Installs a speculation policy (the §4 integration). The policy sees
@@ -288,6 +369,12 @@ impl Machine {
         self.tally.export_obs(&mut snap);
         snap.counter("simx.trace.records", self.trace.len() as u64);
         snap.counter("simx.ring.events_total", self.ring.borrow().total_pushed());
+        // Fault/recovery metrics appear only when an injector is
+        // installed, so clean runs keep their exact metric set.
+        if let Some(inj) = &self.fault {
+            inj.tally().export_obs(&mut snap);
+            self.recovery.export_obs(&mut snap);
+        }
         snap
     }
 
@@ -346,6 +433,77 @@ impl Machine {
         let ns = self.one_way(from, to);
         self.stats.net_latency_ns.record(ns);
         ns
+    }
+
+    /// One transmission over the faulty fabric from `from` to `to`, first
+    /// copy sent at `send_at`. Returns the arrival time of the first copy
+    /// that survives, weaving in drops (the leg's sender times out and
+    /// retransmits under the plan's [`stache::RetryPolicy`]), duplicates
+    /// (the second copy carries the same sequence number and is absorbed
+    /// by the receiver's [`DedupFilter`]), and reorder-jitter/spike delay.
+    /// Callers must have an injector installed.
+    fn fault_leg(
+        &mut self,
+        leg: Leg,
+        from: NodeId,
+        to: NodeId,
+        send_at: u64,
+    ) -> Result<u64, SimError> {
+        let hop = self.one_way(from, to);
+        let retry = self
+            .fault
+            .as_ref()
+            .expect("fault_leg requires an installed injector")
+            .retry()
+            .clone();
+        let mut at = send_at;
+        let mut attempt: u32 = 0;
+        loop {
+            let seq = self.next_seq_to[to.index()];
+            self.next_seq_to[to.index()] += 1;
+            self.stats.net_latency_ns.record(hop);
+            let d = self.fault.as_mut().unwrap().next_delivery(hop);
+            if !d.dropped {
+                let fresh = self.dedup[to.index()].observe(seq);
+                debug_assert!(fresh, "a new sequence number is never a duplicate");
+                if d.duplicated {
+                    // The copy traverses the wire too, then dies at the
+                    // receiver's sequence filter.
+                    self.stats.net_latency_ns.record(hop);
+                    if !self.dedup[to.index()].observe(seq) {
+                        self.recovery.dups_absorbed += 1;
+                    }
+                }
+                return Ok(at + hop + d.extra_ns);
+            }
+            // Lost. The leg's sender times out and retransmits.
+            self.recovery.timeouts += 1;
+            if !retry.can_retry(attempt) {
+                return Err(SimError::RetryExhausted {
+                    from,
+                    to,
+                    attempts: attempt + 1,
+                });
+            }
+            self.recovery.retries += 1;
+            let turnaround = match leg {
+                // A requester cannot see its grant was lost; its timeout
+                // fires, it retransmits the *request*, and the home —
+                // which already recorded the grant — re-sends it.
+                Leg::Reply => {
+                    self.recovery.regrants += 1;
+                    self.one_way(to, from) + self.sys.handler_ns
+                }
+                // The home times out waiting for the acknowledgment and
+                // re-sends the invalidation; the now-invalid holder
+                // acknowledges again without a state transition.
+                Leg::Ack => self.one_way(to, from) + self.sys.handler_ns,
+                // The sender retransmits the same message directly.
+                Leg::Request | Leg::Inval => 0,
+            };
+            at += retry.timeout_for(attempt) + turnaround;
+            attempt += 1;
+        }
     }
 
     fn cache_state(&self, node: NodeId, block: BlockAddr) -> CacheState {
@@ -593,8 +751,13 @@ impl Machine {
         self.set_cache_state(node, block, transient);
 
         let start = self.clocks[node.index()];
+        let recovery_before = self.recovery_actions();
         // Request travels to the directory.
-        let t_req = start + self.one_way_rec(node, home);
+        let t_req = if self.fault.is_some() {
+            self.fault_leg(Leg::Request, node, home, start)?
+        } else {
+            start + self.one_way_rec(node, home)
+        };
         self.record(t_req, home, block, node, req, iteration);
         let mut messages = 1;
 
@@ -624,8 +787,24 @@ impl Machine {
         if self.overflowed.contains(&block) && matches!(outcome.next, DirState::Exclusive(_)) {
             outcome.holder_requests = self.broadcast_targets(node, home);
         }
-        // The software handler serialises requests at the home.
-        let service_start = t_req.max(self.dir_busy[home.index()]);
+        // The software handler serialises requests at the home. On a
+        // faulty fabric the directory NAKs a request that finds it busy
+        // instead of queueing it without bound; the requester re-sends
+        // after a round trip. NAKs are recovery-layer control traffic,
+        // excluded from the predictor-visible trace (the same convention
+        // §5.1 applies to barrier messages).
+        let service_start = if self.fault.is_some() {
+            let mut arrival = t_req;
+            while arrival < self.dir_busy[home.index()] {
+                self.recovery.naks_sent += 1;
+                self.recovery.naks_received += 1;
+                let round_trip = self.one_way_rec(home, node) + self.one_way_rec(node, home);
+                arrival += round_trip.max(1);
+            }
+            arrival
+        } else {
+            t_req.max(self.dir_busy[home.index()])
+        };
         let dispatch = service_start + self.sys.handler_ns;
         self.dir_busy[home.index()] = dispatch;
         let (ready, holder_msgs) =
@@ -634,7 +813,11 @@ impl Machine {
 
         // Reply to the requester.
         let reply = outcome.reply.expect("remote requests always get a reply");
-        let t_reply = ready + self.one_way_rec(home, node);
+        let t_reply = if self.fault.is_some() {
+            self.fault_leg(Leg::Reply, home, node, ready)?
+        } else {
+            ready + self.one_way_rec(home, node)
+        };
         self.record(t_reply, node, block, home, reply, iteration);
         messages += 1;
 
@@ -656,11 +839,20 @@ impl Machine {
 
         let end = t_reply + self.sys.handler_ns;
         self.clocks[node.index()] = end;
+        if self.recovery_actions() > recovery_before {
+            self.recovery.recovery_latency_ns.record(end - start);
+        }
         Ok(AccessOutcome {
             hit: false,
             latency_ns: end - start,
             messages,
         })
+    }
+
+    /// Recovery actions (timeouts, retransmissions, NAKs) so far — used
+    /// to attribute an access's latency to the recovery histogram.
+    fn recovery_actions(&self) -> u64 {
+        self.recovery.timeouts + self.recovery.retries + self.recovery.naks_received
     }
 
     /// Sends the plan's invalidations/downgrades (in parallel) and collects
@@ -677,7 +869,11 @@ impl Machine {
         let mut ready = dispatch;
         let mut messages = 0;
         for &(target, imsg) in &outcome.holder_requests {
-            let t_inv = dispatch + self.one_way_rec(outcome_home, target);
+            let t_inv = if self.fault.is_some() {
+                self.fault_leg(Leg::Inval, outcome_home, target, dispatch)?
+            } else {
+                dispatch + self.one_way_rec(outcome_home, target)
+            };
             self.record(t_inv, target, block, outcome_home, imsg, iteration);
             messages += 1;
 
@@ -686,7 +882,11 @@ impl Machine {
             // nodes without a copy; the cache controller acknowledges
             // without consulting the line.
             if state == CacheState::Invalid && imsg == MsgType::InvalRoRequest {
-                let t_resp = t_inv + self.sys.handler_ns + self.one_way_rec(target, outcome_home);
+                let t_resp = if self.fault.is_some() {
+                    self.fault_leg(Leg::Ack, target, outcome_home, t_inv + self.sys.handler_ns)?
+                } else {
+                    t_inv + self.sys.handler_ns + self.one_way_rec(target, outcome_home)
+                };
                 self.record(
                     t_resp,
                     outcome_home,
@@ -713,7 +913,11 @@ impl Machine {
             }
 
             let reply = reply.expect("invalidations and downgrades are acknowledged");
-            let t_resp = t_inv + self.sys.handler_ns + self.one_way_rec(target, outcome_home);
+            let t_resp = if self.fault.is_some() {
+                self.fault_leg(Leg::Ack, target, outcome_home, t_inv + self.sys.handler_ns)?
+            } else {
+                t_inv + self.sys.handler_ns + self.one_way_rec(target, outcome_home)
+            };
             self.record(t_resp, outcome_home, block, target, reply, iteration);
             messages += 1;
             ready = ready.max(t_resp + self.sys.handler_ns);
@@ -1280,5 +1484,176 @@ mod occupancy_tests {
             first_reply, second_reply,
             "independent handlers run in parallel"
         );
+    }
+}
+
+#[cfg(test)]
+mod fault_tests {
+    use super::*;
+    use crate::fault::ForcedFault;
+    use stache::RetryPolicy;
+
+    fn machine() -> Machine {
+        Machine::new(ProtocolConfig::paper(), SystemConfig::paper())
+    }
+
+    fn n(i: usize) -> NodeId {
+        NodeId::new(i)
+    }
+
+    #[test]
+    fn quiet_plan_preserves_trace_and_timing() {
+        // Installing an all-off plan must not perturb uncontended
+        // accesses: every leg draws a verdict but nothing fires.
+        let run = |m: &mut Machine| {
+            // Distinct homes, so the NAK path (which *is* a behavioural
+            // change under fault mode) never triggers.
+            m.access(n(1), BlockAddr::new(0), ProcOp::Write, 0).unwrap();
+            m.access(n(2), BlockAddr::new(64), ProcOp::Read, 0).unwrap();
+            m.access(n(3), BlockAddr::new(128), ProcOp::Read, 0)
+                .unwrap();
+        };
+        let mut clean = machine();
+        run(&mut clean);
+        let mut faulted = machine();
+        faulted.set_fault_plan(FaultPlan::default());
+        run(&mut faulted);
+        assert_eq!(clean.trace().records(), faulted.trace().records());
+        assert_eq!(clean.execution_time_ns(), faulted.execution_time_ns());
+        assert!(faulted.recovery_tally().is_quiet());
+        assert_eq!(faulted.fault_tally().unwrap().deliveries, 6);
+    }
+
+    #[test]
+    fn dropped_grant_causes_exactly_one_timeout_and_retry() {
+        let mut clean = machine();
+        clean
+            .access(n(1), BlockAddr::new(0), ProcOp::Read, 0)
+            .unwrap();
+        let clean_reply = clean.trace().records()[1].time_ns;
+
+        let mut m = machine();
+        let mut inj = FaultInjector::new(FaultPlan::default());
+        // Delivery 0 is the request, delivery 1 the grant.
+        inj.force(1, ForcedFault::Drop);
+        m.set_fault_injector(inj);
+        m.access(n(1), BlockAddr::new(0), ProcOp::Read, 0).unwrap();
+
+        let r = m.recovery_tally();
+        assert_eq!(r.timeouts, 1, "exactly one timeout fires");
+        assert_eq!(r.retries, 1, "exactly one retransmission");
+        assert_eq!(r.regrants, 1, "the home re-sends the lost grant");
+        assert_eq!(r.recovery_latency_ns.count(), 1);
+        // The trace still carries exactly one request and one grant.
+        assert_eq!(m.trace().len(), 2);
+        // The re-sent grant arrives a timeout plus the retransmitted
+        // request's trip (hop + handler) later than the clean grant.
+        let sys = SystemConfig::paper();
+        let nodes = ProtocolConfig::paper().nodes;
+        let hop = sys.one_way_between_ns(n(1), n(0), nodes);
+        let expect = clean_reply + RetryPolicy::default().timeout_for(0) + hop + sys.handler_ns;
+        assert_eq!(m.trace().records()[1].time_ns, expect);
+        m.verify_coherence().unwrap();
+    }
+
+    #[test]
+    fn duplicated_ack_is_absorbed_idempotently() {
+        let mut m = machine();
+        let mut inj = FaultInjector::new(FaultPlan::default());
+        // Write by node 1 (deliveries 0-1), then write by node 2: request
+        // (2), invalidation to node 1 (3), its ack (4), grant (5).
+        inj.force(4, ForcedFault::Duplicate);
+        m.set_fault_injector(inj);
+        m.access(n(1), BlockAddr::new(0), ProcOp::Write, 0).unwrap();
+        m.access(n(2), BlockAddr::new(0), ProcOp::Write, 0).unwrap();
+        assert_eq!(m.recovery_tally().dups_absorbed, 1);
+        // The duplicate is not a trace record: same six receptions as a
+        // clean run.
+        assert_eq!(m.trace().len(), 6);
+        m.verify_coherence().unwrap();
+        // And node 2 really owns the block.
+        m.access(n(2), BlockAddr::new(0), ProcOp::Read, 0).unwrap();
+    }
+
+    #[test]
+    fn busy_home_naks_instead_of_queueing() {
+        // Same shape as the occupancy test: two requests race to one
+        // home. Under fault mode the loser is NAKed and re-sends rather
+        // than waiting in an unbounded queue.
+        let mut m = machine();
+        m.set_fault_plan(FaultPlan::default());
+        m.access(n(1), BlockAddr::new(1), ProcOp::Read, 0).unwrap();
+        let first_reply = m.trace().records()[1].time_ns;
+        m.access(n(2), BlockAddr::new(2), ProcOp::Read, 0).unwrap();
+        let second_reply = m.trace().records()[3].time_ns;
+        let r = m.recovery_tally();
+        assert!(r.naks_sent >= 1, "the busy home NAKed the second request");
+        assert_eq!(r.naks_sent, r.naks_received);
+        assert!(
+            second_reply > first_reply,
+            "the NAK round trip still delays the loser"
+        );
+        m.verify_coherence().unwrap();
+    }
+
+    #[test]
+    fn perturbed_run_stays_coherent_under_paranoid_audit() {
+        let plan = FaultPlan::parse("drop=0.05,dup=0.05,reorder=3,spike=0.1")
+            .unwrap()
+            .with_seed(7);
+        let mut m = machine();
+        m.paranoid = true;
+        m.set_fault_plan(plan);
+        for i in 0..300u32 {
+            let node = n(1 + (i as usize % 3));
+            let block = BlockAddr::new(u64::from(i * 7) % 128);
+            let op = if i % 3 == 0 {
+                ProcOp::Write
+            } else {
+                ProcOp::Read
+            };
+            m.access(node, block, op, 0).unwrap();
+        }
+        m.verify_coherence().unwrap();
+        let t = m.fault_tally().unwrap();
+        assert!(t.drops > 0, "the plan injected drops");
+        assert!(t.dups > 0, "the plan injected duplicates");
+        assert!(t.jitter_events > 0, "the plan injected jitter");
+        assert!(!m.recovery_tally().is_quiet());
+        let snap = m.obs_snapshot();
+        assert!(snap.names().iter().any(|k| k.starts_with("simx.fault.")));
+        assert!(snap
+            .names()
+            .iter()
+            .any(|k| k.starts_with("stache.recovery.")));
+    }
+
+    #[test]
+    fn same_seed_same_faults_same_metrics() {
+        let run = || {
+            let plan = FaultPlan::parse("drop=0.1,dup=0.05,reorder=2")
+                .unwrap()
+                .with_seed(42);
+            let mut m = machine();
+            m.set_fault_plan(plan);
+            for i in 0..100u32 {
+                let node = n(1 + (i as usize % 3));
+                m.access(node, BlockAddr::new(u64::from(i) % 32), ProcOp::Write, 0)
+                    .unwrap();
+            }
+            m.obs_snapshot().to_json()
+        };
+        assert_eq!(run(), run(), "same seed, byte-identical metrics");
+    }
+
+    #[test]
+    fn clean_snapshot_has_no_fault_metrics() {
+        let mut m = machine();
+        m.access(n(1), BlockAddr::new(0), ProcOp::Read, 0).unwrap();
+        let snap = m.obs_snapshot();
+        assert!(snap
+            .names()
+            .iter()
+            .all(|k| !k.starts_with("simx.fault.") && !k.starts_with("stache.recovery.")));
     }
 }

@@ -47,6 +47,7 @@ pub mod ids;
 pub mod invariants;
 pub mod msg;
 pub mod placement;
+pub mod recovery;
 pub mod tally;
 
 pub use cache::CacheState;
@@ -55,4 +56,5 @@ pub use directory::{DirOutcome, DirState};
 pub use error::ProtocolError;
 pub use ids::{BlockAddr, NodeId, NodeSet, PageId};
 pub use msg::{Msg, MsgType, ProcOp, Role};
+pub use recovery::{DedupFilter, RecoveryTally, RetryPolicy};
 pub use tally::ProtocolTally;

@@ -43,6 +43,57 @@ impl fmt::Display for DecodeError {
 
 impl Error for DecodeError {}
 
+/// A bundle whose metadata does not fit the binary header's field widths.
+///
+/// The header stores the app-name length in a `u16` and the node count in
+/// a `u32`; encoding used to cast unchecked, silently truncating oversized
+/// values into a header that decodes to a *different* bundle.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum EncodeError {
+    /// `meta.app` is longer than a `u16` length field can record.
+    AppTooLong {
+        /// The offending length in bytes.
+        len: usize,
+    },
+    /// `meta.nodes` exceeds the header's `u32` field.
+    TooManyNodes {
+        /// The offending node count.
+        nodes: usize,
+    },
+}
+
+impl fmt::Display for EncodeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EncodeError::AppTooLong { len } => {
+                write!(f, "app name of {len} bytes exceeds the u16 header field")
+            }
+            EncodeError::TooManyNodes { nodes } => {
+                write!(f, "node count {nodes} exceeds the u32 header field")
+            }
+        }
+    }
+}
+
+impl Error for EncodeError {}
+
+/// Validates that a bundle's metadata fits the binary header fields.
+///
+/// # Errors
+///
+/// Returns the first field that would be truncated.
+pub(crate) fn check_header_bounds(meta: &TraceMeta) -> Result<(), EncodeError> {
+    if meta.app.len() > u16::MAX as usize {
+        return Err(EncodeError::AppTooLong {
+            len: meta.app.len(),
+        });
+    }
+    if u32::try_from(meta.nodes).is_err() {
+        return Err(EncodeError::TooManyNodes { nodes: meta.nodes });
+    }
+    Ok(())
+}
+
 /// A big-endian cursor over the input being decoded.
 struct Reader<'a> {
     data: &'a [u8],
@@ -86,8 +137,15 @@ impl<'a> Reader<'a> {
 }
 
 /// Encodes a bundle to the binary format.
-pub fn encode(bundle: &TraceBundle) -> Vec<u8> {
+///
+/// # Errors
+///
+/// Returns an [`EncodeError`] when the metadata does not fit the header's
+/// field widths (app name length in a `u16`, node count in a `u32`) —
+/// previously those casts truncated silently.
+pub fn encode(bundle: &TraceBundle) -> Result<Vec<u8>, EncodeError> {
     let meta = bundle.meta();
+    check_header_bounds(meta)?;
     let mut buf = Vec::with_capacity(32 + meta.app.len() + bundle.len() * 26);
     buf.extend_from_slice(MAGIC);
     buf.extend_from_slice(&(meta.app.len() as u16).to_be_bytes());
@@ -107,7 +165,7 @@ pub fn encode(bundle: &TraceBundle) -> Vec<u8> {
         buf.push(r.mtype.code());
         buf.extend_from_slice(&r.iteration.to_be_bytes());
     }
-    buf
+    Ok(buf)
 }
 
 /// Decodes a bundle from the binary format.
@@ -243,7 +301,9 @@ pub fn from_text(text: &str) -> Result<TraceBundle, DecodeError> {
             block: BlockAddr::new(parse_u64(fields[3], "block")?),
             sender: NodeId::new(parse_u64(fields[4], "sender")? as usize),
             mtype,
-            iteration: parse_u64(fields[6], "iteration")? as u32,
+            // Checked: a parsed value above u32::MAX used to wrap via `as`.
+            iteration: u32::try_from(parse_u64(fields[6], "iteration")?)
+                .map_err(|_| DecodeError::BadField { field: "iteration" })?,
         });
     }
     Ok(bundle)
@@ -276,7 +336,7 @@ mod tests {
     #[test]
     fn binary_roundtrip() {
         let b = sample();
-        let encoded = encode(&b);
+        let encoded = encode(&b).unwrap();
         let decoded = decode(&encoded).unwrap();
         assert_eq!(b, decoded);
     }
@@ -298,7 +358,7 @@ mod tests {
     #[test]
     fn truncated_records_rejected() {
         let b = sample();
-        let encoded = encode(&b);
+        let encoded = encode(&b).unwrap();
         let cut = &encoded[..encoded.len() - 5];
         assert_eq!(decode(cut), Err(DecodeError::Truncated));
     }
@@ -306,7 +366,7 @@ mod tests {
     #[test]
     fn corrupt_mtype_rejected() {
         let b = sample();
-        let mut bytes = encode(&b).to_vec();
+        let mut bytes = encode(&b).unwrap().to_vec();
         // Last record's mtype byte sits 5 bytes from the end (mtype, iter u32).
         let idx = bytes.len() - 5;
         bytes[idx] = 200;
@@ -326,9 +386,60 @@ mod tests {
     }
 
     #[test]
+    fn oversized_app_name_is_an_encode_error() {
+        // Regression: `app.len() as u16` silently truncated, producing a
+        // header whose length field disagreed with the bytes that follow.
+        let long = "x".repeat(u16::MAX as usize + 1);
+        let b = TraceBundle::new(TraceMeta::new(long, 2, 1));
+        assert_eq!(
+            encode(&b),
+            Err(EncodeError::AppTooLong {
+                len: u16::MAX as usize + 1
+            })
+        );
+    }
+
+    #[test]
+    #[cfg(target_pointer_width = "64")]
+    fn oversized_node_count_is_an_encode_error() {
+        // Regression: `nodes as u32` silently wrapped the count.
+        let b = TraceBundle::new(TraceMeta::new("big", u32::MAX as usize + 1, 1));
+        assert_eq!(
+            encode(&b),
+            Err(EncodeError::TooManyNodes {
+                nodes: u32::MAX as usize + 1
+            })
+        );
+    }
+
+    #[test]
+    fn text_iteration_above_u32_is_rejected() {
+        // Regression: the parsed u64 was cast with `as u32`, so 2^32
+        // decoded as iteration 0 instead of failing.
+        let text = "# app=x nodes=1 iterations=1\n0 0 C 0 0 get_ro_request 4294967296\n";
+        assert_eq!(
+            from_text(text),
+            Err(DecodeError::BadField { field: "iteration" })
+        );
+        // The boundary value itself still parses.
+        let ok = "# app=x nodes=1 iterations=1\n0 0 C 0 0 get_ro_request 4294967295\n";
+        assert_eq!(from_text(ok).unwrap().records()[0].iteration, u32::MAX);
+    }
+
+    #[test]
+    fn encode_errors_render() {
+        assert!(EncodeError::AppTooLong { len: 70_000 }
+            .to_string()
+            .contains("u16"));
+        assert!(EncodeError::TooManyNodes { nodes: 1 }
+            .to_string()
+            .contains("u32"));
+    }
+
+    #[test]
     fn empty_trace_roundtrips() {
         let b = TraceBundle::new(TraceMeta::new("empty", 2, 0));
-        assert_eq!(decode(&encode(&b)).unwrap(), b);
+        assert_eq!(decode(&encode(&b).unwrap()).unwrap(), b);
         assert_eq!(from_text(&to_text(&b)).unwrap(), b);
     }
 }

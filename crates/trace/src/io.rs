@@ -8,7 +8,7 @@
 //! two interoperate freely.
 
 use crate::bundle::{TraceBundle, TraceMeta};
-use crate::codec::DecodeError;
+use crate::codec::{check_header_bounds, DecodeError, EncodeError};
 use crate::record::MsgRecord;
 use stache::{BlockAddr, MsgType, NodeId, Role};
 use std::io::{self, Read, Write};
@@ -25,6 +25,8 @@ pub enum TraceIoError {
     Io(io::Error),
     /// The stream's contents were malformed.
     Decode(DecodeError),
+    /// The bundle's metadata does not fit the binary header.
+    Encode(EncodeError),
 }
 
 impl std::fmt::Display for TraceIoError {
@@ -32,6 +34,7 @@ impl std::fmt::Display for TraceIoError {
         match self {
             TraceIoError::Io(e) => write!(f, "trace i/o failed: {e}"),
             TraceIoError::Decode(e) => write!(f, "trace stream malformed: {e}"),
+            TraceIoError::Encode(e) => write!(f, "trace header unencodable: {e}"),
         }
     }
 }
@@ -41,7 +44,14 @@ impl std::error::Error for TraceIoError {
         match self {
             TraceIoError::Io(e) => Some(e),
             TraceIoError::Decode(e) => Some(e),
+            TraceIoError::Encode(e) => Some(e),
         }
+    }
+}
+
+impl From<EncodeError> for TraceIoError {
+    fn from(e: EncodeError) -> Self {
+        TraceIoError::Encode(e)
     }
 }
 
@@ -75,8 +85,10 @@ impl<W: Write + io::Seek> TraceWriter<W> {
     ///
     /// # Errors
     ///
-    /// Propagates writer errors.
+    /// Propagates writer errors, and rejects metadata that does not fit
+    /// the header fields (the casts below used to truncate silently).
     pub fn new(mut sink: W, meta: &TraceMeta) -> Result<Self, TraceIoError> {
+        check_header_bounds(meta)?;
         sink.write_all(MAGIC)?;
         sink.write_all(&(meta.app.len() as u16).to_be_bytes())?;
         sink.write_all(meta.app.as_bytes())?;
@@ -294,8 +306,25 @@ mod tests {
     fn streaming_write_matches_in_memory_codec() {
         let b = sample(50);
         let streamed = TraceWriter::write_bundle(&b).unwrap();
-        let in_memory = codec::encode(&b);
+        let in_memory = codec::encode(&b).unwrap();
         assert_eq!(streamed, in_memory.to_vec(), "byte-identical formats");
+    }
+
+    #[test]
+    fn oversized_app_name_is_rejected_before_writing() {
+        // Regression: the streaming header cast `app.len() as u16`
+        // unchecked, writing a corrupt header for long names.
+        let long = "y".repeat(u16::MAX as usize + 7);
+        let meta = TraceMeta::new(long.clone(), 4, 1);
+        let err = match TraceWriter::new(std::io::Cursor::new(Vec::new()), &meta) {
+            Ok(_) => panic!("must fail"),
+            Err(e) => e,
+        };
+        assert!(matches!(
+            err,
+            TraceIoError::Encode(EncodeError::AppTooLong { len }) if len == long.len()
+        ));
+        assert!(err.to_string().contains("unencodable"));
     }
 
     #[test]

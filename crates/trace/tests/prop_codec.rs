@@ -51,7 +51,7 @@ proptest! {
     /// Binary encode/decode is the identity.
     #[test]
     fn binary_roundtrip(bundle in bundle_strategy()) {
-        let decoded = codec::decode(&codec::encode(&bundle)).unwrap();
+        let decoded = codec::decode(&codec::encode(&bundle).unwrap()).unwrap();
         prop_assert_eq!(bundle, decoded);
     }
 
@@ -73,7 +73,7 @@ proptest! {
     #[test]
     fn truncation_detected(bundle in bundle_strategy(), cut in any::<prop::sample::Index>()) {
         prop_assume!(!bundle.is_empty());
-        let encoded = codec::encode(&bundle);
+        let encoded = codec::encode(&bundle).unwrap();
         let cut = cut.index(encoded.len().max(1) - 1);
         match codec::decode(&encoded[..cut]) {
             Err(_) => {}

@@ -209,7 +209,10 @@ impl Workload for Dsmc {
         // Rarely-touched cells: a thin slice of the population is touched
         // each iteration, once, and never again.
         let mut rare = Phase::new(self.nodes);
-        let per_iter = (self.rare_blocks as u32 / self.iterations.max(1)).max(1) as usize;
+        // `div_ceil` (as in `push_quiet_phase`): flooring the division
+        // drops the remainder and leaves the last `rare_blocks %
+        // iterations` cells untouched for the whole run.
+        let per_iter = ((self.rare_blocks as u32).div_ceil(self.iterations.max(1))).max(1) as usize;
         let base = iteration as usize * per_iter;
         for r in 0..per_iter {
             let idx = base + r;
@@ -295,6 +298,34 @@ mod tests {
                 assert!(n <= 6, "rare block {b} saw {n} messages");
             }
         }
+    }
+
+    #[test]
+    fn every_configured_rare_block_is_touched() {
+        // Regression: the per-iteration slice used flooring division, so
+        // with 10 rare blocks over 4 iterations only floor(10/4)*4 = 8
+        // were ever touched — the last `rare % iterations` cells never
+        // appeared in any plan.
+        let mut w = Dsmc {
+            rare_blocks: 10,
+            iterations: 4,
+            ..Dsmc::small()
+        };
+        let mut touched = std::collections::HashSet::new();
+        for it in 0..w.iterations() {
+            let plan = w.plan(it);
+            for phase in &plan.phases {
+                for accesses in &phase.per_node {
+                    for a in accesses {
+                        if a.block.number() >= RARE_REGION {
+                            touched.insert(a.block.number() - RARE_REGION);
+                        }
+                    }
+                }
+            }
+        }
+        let expected: std::collections::HashSet<u64> = (0..10).collect();
+        assert_eq!(touched, expected, "all configured rare blocks covered");
     }
 
     #[test]

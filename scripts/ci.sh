@@ -16,4 +16,14 @@ cargo build --release --offline
 echo "==> cargo test"
 cargo test -q --offline
 
+# Fault-injection smoke matrix: each fault class alone, small rates, small
+# scale. A run fails (panics) on any invariant violation, so this gates
+# the recovery layer end to end.
+echo "==> fault-injection smoke (drop / dup / reorder)"
+for spec in drop=0.02 dup=0.02 reorder=3; do
+  echo "    --faults $spec"
+  cargo run -q --release --offline -p bench-suite --bin repro -- \
+    --small --faults "$spec" --faults-seed 7 > /dev/null
+done
+
 echo "CI green."

@@ -16,7 +16,7 @@ fn trace_of(w: &mut dyn Workload) -> cosmos_repro::trace::TraceBundle {
 fn binary_roundtrip_preserves_evaluation() {
     let mut w = Appbt::small();
     let original = trace_of(&mut w);
-    let restored = codec::decode(&codec::encode(&original)).unwrap();
+    let restored = codec::decode(&codec::encode(&original).unwrap()).unwrap();
     assert_eq!(original, restored);
 
     let a = evaluate_cosmos(&original, 2, 1);
@@ -44,7 +44,7 @@ fn text_roundtrip_preserves_evaluation() {
 fn binary_encoding_is_compact() {
     let mut w = Appbt::small();
     let t = trace_of(&mut w);
-    let binary = codec::encode(&t);
+    let binary = codec::encode(&t).unwrap();
     let text = codec::to_text(&t);
     // 26 bytes per record plus a small header.
     assert!(binary.len() < 27 * t.len() + 64);
