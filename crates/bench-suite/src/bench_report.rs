@@ -1,0 +1,170 @@
+//! Wall-clock benchmarking of a `repro` run (`repro --bench-json`).
+//!
+//! Accuracy artefacts answer "what does the predictor get right";
+//! this module answers "how fast does the harness get there". A
+//! [`BenchTimer`] wraps each top-level phase of a run (trace generation,
+//! each table, the figures, ...) with [`std::time::Instant`] stamps and
+//! condenses the result — per-phase wall time, total wall time, and
+//! end-to-end predictor throughput — into a machine-readable
+//! [`obs::Snapshot`] written as `BENCH_repro.json`.
+
+use cosmos::CoreStats;
+use std::time::{Duration, Instant};
+
+/// Collects per-phase wall-clock timings for one `repro` invocation.
+#[derive(Debug)]
+pub struct BenchTimer {
+    started: Instant,
+    phases: Vec<(String, Duration)>,
+    messages: u64,
+    predictor_messages: u64,
+    predictor_wall: Duration,
+    core: CoreStats,
+}
+
+impl BenchTimer {
+    /// Starts the run clock.
+    pub fn new() -> Self {
+        BenchTimer {
+            started: Instant::now(),
+            phases: Vec::new(),
+            messages: 0,
+            predictor_messages: 0,
+            predictor_wall: Duration::ZERO,
+            core: CoreStats::default(),
+        }
+    }
+
+    /// Runs `f` as a named phase, recording its wall time.
+    pub fn phase<T>(&mut self, name: &str, f: impl FnOnce() -> T) -> T {
+        let t0 = Instant::now();
+        let out = f();
+        self.record(name, t0.elapsed());
+        out
+    }
+
+    /// Credits `dt` to the named phase. Re-using a phase name accumulates
+    /// into the same entry (targets like `fig6`/`fig7` share work).
+    pub fn record(&mut self, name: &str, dt: Duration) {
+        match self.phases.iter_mut().find(|(n, _)| n == name) {
+            Some((_, total)) => *total += dt,
+            None => self.phases.push((name.to_string(), dt)),
+        }
+    }
+
+    /// Records a dedicated predictor pass: `msgs` messages replayed in
+    /// `dt` of wall time. Feeds the `bench.predictor.*` throughput
+    /// metrics — the headline hot-path number.
+    pub fn add_predictor_pass(&mut self, msgs: u64, dt: Duration) {
+        self.predictor_messages += msgs;
+        self.predictor_wall += dt;
+    }
+
+    /// Credits `n` trace messages to the run's throughput denominator.
+    pub fn add_messages(&mut self, n: u64) {
+        self.messages += n;
+    }
+
+    /// Folds a fleet's predictor-core counters into the report.
+    pub fn add_core(&mut self, core: CoreStats) {
+        self.core.merge(core);
+    }
+
+    /// Total wall time since construction.
+    pub fn elapsed(&self) -> Duration {
+        self.started.elapsed()
+    }
+
+    /// Condenses the timings into a metrics snapshot: per-phase
+    /// `bench.phase.<name>_ns`, the total, message volume and throughput,
+    /// the predictor-core counters, and sweep-parallelism utilisation.
+    pub fn snapshot(&self) -> obs::Snapshot {
+        let mut snap = obs::Snapshot::new();
+        let total = self.elapsed();
+        for (name, dt) in &self.phases {
+            snap.counter(&format!("bench.phase.{name}_ns"), dt.as_nanos() as u64);
+        }
+        snap.counter("bench.total_ns", total.as_nanos() as u64);
+        snap.counter("bench.messages", self.messages);
+        let secs = total.as_secs_f64();
+        snap.gauge(
+            "bench.throughput_msgs_per_sec",
+            if secs > 0.0 {
+                self.messages as f64 / secs
+            } else {
+                0.0
+            },
+        );
+        snap.counter("bench.predictor.messages", self.predictor_messages);
+        snap.counter(
+            "bench.predictor.wall_ns",
+            self.predictor_wall.as_nanos() as u64,
+        );
+        let psecs = self.predictor_wall.as_secs_f64();
+        snap.gauge(
+            "bench.predictor.msgs_per_sec",
+            if psecs > 0.0 {
+                self.predictor_messages as f64 / psecs
+            } else {
+                0.0
+            },
+        );
+        snap.counter("cosmos.core.pht_probes", self.core.pht_probes);
+        snap.counter(
+            "cosmos.core.fastmap_capacity_bytes",
+            self.core.table_capacity_bytes,
+        );
+        crate::par::export_obs(&mut snap);
+        snap
+    }
+
+    /// The snapshot as JSON (the `BENCH_repro.json` payload).
+    pub fn to_json(&self) -> String {
+        self.snapshot().to_json()
+    }
+}
+
+impl Default for BenchTimer {
+    fn default() -> Self {
+        BenchTimer::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn phases_accumulate_and_export() {
+        let mut b = BenchTimer::new();
+        let x = b.phase("alpha", || 40 + 2);
+        assert_eq!(x, 42);
+        b.phase("alpha", || std::thread::sleep(Duration::from_millis(1)));
+        b.phase("beta", || ());
+        b.add_messages(1000);
+        b.add_core(CoreStats {
+            pht_probes: 7,
+            table_capacity_bytes: 64,
+        });
+        let snap = b.snapshot();
+        assert!(matches!(
+            snap.get("bench.phase.alpha_ns"),
+            Some(obs::MetricValue::Counter(n)) if *n >= 1_000_000
+        ));
+        assert!(snap.get("bench.phase.beta_ns").is_some());
+        assert!(matches!(
+            snap.get("bench.messages"),
+            Some(obs::MetricValue::Counter(1000))
+        ));
+        assert!(matches!(
+            snap.get("cosmos.core.pht_probes"),
+            Some(obs::MetricValue::Counter(7))
+        ));
+        assert!(matches!(
+            snap.get("bench.throughput_msgs_per_sec"),
+            Some(obs::MetricValue::Gauge(t)) if *t > 0.0
+        ));
+        let json = b.to_json();
+        assert!(json.contains("bench.total_ns"));
+    }
+}

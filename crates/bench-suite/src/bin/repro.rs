@@ -20,10 +20,17 @@
 //! NAME` selects it; default `appbt`) and writes the workspace-wide metrics
 //! snapshot — machine, protocol, trace, predictor, and speculation layers —
 //! as `obs.v1` JSON to PATH. Given alone, it runs only the report.
+//!
+//! `--bench-json PATH` times the run: every target's wall time, the trace
+//! generation phase, a dedicated predictor replay pass (throughput and
+//! core probe/capacity counters), and sweep-parallelism utilisation are
+//! written as an `obs.v1` JSON snapshot to PATH (`BENCH_repro.json` in
+//! CI).
 
-use bench_suite::{extras, faults, figures, obs_report, tables, Scale, TraceSet};
+use bench_suite::{extras, faults, figures, obs_report, tables, BenchTimer, Scale, TraceSet};
 use simx::{FaultPlan, SystemConfig};
 use std::process::ExitCode;
+use std::time::Instant;
 
 const TARGETS: &[&str] = &[
     "table1",
@@ -60,6 +67,7 @@ fn main() -> ExitCode {
     let mut targets: Vec<String> = Vec::new();
     let mut csv_dir: Option<std::path::PathBuf> = None;
     let mut obs_json: Option<std::path::PathBuf> = None;
+    let mut bench_json: Option<std::path::PathBuf> = None;
     let mut obs_app = String::from("appbt");
     let mut fault_plan: Option<FaultPlan> = None;
     let mut faults_seed: Option<u64> = None;
@@ -72,6 +80,10 @@ fn main() -> ExitCode {
             }
             Some("--obs-json") => {
                 obs_json = Some(std::path::PathBuf::from(a));
+                continue;
+            }
+            Some("--bench-json") => {
+                bench_json = Some(std::path::PathBuf::from(a));
                 continue;
             }
             Some("--obs-app") => {
@@ -103,14 +115,17 @@ fn main() -> ExitCode {
         }
         match a.as_str() {
             "--small" => scale = Scale::Small,
-            "--csv" | "--obs-json" | "--obs-app" | "--faults" | "--faults-seed" => {
-                expect = Some(a.as_str())
-            }
+            "--csv" | "--obs-json" | "--bench-json" | "--obs-app" | "--faults"
+            | "--faults-seed" => expect = Some(a.as_str()),
             "--help" | "-h" => {
                 println!(
                     "usage: repro [--small] [--csv DIR] [--obs-json PATH [--obs-app NAME]] \
-                     [--faults SPEC [--faults-seed N]] [{}|all ...]",
+                     [--bench-json PATH] [--faults SPEC [--faults-seed N]] [{}|all ...]",
                     TARGETS.join("|")
+                );
+                println!(
+                    "  --bench-json PATH  write per-phase wall-clock timings and predictor \
+                     throughput as obs.v1 JSON to PATH"
                 );
                 println!(
                     "  --faults SPEC   fault plan for the `faults` target, e.g. \
@@ -186,14 +201,21 @@ fn main() -> ExitCode {
                 | "lookahead"
         )
     });
+    let mut bench = bench_json.as_ref().map(|_| BenchTimer::new());
     let set = needs_set.then(|| {
         eprintln!("generating traces ({scale:?} scale)...");
-        TraceSet::generate(scale)
+        let t0 = Instant::now();
+        let set = TraceSet::generate(scale);
+        if let Some(b) = &mut bench {
+            b.record("traces", t0.elapsed());
+        }
+        set
     });
     let set = set.as_ref();
 
     let mut fig67_done = false;
     for t in &targets {
+        let phase_start = Instant::now();
         match t.as_str() {
             "table1" => println!("{}", tables::table1()),
             "table2" => println!("{}", tables::table2()),
@@ -292,6 +314,36 @@ fn main() -> ExitCode {
             }
             _ => unreachable!("validated above"),
         }
+        if let Some(b) = &mut bench {
+            b.record(t, phase_start.elapsed());
+        }
+    }
+
+    if let (Some(mut b), Some(path)) = (bench, &bench_json) {
+        if let Some(set) = set {
+            let msgs: u64 = set
+                .traces()
+                .iter()
+                .map(|tr| tr.records().len() as u64)
+                .sum();
+            b.add_messages(msgs);
+            // A dedicated replay pass isolates predictor throughput from
+            // table bookkeeping and collects the core probe counters.
+            let t0 = Instant::now();
+            for tr in set.traces() {
+                let report = cosmos::eval::evaluate_cosmos(tr, 1, 0);
+                b.add_core(report.core);
+            }
+            let dt = t0.elapsed();
+            b.record("predictor_pass", dt);
+            b.add_predictor_pass(msgs, dt);
+        }
+        let snap = b.snapshot();
+        if let Err(e) = std::fs::write(path, snap.to_json()) {
+            eprintln!("writing {}: {e}", path.display());
+            return ExitCode::FAILURE;
+        }
+        eprintln!("wrote {} ({} metrics)", path.display(), snap.len());
     }
     ExitCode::SUCCESS
 }

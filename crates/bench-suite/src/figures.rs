@@ -60,8 +60,9 @@ pub fn render_figures_6_7(set: &TraceSet) -> String {
         "FIGURES 6 & 7. Dominant incoming message signatures (depth-1 Cosmos)\n\
          Arc label X/Y: X = % predicted correctly, Y = % of references\n",
     );
-    for t in set.traces() {
-        let report = evaluate_cosmos(t, 1, 0);
+    let traces = set.traces();
+    let reports = crate::par::sweep(traces.len(), |i| evaluate_cosmos(&traces[i], 1, 0));
+    for (t, report) in traces.iter().zip(reports) {
         let _ = writeln!(out, "\n== {} ==", t.meta().app);
         for role in [Role::Cache, Role::Directory] {
             let _ = writeln!(out, "  at the {role}:");

@@ -31,15 +31,18 @@
 //! protocol, predictor, and speculation metrics — into a single
 //! machine-readable [`obs::Snapshot`] (`repro --obs-json`).
 
+pub mod bench_report;
 pub mod extras;
 pub mod faults;
 pub mod figures;
 pub mod harness;
 pub mod integration;
+pub mod par;
 pub mod report;
 pub mod tables;
 pub mod traces;
 
+pub use bench_report::BenchTimer;
 pub use harness::Harness;
 pub use report::obs_report;
 pub use traces::{Scale, TraceSet};

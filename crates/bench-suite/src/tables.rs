@@ -116,23 +116,25 @@ pub struct Table5Row {
     pub by_depth: Vec<(f64, f64, f64)>,
 }
 
-/// Computes Table 5 (prediction rate vs MHR depth, no filter).
+/// Computes Table 5 (prediction rate vs MHR depth, no filter). The
+/// `benchmark x depth` cells are independent evaluations, swept in
+/// parallel and reassembled in row order.
 pub fn table5(set: &TraceSet) -> Vec<Table5Row> {
-    set.traces()
+    let traces = set.traces();
+    let cells = crate::par::sweep(traces.len() * DEPTHS.len(), |i| {
+        let r = evaluate_cosmos(&traces[i / DEPTHS.len()], DEPTHS[i % DEPTHS.len()], 0);
+        (
+            r.cache.percent(),
+            r.directory.percent(),
+            r.overall.percent(),
+        )
+    });
+    traces
         .iter()
-        .map(|t| Table5Row {
+        .enumerate()
+        .map(|(ti, t)| Table5Row {
             app: t.meta().app.clone(),
-            by_depth: DEPTHS
-                .iter()
-                .map(|&d| {
-                    let r = evaluate_cosmos(t, d, 0);
-                    (
-                        r.cache.percent(),
-                        r.directory.percent(),
-                        r.overall.percent(),
-                    )
-                })
-                .collect(),
+            by_depth: cells[ti * DEPTHS.len()..(ti + 1) * DEPTHS.len()].to_vec(),
         })
         .collect()
 }
@@ -175,20 +177,28 @@ pub struct Table6Row {
 /// The depths Table 6 evaluates (the paper shows 1 and 2).
 pub const TABLE6_DEPTHS: [usize; 2] = [1, 2];
 
-/// Computes Table 6 (noise-filter maximum count 0/1/2).
+/// Computes Table 6 (noise-filter maximum count 0/1/2). Every
+/// `benchmark x depth x filter` cell is swept in parallel.
 pub fn table6(set: &TraceSet) -> Vec<Table6Row> {
-    set.traces()
+    let traces = set.traces();
+    let per_trace = TABLE6_DEPTHS.len() * 3;
+    let cells = crate::par::sweep(traces.len() * per_trace, |i| {
+        let t = &traces[i / per_trace];
+        let d = TABLE6_DEPTHS[(i % per_trace) / 3];
+        let fmax = (i % 3) as u8;
+        evaluate_cosmos(t, d, fmax).overall.percent()
+    });
+    traces
         .iter()
-        .map(|t| Table6Row {
+        .enumerate()
+        .map(|(ti, t)| Table6Row {
             app: t.meta().app.clone(),
             by_depth: TABLE6_DEPTHS
                 .iter()
-                .map(|&d| {
-                    let mut row = [0.0; 3];
-                    for (i, fmax) in (0u8..3).enumerate() {
-                        row[i] = evaluate_cosmos(t, d, fmax).overall.percent();
-                    }
-                    row
+                .enumerate()
+                .map(|(di, _)| {
+                    let base = ti * per_trace + di * 3;
+                    [cells[base], cells[base + 1], cells[base + 2]]
                 })
                 .collect(),
         })
@@ -230,15 +240,19 @@ pub struct Table7Row {
     pub footprints: Vec<MemoryFootprint>,
 }
 
-/// Computes Table 7 (memory overhead of filterless Cosmos predictors).
+/// Computes Table 7 (memory overhead of filterless Cosmos predictors),
+/// sweeping the `benchmark x depth` cells in parallel.
 pub fn table7(set: &TraceSet) -> Vec<Table7Row> {
-    set.traces()
+    let traces = set.traces();
+    let cells = crate::par::sweep(traces.len() * DEPTHS.len(), |i| {
+        evaluate_cosmos(&traces[i / DEPTHS.len()], DEPTHS[i % DEPTHS.len()], 0).memory
+    });
+    traces
         .iter()
-        .map(|t| {
-            let footprints: Vec<MemoryFootprint> = DEPTHS
-                .iter()
-                .map(|&d| evaluate_cosmos(t, d, 0).memory)
-                .collect();
+        .enumerate()
+        .map(|(ti, t)| {
+            let footprints: Vec<MemoryFootprint> =
+                cells[ti * DEPTHS.len()..(ti + 1) * DEPTHS.len()].to_vec();
             Table7Row {
                 app: t.meta().app.clone(),
                 by_depth: DEPTHS
@@ -461,12 +475,17 @@ pub fn csv_table8(rows: &[Table8Row]) -> String {
     t.to_csv()
 }
 
-/// Evaluates an arbitrary depth/filter Cosmos over every trace — shared by
-/// several extras.
+/// Evaluates an arbitrary depth/filter Cosmos over every trace (in
+/// parallel, one evaluation per benchmark) — shared by several extras.
 pub fn reports_for(set: &TraceSet, depth: usize, filter_max: u8) -> Vec<(String, AccuracyReport)> {
-    set.traces()
+    let traces = set.traces();
+    let reports = crate::par::sweep(traces.len(), |i| {
+        evaluate_cosmos(&traces[i], depth, filter_max)
+    });
+    traces
         .iter()
-        .map(|t| (t.meta().app.clone(), evaluate_cosmos(t, depth, filter_max)))
+        .zip(reports)
+        .map(|(t, r)| (t.meta().app.clone(), r))
         .collect()
 }
 

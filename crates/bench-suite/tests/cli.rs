@@ -1,0 +1,55 @@
+//! CLI contract tests for the `repro` binary's argument parsing: flags
+//! that expect a value must fail loudly when the value is missing, and
+//! unknown targets must exit non-zero instead of being silently skipped.
+
+use std::process::Command;
+
+fn repro(args: &[&str]) -> std::process::Output {
+    Command::new(env!("CARGO_BIN_EXE_repro"))
+        .args(args)
+        .output()
+        .expect("spawn repro")
+}
+
+#[test]
+fn help_exits_zero_and_mentions_bench_json() {
+    let out = repro(&["--help"]);
+    assert!(out.status.success());
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("--bench-json"));
+    assert!(stdout.contains("--faults"));
+}
+
+#[test]
+fn value_flags_reject_a_missing_value() {
+    for flag in [
+        "--csv",
+        "--obs-json",
+        "--bench-json",
+        "--faults",
+        "--faults-seed",
+    ] {
+        let out = repro(&[flag]);
+        assert!(!out.status.success(), "{flag} with no value must fail");
+        let stderr = String::from_utf8_lossy(&out.stderr);
+        assert!(
+            stderr.contains(flag) && stderr.contains("needs a value"),
+            "{flag}: stderr was {stderr:?}"
+        );
+    }
+}
+
+#[test]
+fn unknown_targets_exit_nonzero() {
+    let out = repro(&["table9000"]);
+    assert!(!out.status.success());
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("unknown target"), "stderr was {stderr:?}");
+}
+
+#[test]
+fn bad_faults_seed_exits_nonzero() {
+    let out = repro(&["--faults-seed", "not-a-number"]);
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("not a u64"));
+}

@@ -1,0 +1,15 @@
+//! Golden regression test for the table pipeline: the small-scale Table 5
+//! CSV must stay byte-identical to the copy captured before the
+//! packed-history predictor core and parallel sweeps landed. Any drift
+//! means the optimisation changed results, not just speed.
+
+use bench_suite::{tables, Scale, TraceSet};
+
+const GOLDEN: &str = include_str!("golden/table5_small.csv");
+
+#[test]
+fn small_table5_csv_is_byte_identical_to_the_pre_optimization_golden() {
+    let set = TraceSet::generate(Scale::Small);
+    let csv = tables::csv_table5(&tables::table5(&set));
+    assert_eq!(csv, GOLDEN, "table5 CSV drifted from the golden copy");
+}

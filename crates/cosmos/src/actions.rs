@@ -144,12 +144,15 @@ pub fn simulate_speculation<F>(bundle: &TraceBundle, mut factory: F) -> Speculat
 where
     F: FnMut(NodeId, Role) -> Box<dyn MessagePredictor>,
 {
-    let mut fleet: HashMap<(NodeId, Role), Box<dyn MessagePredictor>> = HashMap::new();
+    // Flat fleet indexed by `agent_index` — same layout as `eval`.
+    let mut fleet: Vec<Option<Box<dyn MessagePredictor>>> = Vec::new();
     let mut report = SpeculationReport::default();
     for r in bundle.records() {
-        let agent = fleet
-            .entry((r.node, r.role))
-            .or_insert_with(|| factory(r.node, r.role));
+        let idx = crate::eval::agent_index(r.node, r.role);
+        if idx >= fleet.len() {
+            fleet.resize_with(idx + 1, || None);
+        }
+        let agent = fleet[idx].get_or_insert_with(|| factory(r.node, r.role));
         let observed = PredTuple::new(r.sender, r.mtype);
         report.total_messages += 1;
         if let Some(predicted) = agent.predict(r.block) {

@@ -12,11 +12,13 @@
 //! when the misprediction penalty `r` is large (Figure 5's model makes the
 //! trade-off explicit).
 
+use crate::fasthash::FastMap;
 use crate::memory::MemoryFootprint;
+use crate::packed::{self, PackedHistory};
 use crate::tuple::PredTuple;
 use crate::MessagePredictor;
 use stache::BlockAddr;
-use std::collections::HashMap;
+use std::collections::hash_map::Entry as MapEntry;
 
 /// A PHT entry with a confidence counter.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -37,8 +39,8 @@ pub const CONFIDENCE_MAX: u8 = 3;
 pub struct ConfidenceCosmos {
     depth: usize,
     threshold: u8,
-    histories: HashMap<BlockAddr, Vec<PredTuple>>,
-    pht: HashMap<(BlockAddr, Vec<PredTuple>), Entry>,
+    histories: FastMap<BlockAddr, PackedHistory>,
+    pht: FastMap<(BlockAddr, u64), Entry>,
 }
 
 impl ConfidenceCosmos {
@@ -47,11 +49,16 @@ impl ConfidenceCosmos {
     /// values above [`CONFIDENCE_MAX`] are clamped).
     pub fn new(depth: usize, threshold: u8) -> Self {
         assert!(depth > 0, "MHR depth must be at least 1");
+        assert!(
+            depth <= packed::MAX_DEPTH,
+            "MHR depth {depth} exceeds the packed-word maximum of {}",
+            packed::MAX_DEPTH
+        );
         ConfidenceCosmos {
             depth,
             threshold: threshold.min(CONFIDENCE_MAX),
-            histories: HashMap::new(),
-            pht: HashMap::new(),
+            histories: FastMap::default(),
+            pht: FastMap::default(),
         }
     }
 
@@ -62,12 +69,9 @@ impl ConfidenceCosmos {
 
     /// The raw prediction regardless of confidence, with its confidence.
     pub fn predict_with_confidence(&self, block: BlockAddr) -> Option<(PredTuple, u8)> {
-        let history = self.histories.get(&block)?;
-        if history.len() < self.depth {
-            return None;
-        }
+        let key = self.histories.get(&block)?.key()?;
         self.pht
-            .get(&(block, history.clone()))
+            .get(&(block, key))
             .map(|e| (e.prediction, e.confidence))
     }
 }
@@ -83,32 +87,36 @@ impl MessagePredictor for ConfidenceCosmos {
     }
 
     fn observe(&mut self, block: BlockAddr, tuple: PredTuple) {
-        let history = self.histories.entry(block).or_default();
-        if history.len() == self.depth {
-            let key = (block, history.clone());
-            match self.pht.get_mut(&key) {
-                None => {
-                    self.pht.insert(
-                        key,
-                        Entry {
-                            prediction: tuple,
-                            confidence: 0,
-                        },
-                    );
-                }
-                Some(e) if e.prediction == tuple => {
-                    e.confidence = (e.confidence + 1).min(CONFIDENCE_MAX);
-                }
-                Some(e) => {
-                    *e = Entry {
+        let depth = self.depth;
+        let history = self
+            .histories
+            .entry(block)
+            .or_insert_with(|| PackedHistory::new(depth));
+        if let Some(key) = history.key() {
+            match self.pht.entry((block, key)) {
+                MapEntry::Vacant(slot) => {
+                    slot.insert(Entry {
                         prediction: tuple,
                         confidence: 0,
-                    };
+                    });
+                }
+                MapEntry::Occupied(mut slot) => {
+                    let e = slot.get_mut();
+                    if e.prediction == tuple {
+                        e.confidence = (e.confidence + 1).min(CONFIDENCE_MAX);
+                    } else {
+                        *e = Entry {
+                            prediction: tuple,
+                            confidence: 0,
+                        };
+                    }
                 }
             }
-            history.remove(0);
         }
-        history.push(tuple);
+        self.histories
+            .get_mut(&block)
+            .expect("just inserted")
+            .push(tuple.pack());
     }
 
     fn memory(&self) -> MemoryFootprint {

@@ -17,13 +17,24 @@
 //! A message for which the predictor offers no prediction counts as a miss
 //! (the conservative convention); coverage is reported separately.
 
+use crate::fasthash::FastMap;
 use crate::memory::MemoryFootprint;
 use crate::predictor::CosmosPredictor;
 use crate::tuple::PredTuple;
-use crate::MessagePredictor;
+use crate::{CoreStats, MessagePredictor};
 use stache::{BlockAddr, MsgType, NodeId, Role};
 use std::collections::{BTreeMap, HashMap};
 use trace::{ArcKey, TraceBundle};
+
+/// Flat fleet index for a `(node, role)` agent: two slots per node.
+#[inline]
+pub(crate) fn agent_index(node: NodeId, role: Role) -> usize {
+    node.index() * 2
+        + match role {
+            Role::Cache => 0,
+            Role::Directory => 1,
+        }
+}
 
 /// Hit/total counters.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -99,6 +110,9 @@ pub struct AccuracyReport {
     pub per_arc_by_iteration: HashMap<ArcKey, BTreeMap<u32, Counts>>,
     /// Fleet memory footprint after the full replay (Table 7).
     pub memory: MemoryFootprint,
+    /// Predictor-core counters summed over the fleet (probe volume and
+    /// resident table capacity) — the perf-engineering view of the run.
+    pub core: CoreStats,
 }
 
 impl AccuracyReport {
@@ -248,6 +262,18 @@ impl AccuracyReport {
         );
     }
 
+    /// Exports the predictor-core counters under `cosmos.core.` — kept
+    /// separate from [`export_obs`](Self::export_obs) so the accuracy
+    /// snapshots (and their golden files) are unaffected by perf
+    /// instrumentation.
+    pub fn export_core_obs(&self, snap: &mut obs::Snapshot) {
+        snap.counter("cosmos.core.pht_probes", self.core.pht_probes);
+        snap.counter(
+            "cosmos.core.fastmap_capacity_bytes",
+            self.core.table_capacity_bytes,
+        );
+    }
+
     /// Dominant arcs of a role by scored references, with `(accuracy %,
     /// share %)` — the Figure 6/7 labels.
     pub fn dominant_arcs(&self, role: Role, top: usize) -> Vec<(ArcKey, f64, f64)> {
@@ -271,8 +297,21 @@ pub fn evaluate<F>(bundle: &TraceBundle, opts: &EvalOptions, mut factory: F) -> 
 where
     F: FnMut(NodeId, Role) -> Box<dyn MessagePredictor>,
 {
-    let mut fleet: HashMap<(NodeId, Role), Box<dyn MessagePredictor>> = HashMap::new();
-    let mut prev_type: HashMap<(NodeId, Role, BlockAddr), MsgType> = HashMap::new();
+    /// One agent's predictor plus its replay-local state, held in a flat
+    /// vector indexed by [`agent_index`] — the hot loop does two Vec
+    /// indexings instead of hashing a `(NodeId, Role)` tuple per record.
+    struct AgentSlot {
+        node: NodeId,
+        role: Role,
+        predictor: Box<dyn MessagePredictor>,
+        /// Last message type seen per block at this agent (arc tracking).
+        prev_type: FastMap<BlockAddr, MsgType>,
+        counts: Counts,
+    }
+
+    let mut fleet: Vec<Option<AgentSlot>> = Vec::new();
+    let mut per_arc: FastMap<ArcKey, Counts> = FastMap::default();
+    let mut per_arc_by_iteration: FastMap<ArcKey, BTreeMap<u32, Counts>> = FastMap::default();
 
     let mut report = AccuracyReport {
         predictor: String::new(),
@@ -285,17 +324,26 @@ where
         per_iteration: BTreeMap::new(),
         per_arc_by_iteration: HashMap::new(),
         memory: MemoryFootprint::default(),
+        core: CoreStats::default(),
     };
 
     for r in bundle.records() {
-        let agent = fleet
-            .entry((r.node, r.role))
-            .or_insert_with(|| factory(r.node, r.role));
+        let idx = agent_index(r.node, r.role);
+        if idx >= fleet.len() {
+            fleet.resize_with(idx + 1, || None);
+        }
+        let slot = fleet[idx].get_or_insert_with(|| AgentSlot {
+            node: r.node,
+            role: r.role,
+            predictor: factory(r.node, r.role),
+            prev_type: FastMap::default(),
+            counts: Counts::default(),
+        });
         if report.predictor.is_empty() {
-            report.predictor = agent.name().to_string();
+            report.predictor = slot.predictor.name().to_string();
         }
         let observed = PredTuple::new(r.sender, r.mtype);
-        let predicted = agent.predict(r.block);
+        let predicted = slot.predictor.predict(r.block);
 
         if r.iteration >= opts.score_from_iteration {
             let hit = if opts.type_only {
@@ -309,25 +357,20 @@ where
                 Role::Directory => report.directory.add(hit),
             }
             report.coverage.add(predicted.is_some());
-            report
-                .per_agent
-                .entry((r.node, r.role))
-                .or_default()
-                .add(hit);
+            slot.counts.add(hit);
             report
                 .per_iteration
                 .entry(r.iteration)
                 .or_default()
                 .add(hit);
-            if let Some(prev) = prev_type.get(&(r.node, r.role, r.block)) {
+            if let Some(prev) = slot.prev_type.get(&r.block) {
                 let key = ArcKey {
                     role: r.role,
                     prev: *prev,
                     next: r.mtype,
                 };
-                report.per_arc.entry(key).or_default().add(hit);
-                report
-                    .per_arc_by_iteration
+                per_arc.entry(key).or_default().add(hit);
+                per_arc_by_iteration
                     .entry(key)
                     .or_default()
                     .entry(r.iteration)
@@ -335,11 +378,21 @@ where
                     .add(hit);
             }
         }
-        prev_type.insert((r.node, r.role, r.block), r.mtype);
-        agent.observe(r.block, observed);
+        slot.prev_type.insert(r.block, r.mtype);
+        slot.predictor.observe(r.block, observed);
     }
 
-    report.memory = fleet.values().map(|p| p.memory()).sum();
+    report.per_arc = per_arc.into_iter().collect();
+    report.per_arc_by_iteration = per_arc_by_iteration.into_iter().collect();
+    for slot in fleet.iter().flatten() {
+        report.memory = report.memory + slot.predictor.memory();
+        report.core.merge(slot.predictor.core_stats());
+        // Agents that only saw warmup records never scored anything and
+        // get no per-agent entry, matching the map-keyed accounting.
+        if slot.counts.total > 0 {
+            report.per_agent.insert((slot.node, slot.role), slot.counts);
+        }
+    }
     report
 }
 

@@ -13,13 +13,13 @@
 //! persistence that Stache's no-replacement policy provides (§5.1) is
 //! worth.
 
+use crate::fasthash::FastMap;
 use crate::memory::MemoryFootprint;
 use crate::mhr::Mhr;
 use crate::pht::Pht;
 use crate::tuple::PredTuple;
 use crate::MessagePredictor;
 use stache::BlockAddr;
-use std::collections::HashMap;
 
 #[derive(Debug, Clone)]
 struct BlockState {
@@ -34,7 +34,7 @@ pub struct EvictingCosmos {
     depth: usize,
     filter_max: u8,
     capacity: usize,
-    blocks: HashMap<BlockAddr, BlockState>,
+    blocks: FastMap<BlockAddr, BlockState>,
     clock: u64,
     /// Blocks whose history was discarded under capacity pressure.
     pub evictions: u64,
@@ -53,7 +53,7 @@ impl EvictingCosmos {
             depth,
             filter_max,
             capacity,
-            blocks: HashMap::new(),
+            blocks: FastMap::default(),
             clock: 0,
             evictions: 0,
         }
@@ -65,6 +65,8 @@ impl EvictingCosmos {
     }
 
     fn evict_lru(&mut self) {
+        // `last_used` stamps are unique (one clock tick per observe), so
+        // the victim is deterministic regardless of table iteration order.
         if let Some(victim) = self
             .blocks
             .iter()
@@ -102,11 +104,10 @@ impl MessagePredictor for EvictingCosmos {
         });
         state.last_used = clock;
         if let Some(key) = state.mhr.key() {
-            let key = key.to_vec();
             state
                 .pht
                 .get_or_insert_with(Pht::new)
-                .update(&key, tuple, self.filter_max);
+                .update(key, tuple, self.filter_max);
         }
         state.mhr.shift(tuple);
     }

@@ -1,0 +1,146 @@
+//! A hand-rolled FxHash-style hasher for the predictor's hot tables.
+//!
+//! The predictor core keys every table by small fixed-width integers — a
+//! packed history (`u64`), a [`BlockAddr`](stache::BlockAddr) (one `u64`),
+//! or a pair of the two. `std`'s default SipHash is DoS-resistant but costs
+//! tens of cycles per probe, which dominates the eval loop; these keys are
+//! program-internal (never attacker-controlled), so the multiply-xor hash
+//! used by rustc's own tables (`FxHash`) is the right trade. The repo policy
+//! is zero external dependencies, so the hasher is written out here: per
+//! 8-byte word, `hash = (hash.rotate_left(5) ^ word) * K` with Fx's odd
+//! 64-bit constant.
+//!
+//! Unlike `RandomState`, [`FastHash`] is deterministic across processes —
+//! table *iteration order* is therefore reproducible, which the eval
+//! harness never relies on but which makes perf runs comparable.
+
+use std::collections::{HashMap, HashSet};
+use std::hash::{BuildHasherDefault, Hasher};
+
+/// The Fx multiplier: a 64-bit constant derived from the golden ratio,
+/// chosen (by the Firefox/rustc lineage of this hash) for good bit
+/// dispersion under wrapping multiplication.
+const K: u64 = 0x517c_c1b7_2722_0a95;
+
+/// The FxHash word-at-a-time hasher.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct FxHasher {
+    hash: u64,
+}
+
+impl FxHasher {
+    #[inline]
+    fn add_to_hash(&mut self, word: u64) {
+        self.hash = (self.hash.rotate_left(5) ^ word).wrapping_mul(K);
+    }
+}
+
+impl Hasher for FxHasher {
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.hash
+    }
+
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        let mut chunks = bytes.chunks_exact(8);
+        for c in chunks.by_ref() {
+            self.add_to_hash(u64::from_le_bytes(c.try_into().expect("8-byte chunk")));
+        }
+        let rest = chunks.remainder();
+        if !rest.is_empty() {
+            let mut tail = [0u8; 8];
+            tail[..rest.len()].copy_from_slice(rest);
+            self.add_to_hash(u64::from_le_bytes(tail));
+        }
+    }
+
+    #[inline]
+    fn write_u8(&mut self, n: u8) {
+        self.add_to_hash(u64::from(n));
+    }
+
+    #[inline]
+    fn write_u16(&mut self, n: u16) {
+        self.add_to_hash(u64::from(n));
+    }
+
+    #[inline]
+    fn write_u32(&mut self, n: u32) {
+        self.add_to_hash(u64::from(n));
+    }
+
+    #[inline]
+    fn write_u64(&mut self, n: u64) {
+        self.add_to_hash(n);
+    }
+
+    #[inline]
+    fn write_usize(&mut self, n: usize) {
+        self.add_to_hash(n as u64);
+    }
+}
+
+/// The deterministic `BuildHasher` for [`FastMap`]/[`FastSet`].
+pub type FastHash = BuildHasherDefault<FxHasher>;
+
+/// A `HashMap` keyed through [`FxHasher`] — the predictor core's table type.
+pub type FastMap<K, V> = HashMap<K, V, FastHash>;
+
+/// A `HashSet` hashed through [`FxHasher`].
+pub type FastSet<T> = HashSet<T, FastHash>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::hash::BuildHasher;
+
+    fn hash_of(f: impl FnOnce(&mut FxHasher)) -> u64 {
+        let mut h = FxHasher::default();
+        f(&mut h);
+        h.finish()
+    }
+
+    #[test]
+    fn deterministic_across_instances() {
+        let a = hash_of(|h| h.write_u64(0xdead_beef));
+        let b = hash_of(|h| h.write_u64(0xdead_beef));
+        assert_eq!(a, b);
+        assert_eq!(
+            FastHash::default().hash_one(42u64),
+            FastHash::default().hash_one(42u64)
+        );
+    }
+
+    #[test]
+    fn distinct_keys_disperse() {
+        // Consecutive u64 keys must not collide in the low bits (the part
+        // a power-of-two table actually uses).
+        let mut low_bits = FastSet::default();
+        for k in 0u64..1024 {
+            low_bits.insert(hash_of(|h| h.write_u64(k)) & 0xFFFF);
+        }
+        assert!(low_bits.len() > 1000, "only {} distinct", low_bits.len());
+    }
+
+    #[test]
+    fn byte_writes_match_word_semantics_for_tail() {
+        // A 10-byte slice hashes as one full word plus a zero-padded tail.
+        let bytes = [1u8, 2, 3, 4, 5, 6, 7, 8, 9, 10];
+        let a = hash_of(|h| h.write(&bytes));
+        let b = hash_of(|h| {
+            h.write_u64(u64::from_le_bytes(bytes[..8].try_into().unwrap()));
+            h.write_u64(u64::from_le_bytes([9, 10, 0, 0, 0, 0, 0, 0]));
+        });
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn fastmap_works_as_a_map() {
+        let mut m: FastMap<u64, &str> = FastMap::default();
+        m.insert(1, "one");
+        m.insert(2, "two");
+        assert_eq!(m.get(&1), Some(&"one"));
+        assert_eq!(m.len(), 2);
+    }
+}

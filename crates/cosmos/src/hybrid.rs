@@ -7,12 +7,12 @@
 //! often recently. This is the same construction over coherence messages —
 //! the kind of follow-on design the paper's §8 invites.
 
+use crate::fasthash::FastMap;
 use crate::memory::MemoryFootprint;
 use crate::predictor::CosmosPredictor;
 use crate::tuple::PredTuple;
-use crate::MessagePredictor;
+use crate::{CoreStats, MessagePredictor};
 use stache::BlockAddr;
-use std::collections::HashMap;
 
 /// Chooser saturation (2-bit counter: 0–1 favour the shallow component,
 /// 2–3 the deep one).
@@ -24,7 +24,7 @@ pub struct HybridCosmos {
     shallow: CosmosPredictor,
     deep: CosmosPredictor,
     /// Per-block chooser counters.
-    choosers: HashMap<BlockAddr, u8>,
+    choosers: FastMap<BlockAddr, u8>,
     /// Times the shallow component supplied the answer.
     pub shallow_used: u64,
     /// Times the deep component supplied the answer.
@@ -44,7 +44,7 @@ impl HybridCosmos {
         HybridCosmos {
             shallow: CosmosPredictor::new(shallow_depth, 0),
             deep: CosmosPredictor::new(deep_depth, 0),
-            choosers: HashMap::new(),
+            choosers: FastMap::default(),
             shallow_used: 0,
             deep_used: 0,
         }
@@ -105,6 +105,12 @@ impl MessagePredictor for HybridCosmos {
 
     fn memory(&self) -> MemoryFootprint {
         self.shallow.memory() + self.deep.memory()
+    }
+
+    fn core_stats(&self) -> CoreStats {
+        let mut stats = self.shallow.core_stats();
+        stats.merge(self.deep.core_stats());
+        stats
     }
 }
 

@@ -52,11 +52,13 @@ pub mod confidence;
 pub mod directed;
 pub mod eval;
 pub mod evicting;
+pub mod fasthash;
 pub mod hybrid;
 pub mod lookahead;
 pub mod macroblock;
 pub mod memory;
 pub mod mhr;
+pub mod packed;
 pub mod pht;
 pub mod prealloc;
 pub mod predictor;
@@ -68,11 +70,13 @@ pub mod tuple;
 pub use confidence::ConfidenceCosmos;
 pub use eval::{AccuracyReport, Counts, EvalOptions};
 pub use evicting::EvictingCosmos;
+pub use fasthash::{FastMap, FastSet, FxHasher};
 pub use hybrid::HybridCosmos;
 pub use lookahead::{evaluate_lookahead, LookaheadReport};
 pub use macroblock::MacroblockCosmos;
 pub use memory::MemoryFootprint;
 pub use mhr::Mhr;
+pub use packed::PackedHistory;
 pub use pht::{Pht, PhtEntry};
 pub use prealloc::PreallocCosmos;
 pub use predictor::{CosmosPredictor, TypeOnlyCosmos};
@@ -80,6 +84,27 @@ pub use shared_pht::SharedPhtCosmos;
 pub use tuple::PredTuple;
 
 use stache::BlockAddr;
+
+/// Internal predictor-core counters, exported (separately from the
+/// accuracy metrics) as `cosmos.core.*` so Table 7's memory-model numbers
+/// stay auditable after the packed-layout change.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CoreStats {
+    /// PHT probes (lookups plus updates) performed over the predictor's
+    /// lifetime.
+    pub pht_probes: u64,
+    /// Bytes the predictor's hash tables have *reserved* (capacity, not
+    /// occupancy) — the allocation cost of the FastMap layout.
+    pub table_capacity_bytes: u64,
+}
+
+impl CoreStats {
+    /// Accumulates another predictor's counters into this one.
+    pub fn merge(&mut self, other: CoreStats) {
+        self.pht_probes += other.pht_probes;
+        self.table_capacity_bytes += other.table_capacity_bytes;
+    }
+}
 
 /// A predictor of the next incoming coherence message for a block.
 ///
@@ -102,6 +127,12 @@ pub trait MessagePredictor {
     /// Predictors without per-block tables report an empty footprint.
     fn memory(&self) -> MemoryFootprint {
         MemoryFootprint::default()
+    }
+
+    /// Internal table counters for performance auditing (`cosmos.core.*`).
+    /// Predictors without an instrumented core report zeros.
+    fn core_stats(&self) -> CoreStats {
+        CoreStats::default()
     }
 }
 

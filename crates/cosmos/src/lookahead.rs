@@ -12,11 +12,12 @@
 //! speculate.
 
 use crate::eval::Counts;
+use crate::fasthash::FastMap;
 use crate::predictor::CosmosPredictor;
 use crate::tuple::PredTuple;
 use crate::MessagePredictor;
-use stache::{BlockAddr, NodeId, Role};
-use std::collections::{HashMap, VecDeque};
+use stache::BlockAddr;
+use std::collections::VecDeque;
 use trace::TraceBundle;
 
 /// Accuracy per lookahead distance (index 0 = one step ahead).
@@ -48,21 +49,30 @@ struct OutstandingChain {
 /// predictors over a trace.
 pub fn evaluate_lookahead(bundle: &TraceBundle, depth: usize, k: usize) -> LookaheadReport {
     assert!(k >= 1, "need at least one lookahead step");
-    let mut fleet: HashMap<(NodeId, Role), CosmosPredictor> = HashMap::new();
-    // Outstanding chains per (agent, block), oldest first.
-    let mut outstanding: HashMap<(NodeId, Role, BlockAddr), VecDeque<OutstandingChain>> =
-        HashMap::new();
+    /// One agent: its predictor plus its outstanding chains per block
+    /// (oldest first). Held in a flat vector indexed by
+    /// [`crate::eval::agent_index`], like the accuracy harness.
+    struct AgentSlot {
+        predictor: CosmosPredictor,
+        outstanding: FastMap<BlockAddr, VecDeque<OutstandingChain>>,
+    }
+    let mut fleet: Vec<Option<AgentSlot>> = Vec::new();
     let mut by_distance = vec![Counts::default(); k];
 
     for r in bundle.records() {
-        let agent = fleet
-            .entry((r.node, r.role))
-            .or_insert_with(|| CosmosPredictor::new(depth, 0));
+        let idx = crate::eval::agent_index(r.node, r.role);
+        if idx >= fleet.len() {
+            fleet.resize_with(idx + 1, || None);
+        }
+        let slot = fleet[idx].get_or_insert_with(|| AgentSlot {
+            predictor: CosmosPredictor::new(depth, 0),
+            outstanding: FastMap::default(),
+        });
+        let agent = &mut slot.predictor;
         let observed = PredTuple::new(r.sender, r.mtype);
-        let key = (r.node, r.role, r.block);
 
         // Score this arrival against every outstanding chain's next step.
-        if let Some(chains) = outstanding.get_mut(&key) {
+        if let Some(chains) = slot.outstanding.get_mut(&r.block) {
             chains.retain_mut(|c| {
                 let step = c.matched;
                 if step < c.chain.len() {
@@ -78,8 +88,8 @@ pub fn evaluate_lookahead(bundle: &TraceBundle, depth: usize, k: usize) -> Looka
         agent.observe(r.block, observed);
         let chain = agent.predict_chain(r.block, k);
         if !chain.is_empty() {
-            outstanding
-                .entry(key)
+            slot.outstanding
+                .entry(r.block)
                 .or_default()
                 .push_back(OutstandingChain { chain, matched: 0 });
         }
@@ -90,7 +100,7 @@ pub fn evaluate_lookahead(bundle: &TraceBundle, depth: usize, k: usize) -> Looka
 #[cfg(test)]
 mod tests {
     use super::*;
-    use stache::MsgType;
+    use stache::{MsgType, NodeId, Role};
     use trace::{MsgRecord, TraceMeta};
 
     fn cyclic(period: &[MsgType], reps: usize) -> TraceBundle {

@@ -64,6 +64,10 @@ impl MessagePredictor for MacroblockCosmos {
     fn memory(&self) -> MemoryFootprint {
         self.inner.memory()
     }
+
+    fn core_stats(&self) -> crate::CoreStats {
+        self.inner.core_stats()
+    }
 }
 
 #[cfg(test)]

@@ -3,16 +3,19 @@
 //! An MHR is a shift register of the last `depth` `<sender, type>` tuples
 //! received for one cache block (paper §3.2). Its contents — once full —
 //! form the key into the block's Pattern History Table.
+//!
+//! Since PR 3 the register is backed by [`PackedHistory`]: the whole
+//! history lives in one `u64` (16 bits per tuple, depth ≤ 4), so a shift
+//! is a word operation and the PHT key is the word itself.
 
+use crate::packed::PackedHistory;
 use crate::tuple::PredTuple;
 use std::fmt;
 
 /// A fixed-depth shift register of prediction tuples.
-#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct Mhr {
-    depth: usize,
-    /// Most recent tuple last.
-    history: Vec<PredTuple>,
+    packed: PackedHistory,
 }
 
 impl Mhr {
@@ -20,54 +23,55 @@ impl Mhr {
     ///
     /// # Panics
     ///
-    /// Panics if `depth` is zero — a depthless Cosmos has no first level.
+    /// Panics if `depth` is zero — a depthless Cosmos has no first level —
+    /// or exceeds [`crate::packed::MAX_DEPTH`] (the paper evaluates 1–4;
+    /// the packed layout is one word wide).
     pub fn new(depth: usize) -> Self {
-        assert!(depth > 0, "MHR depth must be at least 1");
         Mhr {
-            depth,
-            history: Vec::with_capacity(depth),
+            packed: PackedHistory::new(depth),
         }
     }
 
     /// The configured depth.
     pub fn depth(&self) -> usize {
-        self.depth
+        self.packed.depth()
     }
 
     /// Left-shifts a tuple in (paper §3.4); the oldest tuple falls out once
     /// the register is full.
+    #[inline]
     pub fn shift(&mut self, tuple: PredTuple) {
-        if self.history.len() == self.depth {
-            self.history.remove(0);
-        }
-        self.history.push(tuple);
+        self.packed.push(tuple.pack());
     }
 
     /// Whether `depth` tuples have been received.
     pub fn is_full(&self) -> bool {
-        self.history.len() == self.depth
+        self.packed.is_full()
     }
 
-    /// The register contents (oldest first), usable as a PHT key once full.
-    pub fn key(&self) -> Option<&[PredTuple]> {
-        self.is_full().then_some(self.history.as_slice())
+    /// The packed register contents, usable as a PHT key once full.
+    #[inline]
+    pub fn key(&self) -> Option<u64> {
+        self.packed.key()
     }
 
     /// The register contents regardless of fill level (oldest first).
-    pub fn contents(&self) -> &[PredTuple] {
-        &self.history
+    pub fn contents(&self) -> Vec<PredTuple> {
+        self.packed.tuples()
     }
 
     /// The most recent tuple, if any.
     pub fn last(&self) -> Option<PredTuple> {
-        self.history.last().copied()
+        self.packed
+            .last()
+            .map(|bits| PredTuple::unpack(bits).expect("lane holds a packed tuple"))
     }
 }
 
 impl fmt::Display for Mhr {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(f, "[")?;
-        for (i, t) in self.history.iter().enumerate() {
+        for (i, t) in self.contents().iter().enumerate() {
             if i > 0 {
                 write!(f, ", ")?;
             }
@@ -80,6 +84,7 @@ impl fmt::Display for Mhr {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::packed::pack_key;
     use stache::{MsgType, NodeId};
 
     fn t(n: usize, m: MsgType) -> PredTuple {
@@ -97,14 +102,18 @@ mod tests {
         assert!(r.is_full());
         assert_eq!(
             r.key().unwrap(),
-            &[t(1, MsgType::GetRoRequest), t(2, MsgType::GetRoRequest)]
+            pack_key(&[t(1, MsgType::GetRoRequest), t(2, MsgType::GetRoRequest)])
         );
         r.shift(t(3, MsgType::UpgradeRequest));
         assert_eq!(
             r.key().unwrap(),
-            &[t(2, MsgType::GetRoRequest), t(3, MsgType::UpgradeRequest)]
+            pack_key(&[t(2, MsgType::GetRoRequest), t(3, MsgType::UpgradeRequest)])
         );
         assert_eq!(r.last(), Some(t(3, MsgType::UpgradeRequest)));
+        assert_eq!(
+            r.contents(),
+            vec![t(2, MsgType::GetRoRequest), t(3, MsgType::UpgradeRequest)]
+        );
     }
 
     #[test]
@@ -112,7 +121,7 @@ mod tests {
         let mut r = Mhr::new(1);
         r.shift(t(1, MsgType::GetRoRequest));
         r.shift(t(2, MsgType::GetRwRequest));
-        assert_eq!(r.key().unwrap(), &[t(2, MsgType::GetRwRequest)]);
+        assert_eq!(r.key().unwrap(), pack_key(&[t(2, MsgType::GetRwRequest)]));
         assert_eq!(r.depth(), 1);
     }
 
@@ -120,6 +129,12 @@ mod tests {
     #[should_panic(expected = "depth")]
     fn zero_depth_rejected() {
         let _ = Mhr::new(0);
+    }
+
+    #[test]
+    #[should_panic(expected = "depth")]
+    fn over_deep_register_rejected() {
+        let _ = Mhr::new(5);
     }
 
     #[test]

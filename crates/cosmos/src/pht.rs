@@ -6,9 +6,16 @@
 //! prediction" — optionally guarded by a saturating-counter noise filter
 //! (§3.6): the prediction is replaced only after `max_count + 1`
 //! consecutive mispredictions for the same history.
+//!
+//! Since PR 3 the table is keyed by the **packed history word** (see
+//! [`crate::packed`]) through the allocation-free [`FastMap`]: a probe
+//! hashes one `u64` instead of a heap-allocated `Vec<PredTuple>`, and
+//! updates take a single `entry` probe instead of a `get_mut`-then-`insert`
+//! pair.
 
+use crate::fasthash::FastMap;
 use crate::tuple::PredTuple;
-use std::collections::HashMap;
+use std::collections::hash_map::Entry;
 
 /// A PHT entry: the prediction, plus the filter's miss counter.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -23,7 +30,7 @@ pub struct PhtEntry {
 /// A per-block pattern history table.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct Pht {
-    entries: HashMap<Vec<PredTuple>, PhtEntry>,
+    entries: FastMap<u64, PhtEntry>,
 }
 
 impl Pht {
@@ -32,27 +39,27 @@ impl Pht {
         Pht::default()
     }
 
-    /// The prediction for a history, if one has been learned.
-    pub fn predict(&self, key: &[PredTuple]) -> Option<PredTuple> {
-        self.entries.get(key).map(|e| e.prediction)
+    /// The prediction for a packed history, if one has been learned.
+    #[inline]
+    pub fn predict(&self, key: u64) -> Option<PredTuple> {
+        self.entries.get(&key).map(|e| e.prediction)
     }
 
     /// Updates the entry for `key` with the actually-observed tuple,
     /// applying the noise filter with the given maximum count
     /// (`filter_max = 0` replaces the prediction on the first miss — the
     /// unfiltered configuration of Table 6's column 0).
-    pub fn update(&mut self, key: &[PredTuple], observed: PredTuple, filter_max: u8) {
-        match self.entries.get_mut(key) {
-            None => {
-                self.entries.insert(
-                    key.to_vec(),
-                    PhtEntry {
-                        prediction: observed,
-                        misses: 0,
-                    },
-                );
+    #[inline]
+    pub fn update(&mut self, key: u64, observed: PredTuple, filter_max: u8) {
+        match self.entries.entry(key) {
+            Entry::Vacant(slot) => {
+                slot.insert(PhtEntry {
+                    prediction: observed,
+                    misses: 0,
+                });
             }
-            Some(entry) => {
+            Entry::Occupied(mut slot) => {
+                let entry = slot.get_mut();
                 if entry.prediction == observed {
                     entry.misses = 0;
                 } else if entry.misses < filter_max {
@@ -69,9 +76,8 @@ impl Pht {
 
     /// Installs an entry verbatim (the restore half of
     /// [`crate::snapshot`]): no filter logic applies.
-    pub fn restore_entry(&mut self, key: &[PredTuple], prediction: PredTuple, misses: u8) {
-        self.entries
-            .insert(key.to_vec(), PhtEntry { prediction, misses });
+    pub fn restore_entry(&mut self, key: u64, prediction: PredTuple, misses: u8) {
+        self.entries.insert(key, PhtEntry { prediction, misses });
     }
 
     /// Number of learned patterns (Table 7's per-block PHT entry count).
@@ -84,40 +90,47 @@ impl Pht {
         self.entries.is_empty()
     }
 
-    /// Iterates `(history, entry)` pairs in arbitrary order.
-    pub fn iter(&self) -> impl Iterator<Item = (&[PredTuple], &PhtEntry)> {
-        self.entries.iter().map(|(k, v)| (k.as_slice(), v))
+    /// Buckets the table has reserved (capacity, not occupancy) — feeds
+    /// the `cosmos.core.fastmap_capacity_bytes` gauge.
+    pub fn capacity(&self) -> usize {
+        self.entries.capacity()
+    }
+
+    /// Iterates `(packed history, entry)` pairs in arbitrary order.
+    pub fn iter(&self) -> impl Iterator<Item = (u64, &PhtEntry)> {
+        self.entries.iter().map(|(&k, v)| (k, v))
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::packed::pack_key;
     use stache::{MsgType, NodeId};
 
     fn t(n: usize, m: MsgType) -> PredTuple {
         PredTuple::new(NodeId::new(n), m)
     }
 
-    fn key1() -> Vec<PredTuple> {
-        vec![t(1, MsgType::GetRoRequest)]
+    fn key1() -> u64 {
+        pack_key(&[t(1, MsgType::GetRoRequest)])
     }
 
     #[test]
     fn learns_then_predicts() {
         let mut pht = Pht::new();
-        assert_eq!(pht.predict(&key1()), None);
-        pht.update(&key1(), t(2, MsgType::InvalRoResponse), 0);
-        assert_eq!(pht.predict(&key1()), Some(t(2, MsgType::InvalRoResponse)));
+        assert_eq!(pht.predict(key1()), None);
+        pht.update(key1(), t(2, MsgType::InvalRoResponse), 0);
+        assert_eq!(pht.predict(key1()), Some(t(2, MsgType::InvalRoResponse)));
         assert_eq!(pht.len(), 1);
     }
 
     #[test]
     fn unfiltered_update_replaces_immediately() {
         let mut pht = Pht::new();
-        pht.update(&key1(), t(2, MsgType::InvalRoResponse), 0);
-        pht.update(&key1(), t(3, MsgType::UpgradeRequest), 0);
-        assert_eq!(pht.predict(&key1()), Some(t(3, MsgType::UpgradeRequest)));
+        pht.update(key1(), t(2, MsgType::InvalRoResponse), 0);
+        pht.update(key1(), t(3, MsgType::UpgradeRequest), 0);
+        assert_eq!(pht.predict(key1()), Some(t(3, MsgType::UpgradeRequest)));
     }
 
     #[test]
@@ -127,14 +140,14 @@ mod tests {
         let mut pht = Pht::new();
         let good = t(2, MsgType::InvalRoResponse);
         let noise = t(3, MsgType::UpgradeRequest);
-        pht.update(&key1(), good, 1);
-        pht.update(&key1(), noise, 1); // first miss: filtered
-        assert_eq!(pht.predict(&key1()), Some(good));
-        pht.update(&key1(), good, 1); // correct again: counter resets
-        pht.update(&key1(), noise, 1); // miss 1
-        assert_eq!(pht.predict(&key1()), Some(good));
-        pht.update(&key1(), noise, 1); // miss 2: replaced
-        assert_eq!(pht.predict(&key1()), Some(noise));
+        pht.update(key1(), good, 1);
+        pht.update(key1(), noise, 1); // first miss: filtered
+        assert_eq!(pht.predict(key1()), Some(good));
+        pht.update(key1(), good, 1); // correct again: counter resets
+        pht.update(key1(), noise, 1); // miss 1
+        assert_eq!(pht.predict(key1()), Some(good));
+        pht.update(key1(), noise, 1); // miss 2: replaced
+        assert_eq!(pht.predict(key1()), Some(noise));
     }
 
     #[test]
@@ -142,12 +155,12 @@ mod tests {
         let mut pht = Pht::new();
         let good = t(2, MsgType::InvalRoResponse);
         let noise = t(3, MsgType::UpgradeRequest);
-        pht.update(&key1(), good, 2);
-        pht.update(&key1(), noise, 2);
-        pht.update(&key1(), noise, 2);
-        assert_eq!(pht.predict(&key1()), Some(good), "two misses filtered");
-        pht.update(&key1(), noise, 2);
-        assert_eq!(pht.predict(&key1()), Some(noise), "third miss replaces");
+        pht.update(key1(), good, 2);
+        pht.update(key1(), noise, 2);
+        pht.update(key1(), noise, 2);
+        assert_eq!(pht.predict(key1()), Some(good), "two misses filtered");
+        pht.update(key1(), noise, 2);
+        assert_eq!(pht.predict(key1()), Some(noise), "third miss replaces");
     }
 
     #[test]
@@ -155,23 +168,23 @@ mod tests {
         let mut pht = Pht::new();
         let good = t(2, MsgType::InvalRoResponse);
         let noise = t(3, MsgType::UpgradeRequest);
-        pht.update(&key1(), good, 1);
-        pht.update(&key1(), noise, 1);
-        pht.update(&key1(), good, 1);
+        pht.update(key1(), good, 1);
+        pht.update(key1(), noise, 1);
+        pht.update(key1(), good, 1);
         // Counter is back to zero; a single miss must not replace.
-        pht.update(&key1(), noise, 1);
-        assert_eq!(pht.predict(&key1()), Some(good));
+        pht.update(key1(), noise, 1);
+        assert_eq!(pht.predict(key1()), Some(good));
     }
 
     #[test]
     fn distinct_histories_are_independent() {
         let mut pht = Pht::new();
-        let key_a = vec![t(1, MsgType::GetRoRequest), t(2, MsgType::GetRoRequest)];
-        let key_b = vec![t(2, MsgType::GetRoRequest), t(1, MsgType::GetRoRequest)];
-        pht.update(&key_a, t(3, MsgType::UpgradeRequest), 0);
-        pht.update(&key_b, t(4, MsgType::GetRwRequest), 0);
-        assert_eq!(pht.predict(&key_a), Some(t(3, MsgType::UpgradeRequest)));
-        assert_eq!(pht.predict(&key_b), Some(t(4, MsgType::GetRwRequest)));
+        let key_a = pack_key(&[t(1, MsgType::GetRoRequest), t(2, MsgType::GetRoRequest)]);
+        let key_b = pack_key(&[t(2, MsgType::GetRoRequest), t(1, MsgType::GetRoRequest)]);
+        pht.update(key_a, t(3, MsgType::UpgradeRequest), 0);
+        pht.update(key_b, t(4, MsgType::GetRwRequest), 0);
+        assert_eq!(pht.predict(key_a), Some(t(3, MsgType::UpgradeRequest)));
+        assert_eq!(pht.predict(key_b), Some(t(4, MsgType::GetRwRequest)));
         assert_eq!(pht.len(), 2);
         assert_eq!(pht.iter().count(), 2);
     }

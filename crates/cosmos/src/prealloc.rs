@@ -15,13 +15,15 @@
 //! — and its accuracy under pool pressure is measurable (`repro
 //! variants`).
 
+use crate::fasthash::FastMap;
 use crate::memory::MemoryFootprint;
+use crate::packed::{self, PackedHistory};
 use crate::tuple::PredTuple;
 use crate::MessagePredictor;
 use stache::BlockAddr;
-use std::collections::HashMap;
 
-type PatternKey = (BlockAddr, Vec<PredTuple>);
+/// A `(block, packed history)` pattern key — two words, no allocation.
+type PatternKey = (BlockAddr, u64);
 
 #[derive(Debug, Clone)]
 struct Slot {
@@ -41,9 +43,9 @@ pub struct PreallocCosmos {
     filter_max: u8,
     static_entries: usize,
     pool_capacity: usize,
-    histories: HashMap<BlockAddr, Vec<PredTuple>>,
-    entries: HashMap<PatternKey, Slot>,
-    static_used: HashMap<BlockAddr, usize>,
+    histories: FastMap<BlockAddr, PackedHistory>,
+    entries: FastMap<PatternKey, Slot>,
+    static_used: FastMap<BlockAddr, usize>,
     pool_used: usize,
     clock: u64,
     /// Pooled patterns evicted under pressure (a measure of how far the
@@ -62,14 +64,19 @@ impl PreallocCosmos {
     /// `static_entries` per block, and a shared pool of `pool_capacity`.
     pub fn new(depth: usize, filter_max: u8, static_entries: usize, pool_capacity: usize) -> Self {
         assert!(depth > 0, "MHR depth must be at least 1");
+        assert!(
+            depth <= packed::MAX_DEPTH,
+            "MHR depth {depth} exceeds the packed-word maximum of {}",
+            packed::MAX_DEPTH
+        );
         PreallocCosmos {
             depth,
             filter_max,
             static_entries,
             pool_capacity,
-            histories: HashMap::new(),
-            entries: HashMap::new(),
-            static_used: HashMap::new(),
+            histories: FastMap::default(),
+            entries: FastMap::default(),
+            static_used: FastMap::default(),
             pool_used: 0,
             clock: 0,
             evictions: 0,
@@ -82,12 +89,14 @@ impl PreallocCosmos {
     }
 
     fn evict_lru_pooled(&mut self) {
+        // `last_used` stamps are unique (one clock tick per observe), so
+        // the minimum is well-defined regardless of table iteration order.
         if let Some(key) = self
             .entries
             .iter()
             .filter(|(_, s)| s.pooled)
             .min_by_key(|(_, s)| s.last_used)
-            .map(|(k, _)| k.clone())
+            .map(|(k, _)| *k)
         {
             self.entries.remove(&key);
             self.pool_used -= 1;
@@ -130,21 +139,19 @@ impl MessagePredictor for PreallocCosmos {
     }
 
     fn predict(&self, block: BlockAddr) -> Option<PredTuple> {
-        let history = self.histories.get(&block)?;
-        if history.len() < self.depth {
-            return None;
-        }
-        self.entries
-            .get(&(block, history.clone()))
-            .map(|s| s.prediction)
+        let key = self.histories.get(&block)?.key()?;
+        self.entries.get(&(block, key)).map(|s| s.prediction)
     }
 
     fn observe(&mut self, block: BlockAddr, tuple: PredTuple) {
         self.clock += 1;
-        let history = self.histories.entry(block).or_default();
-        if history.len() == self.depth {
-            let key = (block, history.clone());
-            history.remove(0);
+        let depth = self.depth;
+        let history = self
+            .histories
+            .entry(block)
+            .or_insert_with(|| PackedHistory::new(depth));
+        if let Some(packed_key) = history.key() {
+            let key = (block, packed_key);
             match self.entries.get_mut(&key) {
                 Some(slot) => {
                     slot.last_used = self.clock;
@@ -163,7 +170,7 @@ impl MessagePredictor for PreallocCosmos {
         self.histories
             .get_mut(&block)
             .expect("just inserted")
-            .push(tuple);
+            .push(tuple.pack());
     }
 
     fn memory(&self) -> MemoryFootprint {

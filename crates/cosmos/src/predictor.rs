@@ -1,11 +1,14 @@
 //! The full two-level Cosmos predictor for one agent.
 
+use crate::fasthash::FastMap;
 use crate::memory::MemoryFootprint;
 use crate::mhr::Mhr;
-use crate::pht::Pht;
+use crate::packed;
+use crate::pht::{Pht, PhtEntry};
 use crate::tuple::PredTuple;
-use crate::MessagePredictor;
+use crate::{CoreStats, MessagePredictor};
 use stache::BlockAddr;
+use std::cell::Cell;
 use std::collections::HashMap;
 
 /// Per-block predictor state: the MHR and its private PHT.
@@ -28,7 +31,10 @@ struct BlockState {
 pub struct CosmosPredictor {
     depth: usize,
     filter_max: u8,
-    blocks: HashMap<BlockAddr, BlockState>,
+    blocks: FastMap<BlockAddr, BlockState>,
+    /// PHT probe count (lookups + updates), kept in a `Cell` so the
+    /// `&self` predict path can account itself without atomics.
+    probes: Cell<u64>,
 }
 
 impl CosmosPredictor {
@@ -36,13 +42,19 @@ impl CosmosPredictor {
     ///
     /// # Panics
     ///
-    /// Panics if `depth` is zero.
+    /// Panics if `depth` is zero or exceeds [`packed::MAX_DEPTH`].
     pub fn new(depth: usize, filter_max: u8) -> Self {
         assert!(depth > 0, "MHR depth must be at least 1");
+        assert!(
+            depth <= packed::MAX_DEPTH,
+            "MHR depth {depth} exceeds the packed-word maximum of {}",
+            packed::MAX_DEPTH
+        );
         CosmosPredictor {
             depth,
             filter_max,
-            blocks: HashMap::new(),
+            blocks: FastMap::default(),
+            probes: Cell::new(0),
         }
     }
 
@@ -103,14 +115,14 @@ impl CosmosPredictor {
         let Some(pht) = state.pht.as_ref() else {
             return chain;
         };
-        let mut history = key.to_vec();
+        let mut history = key;
         for _ in 0..n {
-            let Some(next) = pht.predict(&history) else {
+            self.probes.set(self.probes.get() + 1);
+            let Some(next) = pht.predict(history) else {
                 break;
             };
             chain.push(next);
-            history.remove(0);
-            history.push(next);
+            history = packed::push_key(history, self.depth, next.pack());
         }
         chain
     }
@@ -147,6 +159,25 @@ impl CosmosPredictor {
         }
         hist
     }
+
+    /// PHT probes (lookups plus updates) performed so far.
+    pub fn pht_probes(&self) -> u64 {
+        self.probes.get()
+    }
+
+    /// Estimated bytes reserved by the predictor's hash tables (capacity,
+    /// not occupancy) — the `cosmos.core.fastmap_capacity_bytes` gauge.
+    pub fn table_capacity_bytes(&self) -> u64 {
+        let block_slot = std::mem::size_of::<(BlockAddr, BlockState)>();
+        let pht_slot = std::mem::size_of::<(u64, PhtEntry)>();
+        let mut bytes = self.blocks.capacity() * block_slot;
+        for b in self.blocks.values() {
+            if let Some(pht) = &b.pht {
+                bytes += pht.capacity() * pht_slot;
+            }
+        }
+        bytes as u64
+    }
 }
 
 impl MessagePredictor for CosmosPredictor {
@@ -156,15 +187,19 @@ impl MessagePredictor for CosmosPredictor {
 
     /// §3.3: index the MHT by block, use the MHR as the PHT key, return
     /// the PHT's prediction if one exists.
+    #[inline]
     fn predict(&self, block: BlockAddr) -> Option<PredTuple> {
         let state = self.blocks.get(&block)?;
         let key = state.mhr.key()?;
-        state.pht.as_ref()?.predict(key)
+        let pht = state.pht.as_ref()?;
+        self.probes.set(self.probes.get() + 1);
+        pht.predict(key)
     }
 
     /// §3.4: write the observed tuple as the new prediction for the
     /// current history (subject to the filter), then left-shift it into
     /// the MHR.
+    #[inline]
     fn observe(&mut self, block: BlockAddr, tuple: PredTuple) {
         let depth = self.depth;
         let state = self.blocks.entry(block).or_insert_with(|| BlockState {
@@ -172,11 +207,11 @@ impl MessagePredictor for CosmosPredictor {
             pht: None,
         });
         if let Some(key) = state.mhr.key() {
-            let key = key.to_vec();
+            self.probes.set(self.probes.get() + 1);
             state
                 .pht
                 .get_or_insert_with(Pht::new)
-                .update(&key, tuple, self.filter_max);
+                .update(key, tuple, self.filter_max);
         }
         state.mhr.shift(tuple);
     }
@@ -185,6 +220,13 @@ impl MessagePredictor for CosmosPredictor {
         MemoryFootprint {
             mhr_entries: self.mhr_entries(),
             pht_entries: self.pht_entries(),
+        }
+    }
+
+    fn core_stats(&self) -> CoreStats {
+        CoreStats {
+            pht_probes: self.pht_probes(),
+            table_capacity_bytes: self.table_capacity_bytes(),
         }
     }
 }
@@ -228,6 +270,10 @@ impl MessagePredictor for TypeOnlyCosmos {
 
     fn memory(&self) -> MemoryFootprint {
         self.inner.memory()
+    }
+
+    fn core_stats(&self) -> CoreStats {
+        self.inner.core_stats()
     }
 }
 
@@ -374,5 +420,23 @@ mod tests {
         let fp = p.memory();
         assert_eq!(fp.mhr_entries, 2);
         assert_eq!(fp.pht_entries, 2);
+    }
+
+    #[test]
+    fn core_stats_count_probes_and_capacity() {
+        let mut p = CosmosPredictor::new(1, 0);
+        assert_eq!(p.core_stats(), CoreStats::default());
+        p.observe(b(1), t(1, MsgType::GetRoRequest));
+        p.observe(b(1), t(2, MsgType::GetRoRequest)); // 1 update probe
+        let _ = p.predict(b(1)); // 1 lookup probe
+        let stats = p.core_stats();
+        assert_eq!(stats.pht_probes, 2);
+        assert!(stats.table_capacity_bytes > 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "depth")]
+    fn over_deep_predictor_rejected() {
+        let _ = CosmosPredictor::new(5, 0);
     }
 }

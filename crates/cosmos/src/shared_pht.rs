@@ -12,12 +12,12 @@
 //! reinforce one another — common in partitioned arrays) or destructive;
 //! the `repro variants` machinery can quantify which wins per workload.
 
+use crate::fasthash::FastMap;
 use crate::memory::MemoryFootprint;
 use crate::mhr::Mhr;
 use crate::tuple::PredTuple;
 use crate::MessagePredictor;
 use stache::BlockAddr;
-use std::collections::HashMap;
 
 /// An entry in the shared table: a tag-less prediction with the paper's
 /// saturating miss counter.
@@ -32,7 +32,7 @@ struct SharedEntry {
 pub struct SharedPhtCosmos {
     depth: usize,
     filter_max: u8,
-    histories: HashMap<BlockAddr, Mhr>,
+    histories: FastMap<BlockAddr, Mhr>,
     table: Vec<Option<SharedEntry>>,
 }
 
@@ -50,7 +50,7 @@ impl SharedPhtCosmos {
         SharedPhtCosmos {
             depth,
             filter_max,
-            histories: HashMap::new(),
+            histories: FastMap::default(),
             table: vec![None; 1 << index_bits],
         }
     }
@@ -61,11 +61,14 @@ impl SharedPhtCosmos {
     }
 
     /// gshare-style index: the block address folded against the packed
-    /// history, reduced to `index_bits` bits.
-    fn index(&self, block: BlockAddr, history: &[PredTuple]) -> usize {
+    /// history, reduced to `index_bits` bits. The fold walks the packed
+    /// key's 16-bit lanes oldest-first — bit-identical to the original
+    /// per-tuple fold over a `&[PredTuple]` history.
+    fn index(&self, block: BlockAddr, key: u64) -> usize {
         let mut h = block.number().wrapping_mul(0x9E37_79B9_7F4A_7C15);
-        for t in history {
-            h ^= u64::from(t.pack()).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        for lane in (0..self.depth).rev() {
+            let packed = (key >> (16 * lane)) & 0xFFFF;
+            h ^= packed.wrapping_mul(0xBF58_476D_1CE4_E5B9);
             h = h.rotate_left(17);
         }
         (h ^ (h >> 32)) as usize & (self.table.len() - 1)
@@ -86,14 +89,13 @@ impl MessagePredictor for SharedPhtCosmos {
 
     fn observe(&mut self, block: BlockAddr, tuple: PredTuple) {
         let depth = self.depth;
-        let key: Option<Vec<PredTuple>> = self
+        let key = self
             .histories
             .entry(block)
             .or_insert_with(|| Mhr::new(depth))
-            .key()
-            .map(<[PredTuple]>::to_vec);
+            .key();
         if let Some(key) = key {
-            let idx = self.index(block, &key);
+            let idx = self.index(block, key);
             match &mut self.table[idx] {
                 slot @ None => {
                     *slot = Some(SharedEntry {

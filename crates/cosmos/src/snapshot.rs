@@ -64,7 +64,7 @@ pub fn save(predictor: &CosmosPredictor) -> Vec<u8> {
         out.extend_from_slice(&addr.number().to_be_bytes());
         let history = mhr.contents();
         out.push(history.len() as u8);
-        for t in history {
+        for t in &history {
             out.extend_from_slice(&t.pack().to_be_bytes());
         }
         match pht {
@@ -72,9 +72,11 @@ pub fn save(predictor: &CosmosPredictor) -> Vec<u8> {
             Some(pht) => {
                 out.extend_from_slice(&(pht.len() as u32).to_be_bytes());
                 for (key, entry) in pht.iter() {
-                    debug_assert_eq!(key.len(), predictor.depth());
-                    for t in key {
-                        out.extend_from_slice(&t.pack().to_be_bytes());
+                    // The packed key's lanes serialise oldest-first as
+                    // depth 16-bit tuples — the same wire layout the
+                    // `Vec<PredTuple>`-keyed table produced.
+                    for lane in (0..predictor.depth()).rev() {
+                        out.extend_from_slice(&((key >> (16 * lane)) as u16).to_be_bytes());
                     }
                     out.extend_from_slice(&entry.prediction.pack().to_be_bytes());
                     out.push(entry.misses);
@@ -139,7 +141,7 @@ pub fn restore(bytes: &[u8]) -> Result<CosmosPredictor, SnapshotError> {
         return Err(SnapshotError::BadMagic);
     }
     let depth = r.u8()? as usize;
-    if depth == 0 {
+    if depth == 0 || depth > crate::packed::MAX_DEPTH {
         return Err(SnapshotError::BadField { field: "depth" });
     }
     let filter_max = r.u8()?;
@@ -161,13 +163,13 @@ pub fn restore(bytes: &[u8]) -> Result<CosmosPredictor, SnapshotError> {
         } else {
             let mut pht = Pht::new();
             for _ in 0..pht_len {
-                let mut key = Vec::with_capacity(depth);
+                let mut key = 0u64;
                 for _ in 0..depth {
-                    key.push(r.tuple()?);
+                    key = (key << 16) | u64::from(r.tuple()?.pack());
                 }
                 let prediction = r.tuple()?;
                 let misses = r.u8()?;
-                pht.restore_entry(&key, prediction, misses);
+                pht.restore_entry(key, prediction, misses);
             }
             Some(pht)
         };

@@ -1,0 +1,129 @@
+//! Differential test for the packed-history predictor core.
+//!
+//! The PHT used to key its entries by `Vec<PredTuple>`; the packed core
+//! keys by a `u64` shift-register word. This test keeps the original
+//! formulation alive as an executable reference model and replays every
+//! small-scale benchmark trace through both, asserting the predictions
+//! agree tuple-for-tuple at every message, across the full depth and
+//! filter grid the tables sweep.
+
+use cosmos::{CosmosPredictor, MessagePredictor, PredTuple};
+use simx::SystemConfig;
+use stache::{BlockAddr, NodeId, ProtocolConfig, Role};
+use std::collections::HashMap;
+use trace::TraceBundle;
+use workloads::{run_to_trace, small_suite};
+
+/// The pre-optimization predictor, verbatim: a `Vec<PredTuple>` history
+/// per block and a `Vec<PredTuple>`-keyed pattern table with the paper's
+/// saturating miss filter.
+struct RefBlock {
+    history: Vec<PredTuple>,
+    pht: HashMap<Vec<PredTuple>, (PredTuple, u8)>,
+}
+
+struct RefPredictor {
+    depth: usize,
+    filter_max: u8,
+    blocks: HashMap<BlockAddr, RefBlock>,
+}
+
+impl RefPredictor {
+    fn new(depth: usize, filter_max: u8) -> Self {
+        RefPredictor {
+            depth,
+            filter_max,
+            blocks: HashMap::new(),
+        }
+    }
+
+    fn predict(&self, block: BlockAddr) -> Option<PredTuple> {
+        let state = self.blocks.get(&block)?;
+        if state.history.len() < self.depth {
+            return None;
+        }
+        state.pht.get(&state.history).map(|&(p, _)| p)
+    }
+
+    fn observe(&mut self, block: BlockAddr, tuple: PredTuple) {
+        let state = self.blocks.entry(block).or_insert_with(|| RefBlock {
+            history: Vec::new(),
+            pht: HashMap::new(),
+        });
+        if state.history.len() == self.depth {
+            match state.pht.get_mut(&state.history) {
+                None => {
+                    state.pht.insert(state.history.clone(), (tuple, 0));
+                }
+                Some((pred, misses)) => {
+                    if *pred == tuple {
+                        *misses = 0;
+                    } else if *misses < self.filter_max {
+                        *misses += 1;
+                    } else {
+                        *pred = tuple;
+                        *misses = 0;
+                    }
+                }
+            }
+        }
+        state.history.push(tuple);
+        if state.history.len() > self.depth {
+            state.history.remove(0);
+        }
+    }
+}
+
+fn small_traces() -> Vec<TraceBundle> {
+    small_suite()
+        .into_iter()
+        .map(|mut w| {
+            run_to_trace(w.as_mut(), ProtocolConfig::paper(), SystemConfig::paper())
+                .unwrap_or_else(|e| panic!("{} failed: {e}", w.name()))
+        })
+        .collect()
+}
+
+/// Replays one trace through per-agent fleets of both implementations and
+/// asserts every prediction matches.
+fn assert_differential(bundle: &TraceBundle, depth: usize, filter_max: u8) {
+    let mut sut: HashMap<(NodeId, Role), CosmosPredictor> = HashMap::new();
+    let mut reference: HashMap<(NodeId, Role), RefPredictor> = HashMap::new();
+    let app = &bundle.meta().app;
+    for (i, r) in bundle.records().iter().enumerate() {
+        let fast = sut
+            .entry((r.node, r.role))
+            .or_insert_with(|| CosmosPredictor::new(depth, filter_max));
+        let slow = reference
+            .entry((r.node, r.role))
+            .or_insert_with(|| RefPredictor::new(depth, filter_max));
+        let observed = PredTuple::new(r.sender, r.mtype);
+        assert_eq!(
+            fast.predict(r.block),
+            slow.predict(r.block),
+            "{app} depth {depth} filter {filter_max}: record {i} diverged"
+        );
+        fast.observe(r.block, observed);
+        slow.observe(r.block, observed);
+    }
+    // Final table shapes agree too.
+    for (key, fast) in &sut {
+        let slow = &reference[key];
+        assert_eq!(fast.mhr_entries(), slow.blocks.len());
+        assert_eq!(
+            fast.pht_entries(),
+            slow.blocks.values().map(|b| b.pht.len()).sum::<usize>()
+        );
+    }
+}
+
+#[test]
+fn packed_core_matches_vec_keyed_reference_on_all_benchmarks() {
+    for bundle in &small_traces() {
+        for depth in 1..=4 {
+            for filter_max in 0..=2 {
+                assert_differential(bundle, depth, filter_max);
+            }
+        }
+    }
+}

@@ -26,4 +26,19 @@ for spec in drop=0.02 dup=0.02 reorder=3; do
     --small --faults "$spec" --faults-seed 7 > /dev/null
 done
 
+# Timed release smoke: regenerate the small-scale tables with the bench
+# harness on, emit the timing snapshot, and diff the Table 5 CSV against
+# the golden copy captured before the packed-core optimisation — speed
+# work must never move a result.
+echo "==> timed table smoke (--bench-json + golden Table 5 diff)"
+SMOKE_DIR="$(mktemp -d)"
+trap 'rm -rf "$SMOKE_DIR"' EXIT
+cargo run -q --release --offline -p bench-suite --bin repro -- \
+  --small --csv "$SMOKE_DIR" --bench-json "$SMOKE_DIR/BENCH_smoke.json" \
+  table5 > /dev/null
+diff -u crates/bench-suite/tests/golden/table5_small.csv "$SMOKE_DIR/table5.csv"
+grep -q '"bench.total_ns"' "$SMOKE_DIR/BENCH_smoke.json"
+grep -q '"bench.phase.table5_ns"' "$SMOKE_DIR/BENCH_smoke.json"
+echo "    table5 CSV matches golden; bench JSON emitted"
+
 echo "CI green."
