@@ -8,6 +8,7 @@
 //!   fig5 fig6 fig7 fig8
 //!   sensitivity adaptation comparison ablation
 //!   integration variants persistence limitless scaling topology
+//!   simcheck     (bounded schedule-exploration model check)
 //!   all          (default) everything above
 //! ```
 //!
@@ -59,6 +60,7 @@ const TARGETS: &[&str] = &[
     "lookahead",
     "seeds",
     "faults",
+    "simcheck",
 ];
 
 fn main() -> ExitCode {
@@ -311,6 +313,22 @@ fn main() -> ExitCode {
             "integration" => {
                 let rows = bench_suite::integration::integration(scale, 2);
                 println!("{}", bench_suite::integration::render_integration(&rows, 2));
+            }
+            "simcheck" => {
+                use bench_suite::modelcheck;
+                eprintln!("running bounded schedule exploration ({scale:?} scale)...");
+                let rows = modelcheck::simcheck_report(scale);
+                println!("{}", modelcheck::render_simcheck(&rows));
+                write_csv(&csv_dir, "simcheck.csv", &modelcheck::csv_simcheck(&rows));
+                write_csv(
+                    &csv_dir,
+                    "simcheck_obs.json",
+                    &modelcheck::export_obs(&rows).to_json(),
+                );
+                if rows.iter().any(|r| r.violation.is_some()) {
+                    eprintln!("simcheck: invariant violation found");
+                    return ExitCode::FAILURE;
+                }
             }
             _ => unreachable!("validated above"),
         }

@@ -24,6 +24,7 @@
 //! | Design-choice ablations | [`extras::ablation_half_migratory`], [`extras::ablation_sender`] |
 //! | §4/§8 live integration | [`integration::integration`] |
 //! | §5 fault-sensitivity (clean vs perturbed traces) | [`faults::fault_report`] |
+//! | Schedule-exploration model check | [`modelcheck::simcheck_report`] |
 //!
 //! The `repro` binary drives them from the command line; the [`Harness`]
 //! benches under `benches/` time the underlying machinery. The
@@ -37,6 +38,7 @@ pub mod faults;
 pub mod figures;
 pub mod harness;
 pub mod integration;
+pub mod modelcheck;
 pub mod par;
 pub mod report;
 pub mod tables;

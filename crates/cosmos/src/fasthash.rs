@@ -143,4 +143,115 @@ mod tests {
         assert_eq!(m.get(&1), Some(&"one"));
         assert_eq!(m.len(), 2);
     }
+
+    /// Keys whose hashes agree in the low `bits` bits — they land in the
+    /// same bucket region of any table with at most `2^bits` buckets, so
+    /// every insert past the first probes through a chain of collisions.
+    fn colliding_keys(bits: u32, want: usize) -> Vec<u64> {
+        let target = hash_of(|h| h.write_u64(0)) & ((1 << bits) - 1);
+        (0u64..)
+            .filter(|&k| hash_of(|h| h.write_u64(k)) & ((1 << bits) - 1) == target)
+            .take(want)
+            .collect()
+    }
+
+    #[test]
+    fn forced_collisions_still_resolve_exactly() {
+        // 32 keys in one 128-bucket region; the map must still treat
+        // them as distinct and keep every binding addressable.
+        let keys = colliding_keys(7, 32);
+        assert_eq!(keys.len(), 32);
+        let mut m: FastMap<u64, u64> = FastMap::default();
+        for &k in &keys {
+            m.insert(k, !k);
+        }
+        assert_eq!(m.len(), keys.len(), "collisions must not overwrite");
+        for &k in &keys {
+            assert_eq!(m.get(&k), Some(&!k), "key {k:#x} lost in the chain");
+        }
+        // A 33rd key from the same region but absent must miss cleanly
+        // (probing walks the whole chain without a false hit).
+        let absent = colliding_keys(7, 33)[32];
+        assert_eq!(m.get(&absent), None);
+    }
+
+    #[test]
+    fn deletions_inside_a_collision_chain_leave_no_shadows() {
+        // Removing the middle of a collision chain exercises the table's
+        // tombstone/backshift handling: later keys in the same chain must
+        // stay reachable, and the dead key must not resurrect.
+        let keys = colliding_keys(7, 16);
+        let mut m: FastMap<u64, u64> = FastMap::default();
+        for &k in &keys {
+            m.insert(k, k + 1);
+        }
+        for &k in keys.iter().step_by(2) {
+            assert_eq!(m.remove(&k), Some(k + 1));
+        }
+        for (i, &k) in keys.iter().enumerate() {
+            if i % 2 == 0 {
+                assert_eq!(m.get(&k), None, "removed key {k:#x} resurrected");
+            } else {
+                assert_eq!(m.get(&k), Some(&(k + 1)), "survivor {k:#x} lost");
+            }
+        }
+        // Reinserting over the holes restores the full chain.
+        for &k in keys.iter().step_by(2) {
+            m.insert(k, k + 2);
+        }
+        assert_eq!(m.len(), keys.len());
+        assert_eq!(m.get(&keys[0]), Some(&(keys[0] + 2)));
+    }
+
+    #[test]
+    fn growth_preserves_every_binding() {
+        let mut m: FastMap<u64, u64> = FastMap::with_capacity_and_hasher(4, FastHash::default());
+        let mut capacities = vec![m.capacity()];
+        for k in 0u64..4096 {
+            m.insert(k, k * 3);
+            if m.capacity() != *capacities.last().expect("nonempty") {
+                capacities.push(m.capacity());
+            }
+        }
+        assert!(
+            capacities.len() > 2,
+            "4096 inserts must resize at least twice"
+        );
+        assert!(
+            capacities.windows(2).all(|w| w[0] < w[1]),
+            "capacity must grow monotonically: {capacities:?}"
+        );
+        assert!(m.capacity() >= m.len());
+        for k in 0u64..4096 {
+            assert_eq!(m.get(&k), Some(&(k * 3)), "rehash dropped key {k}");
+        }
+    }
+
+    #[test]
+    fn churn_does_not_leak_capacity_without_bound() {
+        // Insert/remove cycles at a constant live size: capacity must
+        // settle (tombstones get reclaimed on rehash, not accumulated).
+        let mut m: FastMap<u64, u64> = FastMap::default();
+        for k in 0u64..64 {
+            m.insert(k, k);
+        }
+        let settled = {
+            for round in 0u64..256 {
+                let dead = round * 64..(round + 1) * 64;
+                let live = (round + 1) * 64..(round + 2) * 64;
+                for k in dead {
+                    m.remove(&k);
+                }
+                for k in live {
+                    m.insert(k, k);
+                }
+            }
+            m.capacity()
+        };
+        assert_eq!(m.len(), 64);
+        assert!(
+            settled <= 1024,
+            "64 live keys should never hold {settled} buckets"
+        );
+    }
 }

@@ -439,4 +439,40 @@ mod tests {
     fn over_deep_predictor_rejected() {
         let _ = CosmosPredictor::new(5, 0);
     }
+
+    #[test]
+    fn capacity_bytes_accounting_is_consistent_across_growth() {
+        let mut p = CosmosPredictor::new(1, 0);
+        assert_eq!(
+            p.table_capacity_bytes(),
+            0,
+            "an empty predictor reserves nothing"
+        );
+        // Drive enough distinct blocks and per-block patterns to force
+        // both the block table and the per-block PHTs through several
+        // resizes; the gauge must never move backwards while growing.
+        let mut last = 0u64;
+        for block in 1..=256u64 {
+            for sender in 0..8 {
+                p.observe(b(block), t(sender, MsgType::GetRoRequest));
+                p.observe(b(block), t(sender, MsgType::InvalRoResponse));
+            }
+            let now = p.table_capacity_bytes();
+            assert!(
+                now >= last,
+                "capacity gauge regressed {last} -> {now} at block {block}"
+            );
+            last = now;
+        }
+        // The gauge is capacity-based, so it must dominate an
+        // occupancy-based lower bound over the same slot types...
+        let fp = p.memory();
+        let occupied = fp.mhr_entries as u64 * 16 + fp.pht_entries as u64 * 16;
+        assert!(
+            last >= occupied,
+            "capacity {last} below an occupancy floor of {occupied}"
+        );
+        // ...and agree with what core_stats() exports for obs.
+        assert_eq!(p.core_stats().table_capacity_bytes, last);
+    }
 }

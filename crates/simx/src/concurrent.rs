@@ -33,6 +33,7 @@ use crate::stats::MachineStats;
 use obs::{Event as ObsEvent, EventRing, Severity};
 use stache::cache::{self, CacheAction};
 use stache::directory::{self};
+use stache::fingerprint::Fp;
 use stache::invariants::check_block;
 use stache::placement::home_of_block;
 use stache::{
@@ -80,6 +81,99 @@ enum Event {
         /// Re-send rounds completed so far.
         attempt: u32,
     },
+}
+
+impl Event {
+    /// Human-readable label, used in simcheck schedule artifacts.
+    fn label(&self) -> String {
+        match self {
+            Event::Issue(n) => format!("issue P{}", n.raw()),
+            Event::Deliver(m, _) => format!(
+                "deliver {} P{}->P{} B{}",
+                m.mtype.paper_name(),
+                m.sender.raw(),
+                m.receiver.raw(),
+                m.block.number()
+            ),
+            Event::Nak { node, block } => format!("nak P{} B{}", node.raw(), block.number()),
+            Event::RetryCheck { node, attempt, .. } => {
+                format!("retry_check P{} attempt {attempt}", node.raw())
+            }
+            Event::AckCheck { block, attempt, .. } => {
+                format!("ack_check B{} attempt {attempt}", block.number())
+            }
+        }
+    }
+
+    /// Canonical fingerprint, timing-free: two schedules that leave the
+    /// same messages in flight hash equally even if their timestamps
+    /// differ. Timer epochs are also excluded — they are monotone
+    /// bookkeeping counters, not protocol state.
+    fn fingerprint(&self) -> u64 {
+        let mut fp = Fp::new();
+        match self {
+            Event::Issue(n) => {
+                fp.tag(0x10);
+                fp.absorb(n);
+            }
+            Event::Deliver(m, seq) => {
+                fp.tag(0x11);
+                fp.absorb(m);
+                fp.word(*seq);
+            }
+            Event::Nak { node, block } => {
+                fp.tag(0x12);
+                fp.absorb(node);
+                fp.absorb(block);
+            }
+            Event::RetryCheck { node, attempt, .. } => {
+                fp.tag(0x13);
+                fp.absorb(node);
+                fp.word(u64::from(*attempt));
+            }
+            Event::AckCheck { block, attempt, .. } => {
+                fp.tag(0x14);
+                fp.absorb(block);
+                fp.word(u64::from(*attempt));
+            }
+        }
+        fp.finish()
+    }
+}
+
+/// A deliberately broken protocol variant, used to validate that the
+/// `simcheck` model checker actually catches bugs: a known-bad transition
+/// is seeded, the checker must find a violating schedule, and the shrunk
+/// schedule must replay to the same violation. Never enabled outside
+/// tests and the checker's own self-validation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ProtocolMutation {
+    /// The correct protocol.
+    #[default]
+    None,
+    /// A shared cache acknowledges `inval_ro_request` but keeps its copy —
+    /// the directory then grants exclusive rights while a stale reader
+    /// survives, violating SWMR a few deliveries later.
+    AckWithoutInvalidate,
+}
+
+impl ProtocolMutation {
+    /// Stable lowercase name, used in schedule artifacts.
+    pub fn name(self) -> &'static str {
+        match self {
+            ProtocolMutation::None => "none",
+            ProtocolMutation::AckWithoutInvalidate => "ack_without_invalidate",
+        }
+    }
+
+    /// Parses [`name`](Self::name) back.
+    pub fn from_name(name: &str) -> Option<Self> {
+        match name {
+            "none" => Some(ProtocolMutation::None),
+            "ack_without_invalidate" => Some(ProtocolMutation::AckWithoutInvalidate),
+            _ => None,
+        }
+    }
 }
 
 /// An in-flight directory transaction for one block.
@@ -163,6 +257,8 @@ pub struct ConcurrentMachine {
     txn_epoch: u64,
     /// Everything the recovery layer did (quiet on a perfect fabric).
     recovery: RecoveryTally,
+    /// Seeded protocol bug for simcheck self-validation (off by default).
+    mutation: ProtocolMutation,
 }
 
 impl ConcurrentMachine {
@@ -199,7 +295,15 @@ impl ConcurrentMachine {
             miss_recovered: vec![false; nodes],
             txn_epoch: 0,
             recovery: RecoveryTally::new(),
+            mutation: ProtocolMutation::default(),
         }
+    }
+
+    /// Seeds a deliberately broken protocol variant (see
+    /// [`ProtocolMutation`]). Only simcheck's self-validation tests turn
+    /// this on.
+    pub fn set_mutation(&mut self, mutation: ProtocolMutation) {
+        self.mutation = mutation;
     }
 
     /// Installs a network fault plan: every send passes through a
@@ -316,7 +420,11 @@ impl ConcurrentMachine {
         self.sys.one_way_between_ns(from, to, self.proto.nodes)
     }
 
-    fn cache_state(&self, node: NodeId, block: BlockAddr) -> CacheState {
+    /// One node's recorded cache state for a block (`Invalid` when the
+    /// block was never touched). Note the home node's rights live in the
+    /// directory entry, not here — see
+    /// [`cache_states_for`](Self::cache_states_for).
+    pub fn cache_state(&self, node: NodeId, block: BlockAddr) -> CacheState {
         self.caches[node.index()]
             .get(&block)
             .copied()
@@ -465,6 +573,18 @@ impl ConcurrentMachine {
     }
 
     fn run_phase(&mut self, phase: &Phase) -> Result<(), SimError> {
+        self.begin_phase(phase);
+        while let Some((t, ev)) = self.queue.pop() {
+            self.dispatch(t, ev)?;
+        }
+        Ok(())
+    }
+
+    /// Loads a phase's scripts and seeds each node's first issue event,
+    /// without running anything — the controlled-stepping entry point for
+    /// [`simcheck`](crate::simcheck), which then delivers events one at a
+    /// time via [`step_rank`](Self::step_rank).
+    pub fn begin_phase(&mut self, phase: &Phase) {
         // Load scripts, expanding read-modify-writes (non-atomic here).
         for (node, accesses) in phase.per_node.iter().enumerate() {
             let script = &mut self.scripts[node];
@@ -487,32 +607,282 @@ impl ConcurrentMachine {
                 self.queue.push(start, Event::Issue(n));
             }
         }
-        while let Some((t, ev)) = self.queue.pop() {
-            match ev {
-                Event::Issue(node) => self.on_issue(node, t)?,
-                Event::Deliver(msg, seq) => {
-                    if self.fault.is_some() && !self.dedup[msg.receiver.index()].observe(seq) {
-                        // A duplicated transmission: absorbed before it
-                        // can re-run a handler or pollute the trace.
-                        self.recovery.dups_absorbed += 1;
-                        continue;
-                    }
-                    self.on_deliver(&msg, t)?;
+    }
+
+    fn dispatch(&mut self, t: u64, ev: Event) -> Result<(), SimError> {
+        match ev {
+            Event::Issue(node) => self.on_issue(node, t)?,
+            Event::Deliver(msg, seq) => {
+                if self.fault.is_some() && !self.dedup[msg.receiver.index()].observe(seq) {
+                    // A duplicated transmission: absorbed before it
+                    // can re-run a handler or pollute the trace.
+                    self.recovery.dups_absorbed += 1;
+                    return Ok(());
                 }
-                Event::Nak { node, block } => self.on_nak(node, block, t),
-                Event::RetryCheck {
-                    node,
-                    epoch,
-                    attempt,
-                } => self.on_retry_check(node, epoch, attempt, t)?,
-                Event::AckCheck {
-                    block,
-                    epoch,
-                    attempt,
-                } => self.on_ack_check(block, epoch, attempt, t)?,
+                self.on_deliver(&msg, t)?;
             }
+            Event::Nak { node, block } => self.on_nak(node, block, t),
+            Event::RetryCheck {
+                node,
+                epoch,
+                attempt,
+            } => self.on_retry_check(node, epoch, attempt, t)?,
+            Event::AckCheck {
+                block,
+                epoch,
+                attempt,
+            } => self.on_ack_check(block, epoch, attempt, t)?,
         }
         Ok(())
+    }
+
+    /// Number of pending events, which is also the branching factor a
+    /// model checker faces at this state.
+    pub fn pending_events(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// Labels of the pending events in deterministic delivery order
+    /// (rank 0 delivers first under the unforced scheduler).
+    pub fn pending_labels(&self) -> Vec<String> {
+        self.queue
+            .iter_ranked()
+            .into_iter()
+            .map(|(_, ev)| ev.label())
+            .collect()
+    }
+
+    /// The `(sender, receiver)` channel of each pending event in
+    /// delivery-rank order, `None` for events that are not message
+    /// deliveries. The fabric is FIFO per ordered node pair — per-sender
+    /// clocks are monotone, so ranked order within a channel is send
+    /// order — and only the *first* pending delivery on each channel can
+    /// legally be forced next. simcheck uses this to confine exploration
+    /// to delivery orders the network can actually produce.
+    pub fn pending_channels(&self) -> Vec<Option<(NodeId, NodeId)>> {
+        self.queue
+            .iter_ranked()
+            .into_iter()
+            .map(|(_, ev)| match ev {
+                Event::Deliver(msg, _) => Some((msg.sender, msg.receiver)),
+                _ => None,
+            })
+            .collect()
+    }
+
+    /// Forces the `rank`-th pending event (in deterministic `(time, seq)`
+    /// order) to be processed next, out of timestamp order if `rank > 0` —
+    /// the timestamps stay attached to the events, so clocks only ever
+    /// move forward via `max()`. Returns `false` when no event was
+    /// pending.
+    ///
+    /// # Errors
+    ///
+    /// Propagates protocol errors and invariant violations, exactly as
+    /// the unforced scheduler would.
+    pub fn step_rank(&mut self, rank: usize) -> Result<bool, SimError> {
+        match self.queue.remove_rank(rank) {
+            Some((t, ev)) => {
+                self.dispatch(t, ev)?;
+                Ok(true)
+            }
+            None => Ok(false),
+        }
+    }
+
+    /// Runs the inter-phase barrier explicitly (controlled-stepping
+    /// counterpart of the one [`run_plan`](Self::run_plan) inserts).
+    /// Call only when the queue is drained and no transaction is open.
+    ///
+    /// # Errors
+    ///
+    /// Propagates invariant violations from the quiescent audit.
+    pub fn run_barrier(&mut self) -> Result<(), SimError> {
+        self.barrier()
+    }
+
+    /// Directory transactions currently in flight.
+    pub fn open_transactions(&self) -> usize {
+        self.txns.len()
+    }
+
+    /// Blocks with an open directory transaction, ascending.
+    pub fn open_transaction_blocks(&self) -> Vec<BlockAddr> {
+        let mut blocks: Vec<BlockAddr> = self.txns.keys().copied().collect();
+        blocks.sort_by_key(|b| b.number());
+        blocks
+    }
+
+    /// Nodes blocked on an outstanding miss, with the block each waits on.
+    pub fn waiting_nodes(&self) -> Vec<(NodeId, BlockAddr)> {
+        self.waiting
+            .iter()
+            .enumerate()
+            .filter_map(|(i, w)| w.map(|(b, _, _)| (NodeId::new(i), b)))
+            .collect()
+    }
+
+    /// Every block any cache or directory entry has touched, ascending.
+    pub fn touched_blocks(&self) -> Vec<BlockAddr> {
+        let mut blocks: HashSet<BlockAddr> = self.dirs.keys().copied().collect();
+        for c in &self.caches {
+            blocks.extend(c.keys().copied());
+        }
+        let mut blocks: Vec<BlockAddr> = blocks.into_iter().collect();
+        blocks.sort_by_key(|b| b.number());
+        blocks
+    }
+
+    /// Every node's effective cache state for `block`, indexed by node.
+    /// The home node holds no separate cache entry — its rights are the
+    /// directory entry itself, so they are derived from it here, the same
+    /// picture [`verify_coherence`](Self::verify_coherence) audits.
+    pub fn cache_states_for(&self, block: BlockAddr) -> Vec<CacheState> {
+        let home = home_of_block(block, &self.proto);
+        let dir = self.dirs.get(&block).cloned().unwrap_or_default();
+        (0..self.proto.nodes)
+            .map(|i| {
+                let n = NodeId::new(i);
+                if n == home {
+                    if dir.node_writable(n) {
+                        CacheState::Exclusive
+                    } else if dir.node_readable(n) {
+                        CacheState::Shared
+                    } else {
+                        CacheState::Invalid
+                    }
+                } else {
+                    self.cache_state(n, block)
+                }
+            })
+            .collect()
+    }
+
+    /// Each node's duplicate-filter low-water mark (all zero on a perfect
+    /// fabric) — monotone by construction, which simcheck re-checks per
+    /// step as the recovery-sequence invariant.
+    pub fn dedup_watermarks(&self) -> Vec<u64> {
+        self.dedup.iter().map(DedupFilter::low_watermark).collect()
+    }
+
+    /// A canonical fingerprint of the global *protocol* state: caches,
+    /// directory entries, open transactions, queued requests, scripts,
+    /// blocked processors, and the multiset of in-flight events.
+    ///
+    /// Deliberately timing-abstracted: node clocks, event timestamps,
+    /// handler-occupancy horizons, the value oracle's stamps, and
+    /// monotone bookkeeping counters (miss/transaction epochs) are all
+    /// excluded, so two delivery schedules that produce the same protocol
+    /// picture hash equally. That is the equivalence [`crate::simcheck`]
+    /// prunes on — it explores delivery *orders*, which timestamps do not
+    /// constrain under forced stepping. Dedup-filter and
+    /// sequence-counter state is included only under fault injection,
+    /// where it influences delivery decisions.
+    pub fn state_fingerprint(&self) -> u64 {
+        let mut fp = Fp::new();
+        fp.tag(0x01);
+        for (i, c) in self.caches.iter().enumerate() {
+            let mut blocks: Vec<(BlockAddr, CacheState)> =
+                c.iter().map(|(b, s)| (*b, *s)).collect();
+            blocks.sort_by_key(|(b, _)| b.number());
+            fp.word(i as u64);
+            fp.word(blocks.len() as u64);
+            for (b, s) in blocks {
+                fp.absorb(&b);
+                fp.absorb(&s);
+            }
+        }
+        fp.tag(0x02);
+        let mut dirs: Vec<(&BlockAddr, &DirState)> = self.dirs.iter().collect();
+        dirs.sort_by_key(|(b, _)| b.number());
+        for (b, d) in dirs {
+            fp.absorb(b);
+            fp.absorb(d);
+        }
+        fp.tag(0x03);
+        let mut txns: Vec<(&BlockAddr, &DirTxn)> = self.txns.iter().collect();
+        txns.sort_by_key(|(b, _)| b.number());
+        for (b, txn) in txns {
+            fp.absorb(b);
+            fp.absorb(&txn.requester);
+            match txn.reply {
+                Some(r) => fp.absorb(&r),
+                None => fp.tag(0xff),
+            }
+            fp.absorb(&txn.next);
+            fp.word(txn.outstanding as u64);
+            fp.word(u64::from(txn.local));
+            for (n, m) in &txn.holders {
+                fp.absorb(n);
+                fp.absorb(m);
+            }
+            let mut acked: Vec<NodeId> = txn.acked.iter().copied().collect();
+            acked.sort_by_key(|n| n.raw());
+            for n in acked {
+                fp.absorb(&n);
+            }
+        }
+        fp.tag(0x04);
+        let mut pending: Vec<(&BlockAddr, &VecDeque<PendingReq>)> = self.pending.iter().collect();
+        pending.sort_by_key(|(b, _)| b.number());
+        for (b, q) in pending {
+            if q.is_empty() {
+                continue; // a drained queue is the same state as no queue
+            }
+            fp.absorb(b);
+            fp.word(q.len() as u64);
+            for r in q {
+                fp.absorb(&r.msg);
+            }
+        }
+        fp.tag(0x05);
+        for w in &self.waiting {
+            match w {
+                Some((b, op, _issued)) => {
+                    fp.tag(1);
+                    fp.absorb(b);
+                    fp.absorb(op);
+                }
+                None => fp.tag(0),
+            }
+        }
+        fp.tag(0x06);
+        for s in &self.scripts {
+            fp.word(s.len() as u64);
+            for (b, op) in s {
+                fp.absorb(b);
+                fp.absorb(op);
+            }
+        }
+        fp.tag(0x07);
+        let mut overflowed: Vec<BlockAddr> = self.overflowed.iter().copied().collect();
+        overflowed.sort_by_key(|b| b.number());
+        for b in overflowed {
+            fp.absorb(&b);
+        }
+        fp.tag(0x08);
+        let mut events: Vec<u64> = self
+            .queue
+            .iter_ranked()
+            .into_iter()
+            .map(|(_, ev)| ev.fingerprint())
+            .collect();
+        events.sort_unstable();
+        fp.word(events.len() as u64);
+        for e in events {
+            fp.word(e);
+        }
+        if self.fault.is_some() {
+            fp.tag(0x09);
+            for d in &self.dedup {
+                fp.word(d.low_watermark());
+                fp.word(d.pending() as u64);
+            }
+            for s in &self.next_seq_to {
+                fp.word(*s);
+            }
+        }
+        fp.finish()
     }
 
     /// A NAK reached the requester: its cache handler turns it straight
@@ -1086,6 +1456,21 @@ impl ConcurrentMachine {
             return Ok(());
         }
 
+        // The seeded bug for simcheck self-validation: acknowledge the
+        // invalidation but keep the shared copy. The directory counts the
+        // ack, believes the sharer is gone, and grants the writer — SWMR
+        // breaks a few deliveries later.
+        if self.mutation == ProtocolMutation::AckWithoutInvalidate
+            && msg.mtype == MsgType::InvalRoRequest
+            && state == CacheState::Shared
+        {
+            self.send(
+                handled,
+                Msg::new(node, msg.sender, block, MsgType::InvalRoResponse),
+            );
+            return Ok(());
+        }
+
         let (next, reply) = cache::on_message(state, msg.mtype)?;
         self.set_cache_state(node, block, next);
         match reply {
@@ -1182,29 +1567,9 @@ impl ConcurrentMachine {
     ///
     /// Returns the first violation found.
     pub fn verify_coherence(&self) -> Result<(), SimError> {
-        let mut blocks: HashSet<BlockAddr> = self.dirs.keys().copied().collect();
-        for c in &self.caches {
-            blocks.extend(c.keys().copied());
-        }
-        for block in blocks {
-            let home = home_of_block(block, &self.proto);
+        for block in self.touched_blocks() {
             let dir = self.dirs.get(&block).cloned().unwrap_or_default();
-            let states: Vec<CacheState> = (0..self.proto.nodes)
-                .map(|i| {
-                    let n = NodeId::new(i);
-                    if n == home {
-                        if dir.node_writable(n) {
-                            CacheState::Exclusive
-                        } else if dir.node_readable(n) {
-                            CacheState::Shared
-                        } else {
-                            CacheState::Invalid
-                        }
-                    } else {
-                        self.cache_state(n, block)
-                    }
-                })
-                .collect();
+            let states = self.cache_states_for(block);
             self.tally.count_invariant_check();
             if let Err(v) = check_block(block, &dir, &states) {
                 self.tally.count_invariant_failure();

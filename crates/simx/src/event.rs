@@ -98,6 +98,38 @@ impl<T> EventQueue<T> {
     pub fn depth_histogram(&self) -> &obs::Histogram {
         &self.depth
     }
+
+    /// The pending events in deterministic pop order — rank 0 is what
+    /// [`pop`](Self::pop) would return next, ties broken FIFO. This is
+    /// the enumeration surface the `simcheck` model checker branches on.
+    pub fn iter_ranked(&self) -> Vec<(u64, &T)> {
+        let mut entries: Vec<&Entry<T>> = self.heap.iter().map(|Reverse(e)| e).collect();
+        entries.sort_by_key(|e| (e.time, e.seq));
+        entries.into_iter().map(|e| (e.time, &e.payload)).collect()
+    }
+
+    /// Removes and returns the `rank`-th pending event in the
+    /// [`iter_ranked`](Self::iter_ranked) order (`remove_rank(0)` is
+    /// `pop`), or `None` if `rank` is out of range.
+    ///
+    /// Costs a heap rebuild for `rank > 0`; intended for the model
+    /// checker's forced delivery orders, not the simulation fast path.
+    pub fn remove_rank(&mut self, rank: usize) -> Option<(u64, T)> {
+        if rank >= self.heap.len() {
+            return None;
+        }
+        if rank == 0 {
+            return self.pop();
+        }
+        let mut entries: Vec<Entry<T>> = std::mem::take(&mut self.heap)
+            .into_iter()
+            .map(|Reverse(e)| e)
+            .collect();
+        entries.sort_by_key(|e| (e.time, e.seq));
+        let chosen = entries.remove(rank);
+        self.heap = entries.into_iter().map(Reverse).collect();
+        Some((chosen.time, chosen.payload))
+    }
 }
 
 impl<T> Default for EventQueue<T> {
@@ -141,6 +173,44 @@ mod tests {
         assert_eq!(d.count(), 3);
         assert_eq!(d.max(), 2);
         assert_eq!(d.min(), 1);
+    }
+
+    #[test]
+    fn ranked_view_matches_pop_order() {
+        let mut q = EventQueue::new();
+        q.push(5, 'c');
+        q.push(1, 'a');
+        q.push(1, 'b');
+        let ranked: Vec<(u64, char)> = q.iter_ranked().iter().map(|&(t, &p)| (t, p)).collect();
+        assert_eq!(ranked, vec![(1, 'a'), (1, 'b'), (5, 'c')]);
+        let popped: Vec<(u64, char)> = std::iter::from_fn(|| q.pop()).collect();
+        assert_eq!(ranked, popped);
+    }
+
+    #[test]
+    fn remove_rank_forces_out_of_order_delivery() {
+        let mut q = EventQueue::new();
+        q.push(1, 'a');
+        q.push(2, 'b');
+        q.push(3, 'c');
+        assert_eq!(q.remove_rank(1), Some((2, 'b')));
+        assert_eq!(q.len(), 2);
+        // The remaining order is preserved across the heap rebuild.
+        assert_eq!(q.remove_rank(0), Some((1, 'a')));
+        assert_eq!(q.remove_rank(5), None, "out of range");
+        assert_eq!(q.remove_rank(0), Some((3, 'c')));
+        assert_eq!(q.remove_rank(0), None);
+    }
+
+    #[test]
+    fn remove_rank_keeps_fifo_ties_stable() {
+        let mut q = EventQueue::new();
+        for i in 0..6 {
+            q.push(7, i);
+        }
+        assert_eq!(q.remove_rank(3), Some((7, 3)));
+        let rest: Vec<i32> = std::iter::from_fn(|| q.pop().map(|(_, p)| p)).collect();
+        assert_eq!(rest, vec![0, 1, 2, 4, 5]);
     }
 
     #[test]

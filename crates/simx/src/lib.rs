@@ -45,6 +45,7 @@ pub mod fault;
 pub mod machine;
 pub mod network;
 pub mod rng;
+pub mod simcheck;
 pub mod stats;
 
 pub use concurrent::ConcurrentMachine;

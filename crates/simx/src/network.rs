@@ -52,6 +52,31 @@ impl Topology {
         }
     }
 
+    /// Parses a topology spec: `crossbar`, `ring`, or `mesh:<cols>`
+    /// (e.g. `mesh:4`). Used by CLI surfaces (the `simcheck` target's
+    /// topology sweep) so specs live in one place.
+    ///
+    /// # Errors
+    ///
+    /// Returns a human-readable message for unknown names or a
+    /// zero-column mesh.
+    pub fn parse(spec: &str) -> Result<Topology, String> {
+        match spec {
+            "crossbar" => Ok(Topology::Crossbar),
+            "ring" => Ok(Topology::Ring),
+            _ => match spec.strip_prefix("mesh:") {
+                Some(cols) => match cols.parse::<usize>() {
+                    Ok(c) if c > 0 => Ok(Topology::Mesh2D { cols: c }),
+                    Ok(_) => Err("mesh needs at least one column".to_string()),
+                    Err(_) => Err(format!("`{cols}` is not a column count")),
+                },
+                None => Err(format!(
+                    "unknown topology `{spec}`; one of: crossbar, ring, mesh:<cols>"
+                )),
+            },
+        }
+    }
+
     /// The largest hop count any pair pays (the network diameter).
     pub fn diameter(&self, nodes: usize) -> u64 {
         (0..nodes)
@@ -96,6 +121,16 @@ mod tests {
         assert_eq!(t.hops(n(0), n(15), 16), 1, "wraps around");
         assert_eq!(t.hops(n(0), n(8), 16), 8);
         assert_eq!(t.diameter(16), 8);
+    }
+
+    #[test]
+    fn parse_round_trips_the_three_shapes() {
+        assert_eq!(Topology::parse("crossbar"), Ok(Topology::Crossbar));
+        assert_eq!(Topology::parse("ring"), Ok(Topology::Ring));
+        assert_eq!(Topology::parse("mesh:4"), Ok(Topology::Mesh2D { cols: 4 }));
+        assert!(Topology::parse("mesh:0").is_err());
+        assert!(Topology::parse("mesh:four").is_err());
+        assert!(Topology::parse("torus").unwrap_err().contains("unknown"));
     }
 
     #[test]

@@ -1,0 +1,65 @@
+//! Greedy delta-debugging shrink of a failing schedule.
+
+use super::explore::{run_schedule, Mode, RunOutcome, Violation};
+use super::{CheckConfig, CheckStats};
+
+/// Minimises a failing schedule: repeatedly (a) deletes single steps,
+/// end first, and (b) lowers each surviving rank toward 0, keeping a
+/// candidate only when it still reproduces a violation of the *same
+/// kind*. Runs to a fixpoint, so the result is 1-minimal with respect to
+/// both operations: dropping any single step, or lowering any single
+/// rank, loses the bug.
+///
+/// Deleting a step also deletes everything the violation no longer needs
+/// behind it — replay stops at the violating delivery, so the returned
+/// schedule is never longer than the candidate that reproduced it. Rank
+/// lowering canonicalises toward the unforced scheduler's own order,
+/// which keeps artifacts readable (ranks stay small).
+pub fn shrink(cfg: &CheckConfig, found: Violation, stats: &mut CheckStats) -> Violation {
+    let kind = found.kind.clone();
+    let mut best = found;
+    let attempt = |cand: &[usize], stats: &mut CheckStats| -> Option<Violation> {
+        stats.shrink_attempts += 1;
+        match run_schedule(cfg, cand, Mode::Replay, stats) {
+            RunOutcome::Violation(v) if v.kind == kind => Some(v),
+            _ => None,
+        }
+    };
+    loop {
+        let mut improved = false;
+        // Deletion pass, end to start.
+        let mut i = best.schedule.len();
+        while i > 0 {
+            i -= 1;
+            let mut cand = best.schedule.clone();
+            cand.remove(i);
+            if let Some(v) = attempt(&cand, stats) {
+                best = v;
+                improved = true;
+                i = i.min(best.schedule.len());
+            }
+        }
+        // Rank-lowering pass.
+        let mut i = 0;
+        while i < best.schedule.len() {
+            while best.schedule[i] > 0 {
+                let mut cand = best.schedule.clone();
+                cand[i] -= 1;
+                match attempt(&cand, stats) {
+                    Some(v) => {
+                        best = v;
+                        improved = true;
+                        if i >= best.schedule.len() {
+                            break;
+                        }
+                    }
+                    None => break,
+                }
+            }
+            i += 1;
+        }
+        if !improved {
+            return best;
+        }
+    }
+}

@@ -1,0 +1,245 @@
+//! Canonical fingerprinting of protocol state.
+//!
+//! The `simcheck` model checker (in `simx`) prunes its search by hashing
+//! every global machine state it visits and skipping states it has seen
+//! before. That only works if equal protocol states always hash equally —
+//! which `#[derive(Hash)]` over the raw representations does **not**
+//! guarantee: a [`NodeSet`] keeps trailing zero words after removals, hash
+//! maps iterate in arbitrary order, and timestamps differ between schedules
+//! that reach the same protocol state. This module provides the canonical
+//! encoding: every protocol value folds itself into an [`Fp`] accumulator
+//! in a representation-independent order, and containers are responsible
+//! for sorting their elements first.
+//!
+//! The hash itself is the same multiply-xor construction as the predictor's
+//! `FastHash` (deterministic across processes, no external dependency); a
+//! different odd constant keeps the two streams decorrelated.
+
+use crate::cache::CacheState;
+use crate::directory::DirState;
+use crate::ids::{BlockAddr, NodeId, NodeSet};
+use crate::msg::{Msg, MsgType, ProcOp};
+
+/// The fold multiplier: an odd 64-bit constant (2^64/φ).
+const K: u64 = 0x9e37_79b9_7f4a_7c15;
+
+/// An order-sensitive 64-bit fingerprint accumulator.
+///
+/// ```
+/// use stache::fingerprint::Fp;
+/// let mut a = Fp::new();
+/// a.word(1);
+/// a.word(2);
+/// let mut b = Fp::new();
+/// b.word(2);
+/// b.word(1);
+/// assert_ne!(a.finish(), b.finish(), "order matters");
+/// ```
+#[derive(Debug, Clone, Copy)]
+pub struct Fp {
+    hash: u64,
+}
+
+impl Fp {
+    /// Creates an accumulator with a fixed non-zero seed.
+    pub fn new() -> Self {
+        Fp {
+            hash: 0x2545_f491_4f6c_dd1d,
+        }
+    }
+
+    /// Folds one word in.
+    pub fn word(&mut self, w: u64) {
+        self.hash = (self.hash.rotate_left(5) ^ w).wrapping_mul(K);
+    }
+
+    /// Folds a variant tag in — keeps adjacent fields of different types
+    /// from aliasing.
+    pub fn tag(&mut self, t: u8) {
+        self.word(0x7461_6700 | u64::from(t));
+    }
+
+    /// Folds a whole value in via its [`Fingerprint`] impl.
+    pub fn absorb<T: Fingerprint + ?Sized>(&mut self, value: &T) {
+        value.fingerprint_into(self);
+    }
+
+    /// The accumulated fingerprint, with a final avalanche mix so short
+    /// inputs still spread over all 64 bits.
+    pub fn finish(&self) -> u64 {
+        let mut h = self.hash;
+        h ^= h >> 33;
+        h = h.wrapping_mul(0xff51_afd7_ed55_8ccd);
+        h ^= h >> 33;
+        h
+    }
+}
+
+impl Default for Fp {
+    fn default() -> Self {
+        Fp::new()
+    }
+}
+
+/// A value with a canonical, representation-independent encoding.
+pub trait Fingerprint {
+    /// Folds the value's canonical encoding into `fp`.
+    fn fingerprint_into(&self, fp: &mut Fp);
+}
+
+/// Fingerprints a single value.
+pub fn fingerprint_of<T: Fingerprint + ?Sized>(value: &T) -> u64 {
+    let mut fp = Fp::new();
+    fp.absorb(value);
+    fp.finish()
+}
+
+impl Fingerprint for NodeId {
+    fn fingerprint_into(&self, fp: &mut Fp) {
+        fp.word(u64::from(self.raw()));
+    }
+}
+
+impl Fingerprint for BlockAddr {
+    fn fingerprint_into(&self, fp: &mut Fp) {
+        fp.word(self.number());
+    }
+}
+
+impl Fingerprint for CacheState {
+    fn fingerprint_into(&self, fp: &mut Fp) {
+        let t = match self {
+            CacheState::Invalid => 0,
+            CacheState::Shared => 1,
+            CacheState::Exclusive => 2,
+            CacheState::IToS => 3,
+            CacheState::IToE => 4,
+            CacheState::SToE => 5,
+        };
+        fp.tag(t);
+    }
+}
+
+impl Fingerprint for MsgType {
+    fn fingerprint_into(&self, fp: &mut Fp) {
+        fp.tag(self.code());
+    }
+}
+
+impl Fingerprint for ProcOp {
+    fn fingerprint_into(&self, fp: &mut Fp) {
+        fp.tag(match self {
+            ProcOp::Read => 0,
+            ProcOp::Write => 1,
+        });
+    }
+}
+
+/// Members in ascending order — trailing zero words left behind by
+/// [`NodeSet::remove`] do not affect the fingerprint.
+impl Fingerprint for NodeSet {
+    fn fingerprint_into(&self, fp: &mut Fp) {
+        fp.word(self.len() as u64);
+        for n in self.iter() {
+            fp.absorb(&n);
+        }
+    }
+}
+
+impl Fingerprint for DirState {
+    fn fingerprint_into(&self, fp: &mut Fp) {
+        match self {
+            DirState::Idle => fp.tag(0),
+            DirState::Shared(set) => {
+                fp.tag(1);
+                fp.absorb(set);
+            }
+            DirState::Exclusive(owner) => {
+                fp.tag(2);
+                fp.absorb(owner);
+            }
+        }
+    }
+}
+
+impl Fingerprint for Msg {
+    fn fingerprint_into(&self, fp: &mut Fp) {
+        fp.absorb(&self.sender);
+        fp.absorb(&self.receiver);
+        fp.absorb(&self.block);
+        fp.absorb(&self.mtype);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_and_distinct() {
+        let a = fingerprint_of(&CacheState::Shared);
+        assert_eq!(a, fingerprint_of(&CacheState::Shared));
+        let all = [
+            CacheState::Invalid,
+            CacheState::Shared,
+            CacheState::Exclusive,
+            CacheState::IToS,
+            CacheState::IToE,
+            CacheState::SToE,
+        ];
+        for (i, x) in all.iter().enumerate() {
+            for y in &all[i + 1..] {
+                assert_ne!(fingerprint_of(x), fingerprint_of(y), "{x:?} vs {y:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn node_set_fingerprint_is_representation_independent() {
+        // Build {1} two ways: directly, and by way of a high member whose
+        // removal leaves a trailing zero word in the bitset.
+        let direct = NodeSet::singleton(NodeId::new(1));
+        let mut indirect = NodeSet::new();
+        indirect.insert(NodeId::new(200));
+        indirect.insert(NodeId::new(1));
+        indirect.remove(NodeId::new(200));
+        assert_eq!(fingerprint_of(&direct), fingerprint_of(&indirect));
+        assert_ne!(
+            fingerprint_of(&direct),
+            fingerprint_of(&NodeSet::singleton(NodeId::new(2)))
+        );
+    }
+
+    #[test]
+    fn dir_states_do_not_alias() {
+        let shared1 = DirState::Shared(NodeSet::singleton(NodeId::new(3)));
+        let excl = DirState::Exclusive(NodeId::new(3));
+        assert_ne!(fingerprint_of(&shared1), fingerprint_of(&excl));
+        assert_ne!(fingerprint_of(&DirState::Idle), fingerprint_of(&excl));
+    }
+
+    #[test]
+    fn messages_distinguish_direction() {
+        let a = Msg::new(
+            NodeId::new(1),
+            NodeId::new(2),
+            BlockAddr::new(0),
+            MsgType::GetRoRequest,
+        );
+        let b = Msg::new(
+            NodeId::new(2),
+            NodeId::new(1),
+            BlockAddr::new(0),
+            MsgType::GetRoRequest,
+        );
+        assert_ne!(fingerprint_of(&a), fingerprint_of(&b));
+    }
+
+    #[test]
+    fn empty_accumulators_agree() {
+        assert_eq!(Fp::new().finish(), Fp::default().finish());
+        let mut fp = Fp::new();
+        fp.word(0);
+        assert_ne!(fp.finish(), Fp::new().finish(), "a zero word still folds");
+    }
+}

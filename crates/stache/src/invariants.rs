@@ -54,6 +54,25 @@ pub enum InvariantViolation {
         /// Its (transient) state.
         state: CacheState,
     },
+    /// A node is still waiting on a miss (or a directory transaction is
+    /// still open) after the machine went quiescent — the message that
+    /// would have completed it was lost or never sent.
+    StuckMessage {
+        /// The block the stuck request concerns.
+        block: BlockAddr,
+        /// The node left waiting.
+        node: NodeId,
+    },
+    /// A receiver's delivery low-water mark moved backwards — the
+    /// recovery layer's idempotent-delivery bookkeeping regressed.
+    SequenceRegression {
+        /// The receiver whose watermark regressed.
+        node: NodeId,
+        /// The watermark before the step.
+        from: u64,
+        /// The (lower) watermark after the step.
+        to: u64,
+    },
 }
 
 impl InvariantViolation {
@@ -64,16 +83,20 @@ impl InvariantViolation {
             InvariantViolation::WriterWithReaders { .. } => "writer_with_readers",
             InvariantViolation::DirectoryMismatch { .. } => "directory_mismatch",
             InvariantViolation::TransientAtRest { .. } => "transient_at_rest",
+            InvariantViolation::StuckMessage { .. } => "stuck_message",
+            InvariantViolation::SequenceRegression { .. } => "sequence_regression",
         }
     }
 
-    /// The block in violation.
-    pub fn block(&self) -> BlockAddr {
+    /// The block in violation, if the invariant is per-block.
+    pub fn block(&self) -> Option<BlockAddr> {
         match self {
             InvariantViolation::MultipleWriters { block, .. }
             | InvariantViolation::WriterWithReaders { block, .. }
             | InvariantViolation::DirectoryMismatch { block, .. }
-            | InvariantViolation::TransientAtRest { block, .. } => *block,
+            | InvariantViolation::TransientAtRest { block, .. }
+            | InvariantViolation::StuckMessage { block, .. } => Some(*block),
+            InvariantViolation::SequenceRegression { .. } => None,
         }
     }
 
@@ -83,7 +106,9 @@ impl InvariantViolation {
             InvariantViolation::MultipleWriters { writers, .. } => writers.first().copied(),
             InvariantViolation::WriterWithReaders { writer, .. } => Some(*writer),
             InvariantViolation::DirectoryMismatch { actual, .. } => actual.first().map(|(n, _)| *n),
-            InvariantViolation::TransientAtRest { node, .. } => Some(*node),
+            InvariantViolation::TransientAtRest { node, .. }
+            | InvariantViolation::StuckMessage { node, .. }
+            | InvariantViolation::SequenceRegression { node, .. } => Some(*node),
         }
     }
 }
@@ -116,6 +141,12 @@ impl fmt::Display for InvariantViolation {
             }
             InvariantViolation::TransientAtRest { block, node, state } => {
                 write!(f, "{block}: {node} left in transient state {state}")
+            }
+            InvariantViolation::StuckMessage { block, node } => {
+                write!(f, "{block}: {node} still waiting at quiescence")
+            }
+            InvariantViolation::SequenceRegression { node, from, to } => {
+                write!(f, "{node}: delivery watermark regressed {from} -> {to}")
             }
         }
     }
@@ -200,6 +231,62 @@ pub fn check_block(
                 return Err(mismatch());
             }
         }
+    }
+    Ok(())
+}
+
+/// Checks single-writer/multiple-reader only — the invariant that must
+/// hold at *every* step, not just at quiescence.
+///
+/// Mid-transaction the directory entry legitimately lags the caches and
+/// requesters sit in transient states, so [`check_block`]'s full-map and
+/// transient-at-rest checks would fire spuriously; SWMR over the *stable*
+/// states never does, because a Stache directory collects every
+/// invalidation acknowledgment before granting new rights. The `simcheck`
+/// model checker calls this after every delivered message.
+///
+/// # Errors
+///
+/// Returns [`InvariantViolation::MultipleWriters`] or
+/// [`InvariantViolation::WriterWithReaders`].
+pub fn check_swmr(block: BlockAddr, cache_states: &[CacheState]) -> Result<(), InvariantViolation> {
+    let writers: Vec<NodeId> = cache_states
+        .iter()
+        .enumerate()
+        .filter(|(_, s)| **s == CacheState::Exclusive)
+        .map(|(i, _)| NodeId::new(i))
+        .collect();
+    if writers.len() > 1 {
+        return Err(InvariantViolation::MultipleWriters { block, writers });
+    }
+    let readers: Vec<NodeId> = cache_states
+        .iter()
+        .enumerate()
+        .filter(|(_, s)| **s == CacheState::Shared)
+        .map(|(i, _)| NodeId::new(i))
+        .collect();
+    if let (Some(&writer), false) = (writers.first(), readers.is_empty()) {
+        return Err(InvariantViolation::WriterWithReaders {
+            block,
+            writer,
+            readers,
+        });
+    }
+    Ok(())
+}
+
+/// Checks that a receiver's delivery low-water mark only moves forward.
+///
+/// # Errors
+///
+/// Returns [`InvariantViolation::SequenceRegression`] when `after < before`.
+pub fn check_watermark(node: NodeId, before: u64, after: u64) -> Result<(), InvariantViolation> {
+    if after < before {
+        return Err(InvariantViolation::SequenceRegression {
+            node,
+            from: before,
+            to: after,
+        });
     }
     Ok(())
 }
@@ -295,5 +382,51 @@ mod tests {
             writers: vec![NodeId::new(0), NodeId::new(1)],
         };
         assert!(v.to_string().contains("multiple exclusive owners"));
+        let s = InvariantViolation::StuckMessage {
+            block: b(),
+            node: NodeId::new(1),
+        };
+        assert!(s.to_string().contains("still waiting"));
+        assert_eq!(s.kind_name(), "stuck_message");
+        assert_eq!(s.block(), Some(b()));
+        assert_eq!(s.node(), Some(NodeId::new(1)));
+    }
+
+    #[test]
+    fn swmr_tolerates_transients_mid_flight() {
+        // A requester in S-to-E next to the current owner is a legal
+        // mid-transaction picture; the full check would reject it.
+        let mut states = vec![CacheState::Invalid; 4];
+        states[0] = CacheState::Exclusive;
+        states[1] = CacheState::SToE;
+        states[2] = CacheState::IToS;
+        assert!(check_swmr(b(), &states).is_ok());
+        assert!(check_block(b(), &DirState::Exclusive(NodeId::new(0)), &states).is_err());
+    }
+
+    #[test]
+    fn swmr_still_rejects_stable_violations() {
+        let mut states = vec![CacheState::Invalid; 4];
+        states[0] = CacheState::Exclusive;
+        states[2] = CacheState::Shared;
+        assert!(matches!(
+            check_swmr(b(), &states),
+            Err(InvariantViolation::WriterWithReaders { .. })
+        ));
+        states[2] = CacheState::Exclusive;
+        assert!(matches!(
+            check_swmr(b(), &states),
+            Err(InvariantViolation::MultipleWriters { .. })
+        ));
+    }
+
+    #[test]
+    fn watermarks_must_be_monotone() {
+        assert!(check_watermark(NodeId::new(0), 5, 5).is_ok());
+        assert!(check_watermark(NodeId::new(0), 5, 9).is_ok());
+        let v = check_watermark(NodeId::new(3), 5, 4).unwrap_err();
+        assert_eq!(v.kind_name(), "sequence_regression");
+        assert_eq!(v.block(), None);
+        assert_eq!(v.node(), Some(NodeId::new(3)));
     }
 }

@@ -261,6 +261,91 @@ mod tests {
     }
 
     #[test]
+    fn retry_budget_is_exhausted_exactly_at_max_retries() {
+        let p = RetryPolicy {
+            base_timeout_ns: 100,
+            max_timeout_ns: 400,
+            max_retries: 3,
+        };
+        // Attempt numbering: 0 is the original send; retries are allowed
+        // strictly below max_retries, so the last permitted retransmission
+        // is attempt max_retries - 1 and the caller gives up at max_retries.
+        assert!(p.can_retry(0));
+        assert!(p.can_retry(2));
+        assert!(!p.can_retry(3), "boundary: attempt == max_retries");
+        assert!(!p.can_retry(u32::MAX), "far past the budget");
+        let zero = RetryPolicy {
+            max_retries: 0,
+            ..p.clone()
+        };
+        assert!(!zero.can_retry(0), "a zero budget permits no retries");
+        // total_budget covers max_retries + 1 armed timers (one per
+        // transmission, including the original).
+        assert_eq!(p.total_budget_ns(), 100 + 200 + 400 + 400);
+    }
+
+    #[test]
+    fn backoff_saturates_past_the_shift_width() {
+        // 2^attempt overflows u64 for attempt >= 64: checked_shl must fall
+        // back to u64::MAX, and the saturating multiply must still land on
+        // the cap instead of wrapping to a tiny timeout.
+        let p = RetryPolicy {
+            base_timeout_ns: 3,
+            max_timeout_ns: 1_000_000,
+            max_retries: u32::MAX,
+        };
+        assert_eq!(p.timeout_for(63), 1_000_000, "last in-range shift, capped");
+        assert_eq!(p.timeout_for(64), 1_000_000, "shift width boundary");
+        assert_eq!(p.timeout_for(u32::MAX), 1_000_000);
+        // With a cap above every representable product the multiply itself
+        // must saturate rather than wrap.
+        let wide = RetryPolicy {
+            base_timeout_ns: u64::MAX / 2,
+            max_timeout_ns: u64::MAX,
+            max_retries: u32::MAX,
+        };
+        assert_eq!(wide.timeout_for(2), u64::MAX);
+        assert_eq!(wide.timeout_for(100), u64::MAX);
+    }
+
+    #[test]
+    fn dedup_filter_absorbs_duplicates_after_compaction() {
+        // The "duplicate after ack" shape: the original delivery was
+        // observed, the watermark compacted past it, and a crossed
+        // retransmission of the same sequence arrives much later.
+        let mut f = DedupFilter::new();
+        for seq in 0..10u64 {
+            assert!(f.observe(seq));
+        }
+        assert_eq!(f.low_watermark(), 10);
+        assert_eq!(f.pending(), 0, "prefix fully compacted");
+        for seq in 0..10u64 {
+            assert!(!f.observe(seq), "seq {seq} is behind the watermark");
+        }
+        assert_eq!(f.low_watermark(), 10, "stale arrivals never move it");
+    }
+
+    #[test]
+    fn dedup_filter_handles_the_top_of_the_sequence_space() {
+        // Sequence numbers are u64 and never wrap in practice (a sender
+        // would need 2^64 transmissions); the filter must still behave at
+        // the very top of the space rather than overflow.
+        let mut f = DedupFilter::new();
+        assert!(f.observe(u64::MAX));
+        assert!(!f.observe(u64::MAX), "duplicate at the top absorbed");
+        assert!(f.observe(u64::MAX - 1));
+        assert!(!f.observe(u64::MAX - 1));
+        // Nothing contiguous from 0 arrived, so the watermark cannot
+        // advance and both live in the out-of-order set.
+        assert_eq!(f.low_watermark(), 0);
+        assert_eq!(f.pending(), 2);
+        // In-order traffic still flows underneath.
+        assert!(f.observe(0));
+        assert_eq!(f.low_watermark(), 1);
+        assert_eq!(f.pending(), 2);
+    }
+
+    #[test]
     fn tally_merges_and_exports() {
         let mut a = RecoveryTally::new();
         assert!(a.is_quiet());

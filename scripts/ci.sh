@@ -41,4 +41,29 @@ grep -q '"bench.total_ns"' "$SMOKE_DIR/BENCH_smoke.json"
 grep -q '"bench.phase.table5_ns"' "$SMOKE_DIR/BENCH_smoke.json"
 echo "    table5 CSV matches golden; bench JSON emitted"
 
+# Model-checker smoke: exhaustively explore the 2-node configurations and
+# require the simcheck.* obs artefact. The repro target exits non-zero if
+# any exploration finds an invariant violation.
+echo "==> simcheck smoke (bounded schedule exploration, 2 nodes)"
+cargo run -q --release --offline -p bench-suite --bin repro -- \
+  --small --csv "$SMOKE_DIR" simcheck > /dev/null
+grep -q '"simcheck.states_visited"' "$SMOKE_DIR/simcheck_obs.json"
+grep -q '"simcheck.exhausted":1' "$SMOKE_DIR/simcheck_obs.json"
+echo "    2-node state spaces exhausted; simcheck obs JSON emitted"
+
+# Proptest seed promotion: every saved counterexample hash in a
+# *.proptest-regressions file must have a matching `promoted: <hash>`
+# marker in a checked-in test, so the seeds keep running even in builds
+# without the (feature-gated) proptest dependency.
+echo "==> proptest-regressions promotion check"
+while read -r file; do
+  while read -r hash; do
+    if ! grep -rq "promoted: $hash" crates/*/tests/*.rs; then
+      echo "    seed $hash in $file has no promoted unit test" >&2
+      exit 1
+    fi
+  done < <(sed -n 's/^cc \([0-9a-f]\{64\}\).*/\1/p' "$file")
+done < <(find crates -name '*.proptest-regressions')
+echo "    every saved seed has a promoted unit test"
+
 echo "CI green."
