@@ -61,6 +61,7 @@ const TARGETS: &[&str] = &[
     "seeds",
     "faults",
     "simcheck",
+    "tracespans",
 ];
 
 fn main() -> ExitCode {
@@ -73,6 +74,7 @@ fn main() -> ExitCode {
     let mut obs_app = String::from("appbt");
     let mut fault_plan: Option<FaultPlan> = None;
     let mut faults_seed: Option<u64> = None;
+    let mut trace_out: Option<std::path::PathBuf> = None;
     let mut expect = None::<&str>;
     for a in &args {
         match expect.take() {
@@ -90,6 +92,10 @@ fn main() -> ExitCode {
             }
             Some("--obs-app") => {
                 obs_app = a.clone();
+                continue;
+            }
+            Some("--trace-out") => {
+                trace_out = Some(std::path::PathBuf::from(a));
                 continue;
             }
             Some("--faults") => {
@@ -118,16 +124,21 @@ fn main() -> ExitCode {
         match a.as_str() {
             "--small" => scale = Scale::Small,
             "--csv" | "--obs-json" | "--bench-json" | "--obs-app" | "--faults"
-            | "--faults-seed" => expect = Some(a.as_str()),
+            | "--faults-seed" | "--trace-out" => expect = Some(a.as_str()),
             "--help" | "-h" => {
                 println!(
                     "usage: repro [--small] [--csv DIR] [--obs-json PATH [--obs-app NAME]] \
-                     [--bench-json PATH] [--faults SPEC [--faults-seed N]] [{}|all ...]",
+                     [--bench-json PATH] [--trace-out PATH] \
+                     [--faults SPEC [--faults-seed N]] [{}|all ...]",
                     TARGETS.join("|")
                 );
                 println!(
                     "  --bench-json PATH  write per-phase wall-clock timings and predictor \
                      throughput as obs.v1 JSON to PATH"
+                );
+                println!(
+                    "  --trace-out PATH   write the traced runs of the `tracespans` target \
+                     as Chrome trace-event JSON (Perfetto-loadable) to PATH"
                 );
                 println!(
                     "  --faults SPEC   fault plan for the `faults` target, e.g. \
@@ -146,6 +157,21 @@ fn main() -> ExitCode {
     if let Some(flag) = expect {
         eprintln!("{flag} needs a value; try --help");
         return ExitCode::FAILURE;
+    }
+
+    if let Some(path) = &trace_out {
+        // Fail on an unwritable destination before minutes of simulation.
+        let parent = path.parent().filter(|p| !p.as_os_str().is_empty());
+        if let Some(dir) = parent {
+            if !dir.is_dir() {
+                eprintln!("--trace-out: directory {} does not exist", dir.display());
+                return ExitCode::FAILURE;
+            }
+        }
+        // `--trace-out` alone implies the target that produces the trace.
+        if !targets.iter().any(|t| t == "tracespans") {
+            targets.push("tracespans".to_string());
+        }
     }
 
     // `--faults SPEC` alone runs the fault-sensitivity report; the
@@ -313,6 +339,25 @@ fn main() -> ExitCode {
             "integration" => {
                 let rows = bench_suite::integration::integration(scale, 2);
                 println!("{}", bench_suite::integration::render_integration(&rows, 2));
+            }
+            "tracespans" => {
+                use bench_suite::spans;
+                eprintln!("running traced benchmarks ({scale:?} scale, both engines)...");
+                let runs = spans::traced_runs(scale);
+                let rows = spans::attribution(&runs);
+                println!("{}", spans::render_attribution(&rows));
+                println!("{}", spans::render_phases(&runs));
+                println!("{}", spans::render_critical_paths(&runs, 5));
+                write_csv(&csv_dir, "tracespans.csv", &spans::csv_attribution(&rows));
+                if let Some(path) = &trace_out {
+                    match spans::write_chrome_trace(&runs, path) {
+                        Ok(()) => eprintln!("wrote {}", path.display()),
+                        Err(e) => {
+                            eprintln!("writing {}: {e}", path.display());
+                            return ExitCode::FAILURE;
+                        }
+                    }
+                }
             }
             "simcheck" => {
                 use bench_suite::modelcheck;

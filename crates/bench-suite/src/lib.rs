@@ -41,6 +41,7 @@ pub mod integration;
 pub mod modelcheck;
 pub mod par;
 pub mod report;
+pub mod spans;
 pub mod tables;
 pub mod traces;
 

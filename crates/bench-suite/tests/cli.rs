@@ -28,6 +28,7 @@ fn value_flags_reject_a_missing_value() {
         "--bench-json",
         "--faults",
         "--faults-seed",
+        "--trace-out",
     ] {
         let out = repro(&[flag]);
         assert!(!out.status.success(), "{flag} with no value must fail");
@@ -45,6 +46,30 @@ fn unknown_targets_exit_nonzero() {
     assert!(!out.status.success());
     let stderr = String::from_utf8_lossy(&out.stderr);
     assert!(stderr.contains("unknown target"), "stderr was {stderr:?}");
+}
+
+#[test]
+fn trace_out_rejects_a_missing_directory_before_simulating() {
+    let out = repro(&[
+        "--small",
+        "--trace-out",
+        "/definitely/not/a/directory/trace.json",
+    ]);
+    assert!(!out.status.success());
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        stderr.contains("--trace-out") && stderr.contains("does not exist"),
+        "stderr was {stderr:?}"
+    );
+}
+
+#[test]
+fn help_mentions_the_tracespans_target_and_trace_out() {
+    let out = repro(&["--help"]);
+    assert!(out.status.success());
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("tracespans"));
+    assert!(stdout.contains("--trace-out"));
 }
 
 #[test]

@@ -403,6 +403,54 @@ pub fn evaluate_cosmos(bundle: &TraceBundle, depth: usize, filter_max: u8) -> Ac
     })
 }
 
+/// One record's prediction outcome in a [`record_verdicts`] replay.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Verdict {
+    /// The agent's predictor offered the observed `(sender, type)` tuple.
+    Hit,
+    /// The predictor offered something else.
+    Miss,
+    /// The predictor offered nothing (cold history or filtered arc).
+    NoPrediction,
+}
+
+impl Verdict {
+    /// Short human label, used by the critical-path report.
+    pub fn label(self) -> &'static str {
+        match self {
+            Verdict::Hit => "predicted",
+            Verdict::Miss => "mispredicted",
+            Verdict::NoPrediction => "no_prediction",
+        }
+    }
+}
+
+/// Replays a Cosmos fleet over the trace and returns one [`Verdict`] per
+/// record, aligned with `bundle.records()` order. This is the per-message
+/// view the aggregate [`AccuracyReport`] cannot give: a span tree can look
+/// up the verdict of the exact message it recorded (by trace-record index)
+/// and annotate its critical path with "predicted / mispredicted".
+pub fn record_verdicts(bundle: &TraceBundle, depth: usize, filter_max: u8) -> Vec<Verdict> {
+    let mut fleet: Vec<Option<CosmosPredictor>> = Vec::new();
+    let mut out = Vec::with_capacity(bundle.records().len());
+    for r in bundle.records() {
+        let idx = agent_index(r.node, r.role);
+        if idx >= fleet.len() {
+            fleet.resize_with(idx + 1, || None);
+        }
+        let predictor = fleet[idx].get_or_insert_with(|| CosmosPredictor::new(depth, filter_max));
+        let observed = PredTuple::new(r.sender, r.mtype);
+        let verdict = match predictor.predict(r.block) {
+            Some(p) if p == observed => Verdict::Hit,
+            Some(_) => Verdict::Miss,
+            None => Verdict::NoPrediction,
+        };
+        out.push(verdict);
+        predictor.observe(r.block, observed);
+    }
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -563,6 +611,25 @@ mod tests {
             snap.get("cosmos.depth2.memory.bytes"),
             Some(obs::MetricValue::Counter(n)) if *n > 0
         ));
+    }
+
+    #[test]
+    fn record_verdicts_align_with_the_aggregate_report() {
+        let bundle = cyclic_bundle(20);
+        let verdicts = record_verdicts(&bundle, 1, 0);
+        assert_eq!(verdicts.len(), bundle.records().len());
+        let report = evaluate_cosmos(&bundle, 1, 0);
+        let hits = verdicts.iter().filter(|v| **v == Verdict::Hit).count() as u64;
+        let offered = verdicts
+            .iter()
+            .filter(|v| **v != Verdict::NoPrediction)
+            .count() as u64;
+        assert_eq!(hits, report.overall.hits);
+        assert_eq!(offered, report.coverage.hits);
+        // The first record is always cold.
+        assert_eq!(verdicts[0], Verdict::NoPrediction);
+        assert_eq!(Verdict::Hit.label(), "predicted");
+        assert_eq!(Verdict::Miss.label(), "mispredicted");
     }
 
     #[test]

@@ -68,7 +68,7 @@ pub mod speedup;
 pub mod tuple;
 
 pub use confidence::ConfidenceCosmos;
-pub use eval::{AccuracyReport, Counts, EvalOptions};
+pub use eval::{AccuracyReport, Counts, EvalOptions, Verdict};
 pub use evicting::EvictingCosmos;
 pub use fasthash::{FastMap, FastSet, FxHasher};
 pub use hybrid::HybridCosmos;

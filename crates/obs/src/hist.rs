@@ -230,6 +230,61 @@ mod tests {
     }
 
     #[test]
+    fn empty_histogram_quantiles_are_zero_at_every_q() {
+        let h = Histogram::new();
+        for q in [0.0, 0.5, 0.99, 1.0, -3.0, 7.0] {
+            assert_eq!(h.quantile(q), 0, "q={q}");
+        }
+        assert_eq!(h.p99(), 0);
+        assert_eq!(h.sum(), 0);
+    }
+
+    #[test]
+    fn single_sample_dominates_every_quantile() {
+        let mut h = Histogram::new();
+        h.record(700);
+        // One sample: every quantile is that sample (clamped to max even
+        // though its bucket tops out at 1023).
+        for q in [0.0, 0.01, 0.5, 0.95, 0.99, 1.0] {
+            assert_eq!(h.quantile(q), 700, "q={q}");
+        }
+        assert_eq!(h.min(), 700);
+        assert_eq!(h.max(), 700);
+        assert_eq!(h.mean(), 700.0);
+        assert!(!h.is_empty());
+    }
+
+    #[test]
+    fn out_of_range_q_clamps_to_the_extremes() {
+        let mut h = Histogram::new();
+        for v in [1, 2, 4, 8, 1000] {
+            h.record(v);
+        }
+        assert_eq!(h.quantile(-1.0), h.quantile(0.0));
+        assert_eq!(h.quantile(2.0), h.quantile(1.0));
+        assert_eq!(h.quantile(2.0), 1000);
+    }
+
+    #[test]
+    fn saturating_counts_do_not_wrap_sum_or_quantiles() {
+        let mut h = Histogram::new();
+        h.record(u64::MAX);
+        h.record(u64::MAX);
+        h.record(u64::MAX - 1);
+        assert_eq!(h.sum(), u64::MAX, "sum saturates");
+        assert_eq!(h.count(), 3);
+        assert_eq!(h.p50(), u64::MAX);
+        assert_eq!(h.quantile(0.0), u64::MAX);
+        // Mean degrades gracefully under a saturated sum.
+        assert!(h.mean() <= u64::MAX as f64);
+        // Merging saturated histograms stays saturated, never wraps.
+        let mut other = h;
+        other.merge(&h);
+        assert_eq!(other.sum(), u64::MAX);
+        assert_eq!(other.count(), 6);
+    }
+
+    #[test]
     fn merge_is_bucketwise_addition() {
         let mut a = Histogram::new();
         let mut b = Histogram::new();

@@ -15,6 +15,10 @@
 //!   sends/receives, state transitions, predictor and policy actions —
 //!   with severity levels, dumpable on invariant failure so protocol bugs
 //!   come with a flight recorder;
+//! * a **causal tracing layer** ([`SpanLog`]) — per-transaction span
+//!   trees over simulated time with latency-attribution categories and a
+//!   Chrome trace-event / Perfetto exporter ([`span::chrome_trace_json`]),
+//!   off by default so untraced runs stay byte-identical;
 //! * machine-readable **snapshot exporters** ([`Snapshot::to_json`],
 //!   [`Snapshot::to_csv`]) and a shared text/CSV [`Table`] formatter. No
 //!   serde: the snapshot *is* the serialisation layer.
@@ -45,6 +49,7 @@ pub mod json;
 pub mod registry;
 pub mod ring;
 pub mod snapshot;
+pub mod span;
 pub mod sync;
 pub mod table;
 
@@ -52,5 +57,6 @@ pub use hist::Histogram;
 pub use registry::{Counter, Gauge, HistogramHandle, Registry};
 pub use ring::{Event, EventRing, Severity};
 pub use snapshot::{MetricValue, Snapshot};
+pub use span::{Span, SpanId, SpanKind, SpanLog, TraceId};
 pub use sync::SharedCounter;
 pub use table::{Align, Table};

@@ -277,6 +277,37 @@ mod tests {
     }
 
     #[test]
+    fn min_severity_floor_is_inclusive_at_every_level() {
+        // Each floor admits exactly its own level and above.
+        let all = [
+            Severity::Debug,
+            Severity::Info,
+            Severity::Warn,
+            Severity::Error,
+        ];
+        for (i, floor) in all.iter().enumerate() {
+            let mut ring = EventRing::new(8);
+            ring.set_min_severity(*floor);
+            for s in all {
+                ring.push(Event::new(0, s, "x"));
+            }
+            assert_eq!(ring.len(), all.len() - i, "floor {floor}");
+            assert!(ring.events().iter().all(|e| e.severity >= *floor));
+        }
+    }
+
+    #[test]
+    fn raising_the_floor_keeps_already_recorded_events() {
+        let mut ring = EventRing::new(8);
+        ring.push(Event::new(1, Severity::Info, "kept"));
+        ring.set_min_severity(Severity::Error);
+        ring.push(Event::new(2, Severity::Warn, "dropped"));
+        ring.push(Event::new(3, Severity::Error, "kept"));
+        let kinds: Vec<_> = ring.events().iter().map(|e| e.kind).collect();
+        assert_eq!(kinds, vec!["kept", "kept"], "filter is at push time only");
+    }
+
+    #[test]
     fn dump_includes_node_block_and_msg_context() {
         let mut ring = EventRing::new(4);
         ring.push(

@@ -30,6 +30,7 @@ use crate::event::EventQueue;
 use crate::fault::{FaultInjector, FaultPlan, FaultTally};
 use crate::machine::{SimError, SpeculationPolicy};
 use crate::stats::MachineStats;
+use obs::span::{SpanKind, SpanLog, TraceId};
 use obs::{Event as ObsEvent, EventRing, Severity};
 use stache::cache::{self, CacheAction};
 use stache::directory::{self};
@@ -196,6 +197,9 @@ struct DirTxn {
     /// Monotone transaction id; a popped [`Event::AckCheck`] with a
     /// different epoch belongs to an earlier transaction and is ignored.
     epoch: u64,
+    /// The requester's span tree, threaded onto every message the
+    /// transaction sends (observability only).
+    trace: TraceId,
 }
 
 /// A request waiting for a busy block at its home directory.
@@ -203,6 +207,17 @@ struct DirTxn {
 struct PendingReq {
     msg: Msg,
     arrived: u64,
+}
+
+/// The network span name for a message in flight, by protocol leg.
+fn net_span_name(mtype: MsgType) -> &'static str {
+    use MsgType::*;
+    match mtype {
+        GetRoRequest | GetRwRequest | UpgradeRequest => "net.request",
+        GetRoResponse | GetRwResponse | UpgradeResponse => "net.reply",
+        InvalRoRequest | InvalRwRequest | DowngradeRequest => "net.inval",
+        InvalRoResponse | InvalRwResponse | DowngradeResponse => "net.ack",
+    }
 }
 
 /// The concurrent machine. Drive it with [`run_plan`](Self::run_plan) or
@@ -259,6 +274,11 @@ pub struct ConcurrentMachine {
     recovery: RecoveryTally,
     /// Seeded protocol bug for simcheck self-validation (off by default).
     mutation: ProtocolMutation,
+    /// Causal span log (disabled by default — see
+    /// [`ConcurrentMachine::enable_tracing`]).
+    spans: SpanLog,
+    /// The span tree of each node's in-flight miss, if any.
+    miss_trace: Vec<TraceId>,
 }
 
 impl ConcurrentMachine {
@@ -296,6 +316,8 @@ impl ConcurrentMachine {
             txn_epoch: 0,
             recovery: RecoveryTally::new(),
             mutation: ProtocolMutation::default(),
+            spans: SpanLog::new(),
+            miss_trace: vec![TraceId::NONE; nodes],
         }
     }
 
@@ -383,6 +405,41 @@ impl ConcurrentMachine {
         self.ring.get_mut().set_min_severity(min);
     }
 
+    /// Turns causal span tracing on. Off (the default), every span call
+    /// is an early-return no-op; on, every coherence transaction records
+    /// a span tree stamped with the exact simulated times the event queue
+    /// already computes. Purely observational: timing, ordering, and
+    /// protocol state are unchanged either way.
+    pub fn enable_tracing(&mut self) {
+        self.spans.enable();
+    }
+
+    /// The span log recorded so far.
+    pub fn spans(&self) -> &SpanLog {
+        &self.spans
+    }
+
+    /// Takes the span log, leaving a fresh disabled one.
+    pub fn take_spans(&mut self) -> SpanLog {
+        std::mem::take(&mut self.spans)
+    }
+
+    /// Closes any spans still open, marking them `"orphaned"`, and
+    /// returns how many were flagged. Called at every barrier (the
+    /// machine is quiescent there, so every transaction should have
+    /// closed its root); a non-zero count is a protocol bug and lands in
+    /// the flight recorder as a warning.
+    pub fn flag_orphaned_spans(&mut self) -> u64 {
+        let at = self.execution_time_ns();
+        let flagged = self.spans.flag_orphans(at);
+        if flagged > 0 {
+            self.ring
+                .get_mut()
+                .push(ObsEvent::new(at, Severity::Warn, "span.orphaned").value(flagged));
+        }
+        flagged
+    }
+
     /// The flight recorder's retained events, oldest first.
     pub fn flight_events(&self) -> Vec<ObsEvent> {
         self.ring.borrow().events()
@@ -407,6 +464,11 @@ impl ConcurrentMachine {
         if let Some(inj) = &self.fault {
             inj.tally().export_obs(&mut snap);
             self.recovery.export_obs(&mut snap);
+        }
+        // Span metrics appear only when tracing is on, so untraced runs
+        // keep their exact metric set.
+        if self.spans.is_enabled() {
+            self.spans.export_obs("simx.span", &mut snap);
         }
         snap
     }
@@ -481,6 +543,7 @@ impl ConcurrentMachine {
         if let Some(policy) = self.policy.as_mut() {
             policy.observe(&rec);
         }
+        self.spans.link_record(msg.trace, self.trace.len() as u64);
         self.trace.push(rec);
     }
 
@@ -488,6 +551,14 @@ impl ConcurrentMachine {
         let hop = self.one_way(msg.sender, msg.receiver);
         self.stats.net_latency_ns.record(hop);
         if self.fault.is_none() {
+            self.spans.child(
+                msg.trace,
+                net_span_name(msg.mtype),
+                SpanKind::Network,
+                at,
+                at + hop,
+                msg.sender.raw(),
+            );
             self.queue.push(at + hop, Event::Deliver(msg, 0));
             return;
         }
@@ -495,8 +566,25 @@ impl ConcurrentMachine {
         self.next_seq_to[msg.receiver.index()] += 1;
         let d = self.fault.as_mut().unwrap().next_delivery(hop);
         if d.dropped {
+            // The wire ate it; whoever is responsible will time out.
+            self.spans.child(
+                msg.trace,
+                "net.lost",
+                SpanKind::Retry,
+                at,
+                at + hop,
+                msg.sender.raw(),
+            );
             return;
         }
+        self.spans.child(
+            msg.trace,
+            net_span_name(msg.mtype),
+            SpanKind::Network,
+            at,
+            at + hop + d.extra_ns,
+            msg.sender.raw(),
+        );
         self.queue
             .push(at + hop + d.extra_ns, Event::Deliver(msg, seq));
         if d.duplicated {
@@ -521,6 +609,14 @@ impl ConcurrentMachine {
         } else {
             0
         };
+        self.spans.child(
+            msg.trace,
+            net_span_name(msg.mtype),
+            SpanKind::Network,
+            at,
+            at + hop,
+            msg.sender.raw(),
+        );
         self.queue.push(at + hop, Event::Deliver(msg, seq));
     }
 
@@ -554,7 +650,8 @@ impl ConcurrentMachine {
             // The grant raced this retransmission and won: nothing to do.
             _ => return,
         };
-        self.send(at, Msg::new(node, home, block, req));
+        let tr = self.miss_trace[node.index()];
+        self.send(at, Msg::new(node, home, block, req).with_trace(tr));
     }
 
     /// Executes one iteration plan: each phase runs to quiescence, then a
@@ -893,6 +990,14 @@ impl ConcurrentMachine {
         // NAK for an already-completed miss is stale.
         if self.waiting[node.index()].is_some_and(|(b, _, _)| b == block) {
             self.miss_recovered[node.index()] = true;
+            self.spans.child(
+                self.miss_trace[node.index()],
+                "nak.turnaround",
+                SpanKind::Retry,
+                t,
+                t + self.sys.handler_ns,
+                node.raw(),
+            );
             self.resend_request(node, t + self.sys.handler_ns);
         }
     }
@@ -925,6 +1030,14 @@ impl ConcurrentMachine {
             });
         }
         self.recovery.retries += 1;
+        self.spans.child(
+            self.miss_trace[node.index()],
+            "retry",
+            SpanKind::Retry,
+            t.saturating_sub(retry.timeout_for(attempt)),
+            t,
+            node.raw(),
+        );
         self.resend_request(node, t);
         self.arm_retry(node, t, attempt + 1);
         Ok(())
@@ -966,9 +1079,18 @@ impl ConcurrentMachine {
                 attempts: attempt + 1,
             });
         }
+        let tr = self.txns.get(&block).map_or(TraceId::NONE, |x| x.trace);
+        self.spans.child(
+            tr,
+            "retry.ack",
+            SpanKind::Retry,
+            t.saturating_sub(retry.timeout_for(attempt)),
+            t,
+            home.raw(),
+        );
         for (target, imsg) in unacked {
             self.recovery.retries += 1;
-            self.send(t, Msg::new(home, target, block, imsg));
+            self.send(t, Msg::new(home, target, block, imsg).with_trace(tr));
         }
         self.queue.push(
             t + retry.timeout_for(attempt + 1),
@@ -986,6 +1108,11 @@ impl ConcurrentMachine {
     fn barrier(&mut self) -> Result<(), SimError> {
         debug_assert!(self.txns.is_empty(), "transactions drained at barrier");
         self.verify_coherence()?;
+        // Quiescent: every transaction's root span must have closed. A
+        // leftover open span is a bug — flag it rather than losing it.
+        if self.spans.is_enabled() {
+            self.flag_orphaned_spans();
+        }
         let max = self.clocks.iter().copied().max().unwrap_or(0);
         for c in &mut self.clocks {
             *c = max + self.sys.barrier_ns;
@@ -1026,7 +1153,17 @@ impl ConcurrentMachine {
                     ProcOp::Read => MsgType::GetRoRequest,
                     ProcOp::Write => MsgType::GetRwRequest,
                 };
-                let marker = Msg::new(node, node, block, req);
+                let tr = self.spans.begin_trace(
+                    match op {
+                        ProcOp::Read => "local_read",
+                        ProcOp::Write => "local_write",
+                    },
+                    now,
+                    node.raw(),
+                    block.number(),
+                );
+                self.miss_trace[node.index()] = tr;
+                let marker = Msg::new(node, node, block, req).with_trace(tr);
                 self.enqueue_or_start(marker, now)?;
                 return Ok(());
             }
@@ -1049,7 +1186,11 @@ impl ConcurrentMachine {
                     self.set_cache_state(node, block, transient);
                     self.waiting[node.index()] = Some((block, op, now));
                     self.clocks[node.index()] = now;
-                    self.send(now, Msg::new(node, home, block, req));
+                    let tr =
+                        self.spans
+                            .begin_trace(req.paper_name(), now, node.raw(), block.number());
+                    self.miss_trace[node.index()] = tr;
+                    self.send(now, Msg::new(node, home, block, req).with_trace(tr));
                     self.arm_retry(node, now, 0);
                     return Ok(());
                 }
@@ -1183,6 +1324,16 @@ impl ConcurrentMachine {
             self.recovery.naks_sent += 1;
             let hop = self.one_way(msg.receiver, msg.sender);
             self.stats.net_latency_ns.record(hop);
+            // The bounce (home handler + NAK hop) is pure retry overhead
+            // on the requester's critical path.
+            self.spans.child(
+                msg.trace,
+                "nak",
+                SpanKind::Retry,
+                t,
+                t + self.sys.handler_ns + hop,
+                msg.receiver.raw(),
+            );
             self.queue.push(
                 t + self.sys.handler_ns + hop,
                 Event::Nak {
@@ -1206,7 +1357,7 @@ impl ConcurrentMachine {
                 self.recovery.regrants += 1;
                 self.send(
                     t + self.sys.handler_ns,
-                    Msg::new(msg.receiver, msg.sender, msg.block, resp),
+                    Msg::new(msg.receiver, msg.sender, msg.block, resp).with_trace(msg.trace),
                 );
                 true
             }
@@ -1234,6 +1385,24 @@ impl ConcurrentMachine {
         let service = t.max(self.dir_busy[home.index()]);
         let dispatch = service + self.sys.handler_ns;
         self.dir_busy[home.index()] = dispatch;
+        if service > t {
+            self.spans.child(
+                msg.trace,
+                "dir.queue",
+                SpanKind::Queue,
+                t,
+                service,
+                home.raw(),
+            );
+        }
+        self.spans.child(
+            msg.trace,
+            "dir.service",
+            SpanKind::Directory,
+            service,
+            dispatch,
+            home.raw(),
+        );
 
         let dir = self.dirs.entry(block).or_default().clone();
         // The upgrade race: the requester lost its copy to a concurrent
@@ -1261,6 +1430,7 @@ impl ConcurrentMachine {
                         .node(msg.sender.raw())
                         .block(block.number()),
                 );
+                self.spans.annotate(msg.trace, "speculative_grant");
             }
         }
         let outcome = if local {
@@ -1304,10 +1474,14 @@ impl ConcurrentMachine {
             holders: holder_requests.clone(),
             acked: HashSet::new(),
             epoch: self.txn_epoch,
+            trace: msg.trace,
         };
         let epoch = txn.epoch;
         for (target, imsg) in &holder_requests {
-            self.send(dispatch, Msg::new(home, *target, block, *imsg));
+            self.send(
+                dispatch,
+                Msg::new(home, *target, block, *imsg).with_trace(msg.trace),
+            );
         }
         self.txns.insert(block, txn);
         if holder_requests.is_empty() {
@@ -1336,11 +1510,26 @@ impl ConcurrentMachine {
             self.complete_local(home, block, t)?;
         } else {
             let reply = txn.reply.expect("remote transactions reply");
-            self.send(t, Msg::new(home, txn.requester, block, reply));
+            self.send(
+                t,
+                Msg::new(home, txn.requester, block, reply).with_trace(txn.trace),
+            );
         }
         // The block is free: service the next queued request, if any.
         if let Some(next) = self.pending.get_mut(&block).and_then(VecDeque::pop_front) {
-            self.start_txn(next.msg, next.arrived.max(t))?;
+            let resume = next.arrived.max(t);
+            if resume > next.arrived {
+                // Time spent queued behind the previous transaction.
+                self.spans.child(
+                    next.msg.trace,
+                    "dir.pending",
+                    SpanKind::Queue,
+                    next.arrived,
+                    resume,
+                    home.raw(),
+                );
+            }
+            self.start_txn(next.msg, resume)?;
         }
         Ok(())
     }
@@ -1358,6 +1547,11 @@ impl ConcurrentMachine {
         if op == ProcOp::Write {
             self.commit_write(home, block, true);
         }
+        let tr = self.miss_trace[home.index()];
+        self.spans
+            .child(tr, "mem.access", SpanKind::Directory, t, done, home.raw());
+        self.spans.end_trace(tr, done);
+        self.miss_trace[home.index()] = TraceId::NONE;
         self.queue.push(done, Event::Issue(home));
         Ok(())
     }
@@ -1371,6 +1565,24 @@ impl ConcurrentMachine {
         let service = t.max(self.cache_busy[node.index()]);
         let handled = service + self.sys.handler_ns;
         self.cache_busy[node.index()] = handled;
+        if service > t {
+            self.spans.child(
+                msg.trace,
+                "cache.queue",
+                SpanKind::Queue,
+                t,
+                service,
+                node.raw(),
+            );
+        }
+        self.spans.child(
+            msg.trace,
+            "cache.service",
+            SpanKind::Directory,
+            service,
+            handled,
+            node.raw(),
+        );
 
         if self.fault.is_some() {
             match msg.mtype {
@@ -1404,7 +1616,8 @@ impl ConcurrentMachine {
                 {
                     self.send(
                         handled,
-                        Msg::new(node, msg.sender, block, MsgType::InvalRwResponse),
+                        Msg::new(node, msg.sender, block, MsgType::InvalRwResponse)
+                            .with_trace(msg.trace),
                     );
                     return Ok(());
                 }
@@ -1413,7 +1626,8 @@ impl ConcurrentMachine {
                 MsgType::DowngradeRequest if state != CacheState::Exclusive => {
                     self.send(
                         handled,
-                        Msg::new(node, msg.sender, block, MsgType::DowngradeResponse),
+                        Msg::new(node, msg.sender, block, MsgType::DowngradeResponse)
+                            .with_trace(msg.trace),
                     );
                     return Ok(());
                 }
@@ -1451,7 +1665,7 @@ impl ConcurrentMachine {
             let home = msg.sender;
             self.send(
                 handled,
-                Msg::new(node, home, block, MsgType::InvalRoResponse),
+                Msg::new(node, home, block, MsgType::InvalRoResponse).with_trace(msg.trace),
             );
             return Ok(());
         }
@@ -1466,7 +1680,7 @@ impl ConcurrentMachine {
         {
             self.send(
                 handled,
-                Msg::new(node, msg.sender, block, MsgType::InvalRoResponse),
+                Msg::new(node, msg.sender, block, MsgType::InvalRoResponse).with_trace(msg.trace),
             );
             return Ok(());
         }
@@ -1477,7 +1691,10 @@ impl ConcurrentMachine {
             Some(resp) => {
                 // An invalidation or downgrade: acknowledge to the home.
                 let home = msg.sender;
-                self.send(handled, Msg::new(node, home, block, resp));
+                self.send(
+                    handled,
+                    Msg::new(node, home, block, resp).with_trace(msg.trace),
+                );
             }
             None => {
                 // A grant: the processor's miss completes.
@@ -1506,6 +1723,9 @@ impl ConcurrentMachine {
                 self.clocks[node.index()] = self.clocks[node.index()].max(done);
                 self.stats
                     .count_access(op, false, done.saturating_sub(issued));
+                let tr = self.miss_trace[node.index()];
+                self.spans.end_trace(tr, done);
+                self.miss_trace[node.index()] = TraceId::NONE;
                 if op == ProcOp::Write {
                     self.maybe_self_invalidate(node, block, done);
                 }
@@ -1547,7 +1767,17 @@ impl ConcurrentMachine {
         );
         // Over the reliable channel: nothing times out waiting for a
         // voluntary writeback, so the protocol could not recover its loss.
-        self.send_reliable(now, Msg::new(node, home, block, MsgType::InvalRwResponse));
+        let tr = self
+            .spans
+            .begin_trace("self_invalidate", now, node.raw(), block.number());
+        self.spans.annotate(tr, "speculative");
+        self.send_reliable(
+            now,
+            Msg::new(node, home, block, MsgType::InvalRwResponse).with_trace(tr),
+        );
+        // The reliable channel always delivers after exactly one hop, so
+        // the writeback's arrival — and the trace's end — is known now.
+        self.spans.end_trace(tr, now + self.one_way(node, home));
         self.stats.voluntary_replacements += 1;
     }
 

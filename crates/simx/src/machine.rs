@@ -3,6 +3,7 @@
 use crate::config::SystemConfig;
 use crate::fault::{FaultInjector, FaultPlan, FaultTally};
 use crate::stats::MachineStats;
+use obs::span::{SpanKind, SpanLog, TraceId};
 use obs::{Event, EventRing, Severity};
 use stache::cache::{self, CacheAction};
 use stache::directory::{self, DirOutcome};
@@ -133,6 +134,18 @@ enum Leg {
     Ack,
 }
 
+impl Leg {
+    /// The network span name for a delivery on this leg.
+    fn span_name(self) -> &'static str {
+        match self {
+            Leg::Request => "net.request",
+            Leg::Reply => "net.reply",
+            Leg::Inval => "net.inval",
+            Leg::Ack => "net.ack",
+        }
+    }
+}
+
 /// A speculation policy: the §4 integration hook.
 ///
 /// The paper stops at measuring prediction accuracy; its §4 sketches how a
@@ -222,6 +235,9 @@ pub struct Machine {
     next_seq_to: Vec<u64>,
     /// Everything the recovery layer did (all zero on a perfect fabric).
     recovery: RecoveryTally,
+    /// Causal span log: per-transaction trees over simulated time.
+    /// Disabled by default — see [`Machine::enable_tracing`].
+    spans: SpanLog,
 }
 
 impl Machine {
@@ -250,6 +266,7 @@ impl Machine {
             dedup: vec![DedupFilter::new(); nodes],
             next_seq_to: vec![0; nodes],
             recovery: RecoveryTally::new(),
+            spans: SpanLog::new(),
         }
     }
 
@@ -348,6 +365,40 @@ impl Machine {
         self.ring.get_mut().set_min_severity(min);
     }
 
+    /// Turns causal span tracing on. Off (the default), every span call
+    /// is an early-return no-op and the machine's outputs are
+    /// byte-identical to a build without the tracing layer; on, every
+    /// coherence transaction records a span tree stamped with the exact
+    /// simulated times the engine already computes.
+    pub fn enable_tracing(&mut self) {
+        self.spans.enable();
+    }
+
+    /// The span log recorded so far.
+    pub fn spans(&self) -> &SpanLog {
+        &self.spans
+    }
+
+    /// Takes the span log, leaving a fresh disabled one.
+    pub fn take_spans(&mut self) -> SpanLog {
+        std::mem::take(&mut self.spans)
+    }
+
+    /// Closes any spans still open, marking them `"orphaned"`, and
+    /// returns how many were flagged. The serialized engine completes
+    /// every transaction inline, so a quiescent machine should report 0;
+    /// anything else is a protocol bug and lands in the flight recorder.
+    pub fn flag_orphaned_spans(&mut self) -> u64 {
+        let at = self.execution_time_ns();
+        let flagged = self.spans.flag_orphans(at);
+        if flagged > 0 {
+            self.ring
+                .get_mut()
+                .push(Event::new(at, Severity::Warn, "span.orphaned").value(flagged));
+        }
+        flagged
+    }
+
     /// A copy of the flight recorder's held events, oldest first.
     pub fn flight_events(&self) -> Vec<Event> {
         self.ring.borrow().events()
@@ -374,6 +425,11 @@ impl Machine {
         if let Some(inj) = &self.fault {
             inj.tally().export_obs(&mut snap);
             self.recovery.export_obs(&mut snap);
+        }
+        // Span metrics appear only when tracing is on, so untraced runs
+        // keep their exact metric set.
+        if self.spans.is_enabled() {
+            self.spans.export_obs("simx.span", &mut snap);
         }
         snap
     }
@@ -448,6 +504,7 @@ impl Machine {
         from: NodeId,
         to: NodeId,
         send_at: u64,
+        tr: TraceId,
     ) -> Result<u64, SimError> {
         let hop = self.one_way(from, to);
         let retry = self
@@ -474,6 +531,14 @@ impl Machine {
                         self.recovery.dups_absorbed += 1;
                     }
                 }
+                self.spans.child(
+                    tr,
+                    leg.span_name(),
+                    SpanKind::Network,
+                    at,
+                    at + hop + d.extra_ns,
+                    from.raw(),
+                );
                 return Ok(at + hop + d.extra_ns);
             }
             // Lost. The leg's sender times out and retransmits.
@@ -501,7 +566,10 @@ impl Machine {
                 // The sender retransmits the same message directly.
                 Leg::Request | Leg::Inval => 0,
             };
-            at += retry.timeout_for(attempt) + turnaround;
+            let lost = retry.timeout_for(attempt) + turnaround;
+            self.spans
+                .child(tr, "retry", SpanKind::Retry, at, at + lost, from.raw());
+            at += lost;
             attempt += 1;
         }
     }
@@ -563,6 +631,7 @@ impl Machine {
         );
     }
 
+    #[allow(clippy::too_many_arguments)]
     fn record(
         &mut self,
         time: u64,
@@ -571,6 +640,7 @@ impl Machine {
         sender: NodeId,
         mtype: MsgType,
         iteration: u32,
+        tr: TraceId,
     ) {
         self.stats.count_message(mtype);
         self.ring.get_mut().push(
@@ -592,6 +662,7 @@ impl Machine {
         if let Some(policy) = self.policy.as_mut() {
             policy.observe(&rec);
         }
+        self.spans.link_record(tr, self.trace.len() as u64);
         self.trace.push(rec);
     }
 
@@ -666,14 +737,35 @@ impl Machine {
             Some(node),
             "exclusive cache copy implies directory ownership"
         );
-        let t = self.clocks[node.index()] + self.one_way_rec(node, home);
-        self.record(t, home, block, node, MsgType::InvalRwResponse, iteration);
+        let t0 = self.clocks[node.index()];
+        let tr = self
+            .spans
+            .begin_trace("self_invalidate", t0, node.raw(), block.number());
+        let t = t0 + self.one_way_rec(node, home);
+        self.spans.child(
+            tr,
+            "net.writeback",
+            SpanKind::Speculation,
+            t0,
+            t,
+            node.raw(),
+        );
+        self.record(
+            t,
+            home,
+            block,
+            node,
+            MsgType::InvalRwResponse,
+            iteration,
+            tr,
+        );
         if let Some(v) = self.cache_values[node.index()].get(&block).copied() {
             self.mem_values.insert(block, v);
         }
         self.cache_values[node.index()].remove(&block);
         self.set_cache_state(node, block, CacheState::Invalid);
         self.set_dir(block, DirState::Idle);
+        self.spans.end_trace(tr, t);
         // Posting the replacement does not stall the processor.
         self.clocks[node.index()] += self.sys.cache_hit_ns;
         self.stats.voluntary_replacements += 1;
@@ -706,14 +798,45 @@ impl Machine {
             outcome.holder_requests = self.broadcast_targets(node, node);
         }
         let start = self.clocks[node.index()];
+        let tr = self.spans.begin_trace(
+            match op {
+                ProcOp::Read => "local_read",
+                ProcOp::Write => "local_write",
+            },
+            start,
+            node.raw(),
+            block.number(),
+        );
         // The local access still occupies the node's own software handler.
         let service_start = start.max(self.dir_busy[node.index()]);
+        if service_start > start {
+            self.spans.child(
+                tr,
+                "dir.queue",
+                SpanKind::Queue,
+                start,
+                service_start,
+                node.raw(),
+            );
+        }
         let dispatch = service_start + self.sys.handler_ns;
+        self.spans.child(
+            tr,
+            "dir.service",
+            SpanKind::Directory,
+            service_start,
+            dispatch,
+            node.raw(),
+        );
         self.dir_busy[node.index()] = dispatch;
-        let (done, messages) = self.collect_holders(&outcome, node, block, dispatch, iteration)?;
+        let (done, messages) =
+            self.collect_holders(&outcome, node, block, dispatch, iteration, tr)?;
         self.set_dir(block, outcome.next.clone());
         let end = done + self.sys.mem_access_ns;
+        self.spans
+            .child(tr, "mem.access", SpanKind::Directory, done, end, node.raw());
         self.clocks[node.index()] = end;
+        self.spans.end_trace(tr, end);
         if op == ProcOp::Write {
             self.commit_local_write(node, block);
         }
@@ -751,14 +874,20 @@ impl Machine {
         self.set_cache_state(node, block, transient);
 
         let start = self.clocks[node.index()];
+        let tr = self
+            .spans
+            .begin_trace(req.paper_name(), start, node.raw(), block.number());
         let recovery_before = self.recovery_actions();
         // Request travels to the directory.
         let t_req = if self.fault.is_some() {
-            self.fault_leg(Leg::Request, node, home, start)?
+            self.fault_leg(Leg::Request, node, home, start, tr)?
         } else {
-            start + self.one_way_rec(node, home)
+            let t = start + self.one_way_rec(node, home);
+            self.spans
+                .child(tr, "net.request", SpanKind::Network, start, t, node.raw());
+            t
         };
-        self.record(t_req, home, block, node, req, iteration);
+        self.record(t_req, home, block, node, req, iteration, tr);
         let mut messages = 1;
 
         // §4.1 read-modify-write speculation: the policy may answer a
@@ -774,6 +903,7 @@ impl Machine {
                             .node(node.raw())
                             .block(block.number()),
                     );
+                    self.spans.annotate(tr, "speculative_grant");
                 }
             }
         }
@@ -799,26 +929,51 @@ impl Machine {
                 self.recovery.naks_sent += 1;
                 self.recovery.naks_received += 1;
                 let round_trip = self.one_way_rec(home, node) + self.one_way_rec(node, home);
-                arrival += round_trip.max(1);
+                let bounce = round_trip.max(1);
+                self.spans.child(
+                    tr,
+                    "nak",
+                    SpanKind::Retry,
+                    arrival,
+                    arrival + bounce,
+                    home.raw(),
+                );
+                arrival += bounce;
             }
             arrival
         } else {
-            t_req.max(self.dir_busy[home.index()])
+            let s = t_req.max(self.dir_busy[home.index()]);
+            if s > t_req {
+                self.spans
+                    .child(tr, "dir.queue", SpanKind::Queue, t_req, s, home.raw());
+            }
+            s
         };
         let dispatch = service_start + self.sys.handler_ns;
+        self.spans.child(
+            tr,
+            "dir.service",
+            SpanKind::Directory,
+            service_start,
+            dispatch,
+            home.raw(),
+        );
         self.dir_busy[home.index()] = dispatch;
         let (ready, holder_msgs) =
-            self.collect_holders(&outcome, home, block, dispatch, iteration)?;
+            self.collect_holders(&outcome, home, block, dispatch, iteration, tr)?;
         messages += holder_msgs;
 
         // Reply to the requester.
         let reply = outcome.reply.expect("remote requests always get a reply");
         let t_reply = if self.fault.is_some() {
-            self.fault_leg(Leg::Reply, home, node, ready)?
+            self.fault_leg(Leg::Reply, home, node, ready, tr)?
         } else {
-            ready + self.one_way_rec(home, node)
+            let t = ready + self.one_way_rec(home, node);
+            self.spans
+                .child(tr, "net.reply", SpanKind::Network, ready, t, home.raw());
+            t
         };
-        self.record(t_reply, node, block, home, reply, iteration);
+        self.record(t_reply, node, block, home, reply, iteration, tr);
         messages += 1;
 
         let (stable, extra) = cache::on_message(transient, reply)?;
@@ -838,7 +993,16 @@ impl Machine {
         }
 
         let end = t_reply + self.sys.handler_ns;
+        self.spans.child(
+            tr,
+            "cache.fill",
+            SpanKind::Directory,
+            t_reply,
+            end,
+            node.raw(),
+        );
         self.clocks[node.index()] = end;
+        self.spans.end_trace(tr, end);
         if self.recovery_actions() > recovery_before {
             self.recovery.recovery_latency_ns.record(end - start);
         }
@@ -865,17 +1029,36 @@ impl Machine {
         block: BlockAddr,
         dispatch: u64,
         iteration: u32,
+        tr: TraceId,
     ) -> Result<(u64, usize), SimError> {
         let mut ready = dispatch;
         let mut messages = 0;
         for &(target, imsg) in &outcome.holder_requests {
             let t_inv = if self.fault.is_some() {
-                self.fault_leg(Leg::Inval, outcome_home, target, dispatch)?
+                self.fault_leg(Leg::Inval, outcome_home, target, dispatch, tr)?
             } else {
-                dispatch + self.one_way_rec(outcome_home, target)
+                let t = dispatch + self.one_way_rec(outcome_home, target);
+                self.spans.child(
+                    tr,
+                    "net.inval",
+                    SpanKind::Network,
+                    dispatch,
+                    t,
+                    outcome_home.raw(),
+                );
+                t
             };
-            self.record(t_inv, target, block, outcome_home, imsg, iteration);
+            self.record(t_inv, target, block, outcome_home, imsg, iteration, tr);
             messages += 1;
+            let handled = t_inv + self.sys.handler_ns;
+            self.spans.child(
+                tr,
+                "holder.service",
+                SpanKind::Directory,
+                t_inv,
+                handled,
+                target.raw(),
+            );
 
             let state = self.cache_state(target, block);
             // A broadcast invalidation (limited-pointer overflow) reaches
@@ -883,9 +1066,12 @@ impl Machine {
             // without consulting the line.
             if state == CacheState::Invalid && imsg == MsgType::InvalRoRequest {
                 let t_resp = if self.fault.is_some() {
-                    self.fault_leg(Leg::Ack, target, outcome_home, t_inv + self.sys.handler_ns)?
+                    self.fault_leg(Leg::Ack, target, outcome_home, handled, tr)?
                 } else {
-                    t_inv + self.sys.handler_ns + self.one_way_rec(target, outcome_home)
+                    let t = handled + self.one_way_rec(target, outcome_home);
+                    self.spans
+                        .child(tr, "net.ack", SpanKind::Network, handled, t, target.raw());
+                    t
                 };
                 self.record(
                     t_resp,
@@ -894,8 +1080,17 @@ impl Machine {
                     target,
                     MsgType::InvalRoResponse,
                     iteration,
+                    tr,
                 );
                 messages += 1;
+                self.spans.child(
+                    tr,
+                    "dir.gather",
+                    SpanKind::Directory,
+                    t_resp,
+                    t_resp + self.sys.handler_ns,
+                    outcome_home.raw(),
+                );
                 ready = ready.max(t_resp + self.sys.handler_ns);
                 continue;
             }
@@ -914,12 +1109,29 @@ impl Machine {
 
             let reply = reply.expect("invalidations and downgrades are acknowledged");
             let t_resp = if self.fault.is_some() {
-                self.fault_leg(Leg::Ack, target, outcome_home, t_inv + self.sys.handler_ns)?
+                self.fault_leg(
+                    Leg::Ack,
+                    target,
+                    outcome_home,
+                    t_inv + self.sys.handler_ns,
+                    tr,
+                )?
             } else {
-                t_inv + self.sys.handler_ns + self.one_way_rec(target, outcome_home)
+                let t = handled + self.one_way_rec(target, outcome_home);
+                self.spans
+                    .child(tr, "net.ack", SpanKind::Network, handled, t, target.raw());
+                t
             };
-            self.record(t_resp, outcome_home, block, target, reply, iteration);
+            self.record(t_resp, outcome_home, block, target, reply, iteration, tr);
             messages += 1;
+            self.spans.child(
+                tr,
+                "dir.gather",
+                SpanKind::Directory,
+                t_resp,
+                t_resp + self.sys.handler_ns,
+                outcome_home.raw(),
+            );
             ready = ready.max(t_resp + self.sys.handler_ns);
         }
         Ok((ready, messages))

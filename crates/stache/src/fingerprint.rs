@@ -162,6 +162,9 @@ impl Fingerprint for DirState {
     }
 }
 
+/// Trace ids are observability passengers, not protocol state, so they
+/// stay out of the fingerprint: simcheck's state hashes (and committed
+/// schedule artifacts) are identical with tracing on or off.
 impl Fingerprint for Msg {
     fn fingerprint_into(&self, fp: &mut Fp) {
         fp.absorb(&self.sender);
@@ -233,6 +236,20 @@ mod tests {
             MsgType::GetRoRequest,
         );
         assert_ne!(fingerprint_of(&a), fingerprint_of(&b));
+    }
+
+    #[test]
+    fn trace_id_does_not_perturb_message_fingerprints() {
+        let plain = Msg::new(
+            NodeId::new(1),
+            NodeId::new(2),
+            BlockAddr::new(0x40),
+            MsgType::GetRwRequest,
+        );
+        let mut log = obs::SpanLog::new();
+        log.enable();
+        let t = log.begin_trace("get_rw_request", 0, 1, 0x40);
+        assert_eq!(fingerprint_of(&plain), fingerprint_of(&plain.with_trace(t)));
     }
 
     #[test]

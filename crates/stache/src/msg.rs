@@ -194,7 +194,13 @@ impl fmt::Display for MsgType {
 
 /// A coherence message in flight: who sent it, who receives it, for which
 /// block, and what it says.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+///
+/// The `trace` field is an observability passenger: it ties the message to
+/// the coherence transaction's span tree (see `obs::span`) and is
+/// **excluded** from equality, hashing, and fingerprinting, so two
+/// messages that say the same thing about the same block compare equal
+/// whether or not tracing is on.
+#[derive(Debug, Clone, Copy, Eq)]
 #[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct Msg {
     /// Sending node.
@@ -205,17 +211,46 @@ pub struct Msg {
     pub block: BlockAddr,
     /// The message type.
     pub mtype: MsgType,
+    /// The transaction trace this message belongs to
+    /// (`obs::TraceId::NONE` when tracing is off). Not protocol state.
+    pub trace: obs::TraceId,
+}
+
+// Manual impls so `trace` stays outside the message's protocol identity.
+impl PartialEq for Msg {
+    fn eq(&self, other: &Self) -> bool {
+        self.sender == other.sender
+            && self.receiver == other.receiver
+            && self.block == other.block
+            && self.mtype == other.mtype
+    }
+}
+
+impl std::hash::Hash for Msg {
+    fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
+        self.sender.hash(state);
+        self.receiver.hash(state);
+        self.block.hash(state);
+        self.mtype.hash(state);
+    }
 }
 
 impl Msg {
-    /// Creates a message.
+    /// Creates an untraced message.
     pub fn new(sender: NodeId, receiver: NodeId, block: BlockAddr, mtype: MsgType) -> Self {
         Msg {
             sender,
             receiver,
             block,
             mtype,
+            trace: obs::TraceId::NONE,
         }
+    }
+
+    /// Attaches a transaction trace id (builder style).
+    pub fn with_trace(mut self, trace: obs::TraceId) -> Self {
+        self.trace = trace;
+        self
     }
 
     /// The role of the agent that receives this message.
@@ -282,6 +317,29 @@ mod tests {
         assert_eq!(MsgType::UpgradeResponse.to_string(), "upgrade_response");
         assert_eq!(MsgType::InvalRwRequest.to_string(), "inval_rw_request");
         assert_eq!(MsgType::DowngradeResponse.to_string(), "downgrade_response");
+    }
+
+    #[test]
+    fn trace_id_is_not_part_of_message_identity() {
+        let plain = Msg::new(
+            NodeId::new(1),
+            NodeId::new(2),
+            BlockAddr::new(0x40),
+            MsgType::GetRwRequest,
+        );
+        let mut log = obs::SpanLog::new();
+        log.enable();
+        let t = log.begin_trace("get_rw_request", 0, 1, 0x40);
+        let traced = plain.with_trace(t);
+        assert!(traced.trace.is_some());
+        assert_eq!(plain, traced, "equality ignores the trace passenger");
+        let hash = |m: &Msg| {
+            use std::hash::{Hash, Hasher};
+            let mut h = std::collections::hash_map::DefaultHasher::new();
+            m.hash(&mut h);
+            h.finish()
+        };
+        assert_eq!(hash(&plain), hash(&traced));
     }
 
     #[test]

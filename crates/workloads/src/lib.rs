@@ -178,6 +178,69 @@ pub fn run_to_trace_concurrent<W: Workload + ?Sized>(
     Ok(machine.into_trace())
 }
 
+/// Like [`run_to_trace`] but with causal span tracing enabled: returns
+/// the trace bundle *and* the run's [`obs::SpanLog`] — one span tree per
+/// coherence transaction, stamped with the serialized engine's exact
+/// simulated times. Any span still open after the final barrier is
+/// flagged `"orphaned"` rather than dropped.
+///
+/// # Errors
+///
+/// Propagates any [`SimError`].
+pub fn run_traced<W: Workload + ?Sized>(
+    workload: &mut W,
+    proto: ProtocolConfig,
+    sys: SystemConfig,
+) -> Result<(TraceBundle, obs::SpanLog), SimError> {
+    assert!(
+        workload.nodes() <= proto.nodes,
+        "workload needs {} nodes but machine has {}",
+        workload.nodes(),
+        proto.nodes
+    );
+    let mut machine = Machine::new(proto, sys);
+    machine.enable_tracing();
+    machine.set_app(workload.name(), workload.iterations());
+    for it in 0..workload.iterations() {
+        let plan = workload.plan(it);
+        driver::run_iteration(&mut machine, &plan, it)?;
+    }
+    machine.verify_coherence()?;
+    machine.flag_orphaned_spans();
+    let spans = machine.take_spans();
+    Ok((machine.into_trace(), spans))
+}
+
+/// Like [`run_to_trace_concurrent`] but with causal span tracing enabled;
+/// see [`run_traced`].
+///
+/// # Errors
+///
+/// Propagates any [`SimError`].
+pub fn run_traced_concurrent<W: Workload + ?Sized>(
+    workload: &mut W,
+    proto: ProtocolConfig,
+    sys: SystemConfig,
+) -> Result<(TraceBundle, obs::SpanLog), SimError> {
+    assert!(
+        workload.nodes() <= proto.nodes,
+        "workload needs {} nodes but machine has {}",
+        workload.nodes(),
+        proto.nodes
+    );
+    let mut machine = simx::concurrent::ConcurrentMachine::new(proto, sys);
+    machine.enable_tracing();
+    machine.set_app(workload.name(), workload.iterations());
+    for it in 0..workload.iterations() {
+        let plan = workload.plan(it);
+        machine.run_plan(&plan, it)?;
+    }
+    machine.verify_coherence()?;
+    machine.flag_orphaned_spans();
+    let spans = machine.take_spans();
+    Ok((machine.into_trace(), spans))
+}
+
 /// The five paper benchmarks at evaluation scale, boxed behind the trait.
 pub fn paper_suite() -> Vec<Box<dyn Workload>> {
     vec![

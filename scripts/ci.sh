@@ -51,6 +51,43 @@ grep -q '"simcheck.states_visited"' "$SMOKE_DIR/simcheck_obs.json"
 grep -q '"simcheck.exhausted":1' "$SMOKE_DIR/simcheck_obs.json"
 echo "    2-node state spaces exhausted; simcheck obs JSON emitted"
 
+# Tracing smoke: emit the latency-attribution tables and the Chrome
+# trace JSON on the small suite, check the export parses (python3 when
+# available, structural checks otherwise) and contains at least one
+# complete span tree (a metadata record plus closed "X" slices), and
+# diff the attribution CSV against its golden — spans are derived purely
+# from simulated timestamps, so the table must be deterministic.
+echo "==> tracing smoke (tracespans table + Chrome trace export)"
+cargo run -q --release --offline -p bench-suite --bin repro -- \
+  --small --csv "$SMOKE_DIR" --trace-out "$SMOKE_DIR/trace.json" \
+  tracespans > /dev/null
+diff -u crates/bench-suite/tests/golden/tracespans_small.csv "$SMOKE_DIR/tracespans.csv"
+if command -v python3 > /dev/null; then
+  python3 - "$SMOKE_DIR/trace.json" <<'PY'
+import json, sys
+with open(sys.argv[1]) as f:
+    doc = json.load(f)
+events = doc["traceEvents"]
+complete = [e for e in events if e.get("ph") == "X"]
+meta = [e for e in events if e.get("ph") == "M"]
+assert meta, "no process-name metadata records"
+assert complete, "no complete span events"
+# At least one span tree: a Txn root with a child sharing its track.
+roots = {(e["pid"], e["tid"]) for e in complete if e.get("cat") == "txn"}
+children = {(e["pid"], e["tid"]) for e in complete if e.get("cat") != "txn"}
+assert roots & children, "no root span has an attributed child"
+print(f"    trace.json parses: {len(complete)} spans, "
+      f"{len(roots)} transaction tracks")
+PY
+else
+  grep -q '"ph":"M"' "$SMOKE_DIR/trace.json"
+  grep -q '"ph":"X"' "$SMOKE_DIR/trace.json"
+  grep -q '"cat":"txn"' "$SMOKE_DIR/trace.json"
+  grep -q '"cat":"network"' "$SMOKE_DIR/trace.json"
+  echo "    trace.json structural checks pass (python3 unavailable)"
+fi
+echo "    tracespans CSV matches golden; trace export valid"
+
 # Proptest seed promotion: every saved counterexample hash in a
 # *.proptest-regressions file must have a matching `promoted: <hash>`
 # marker in a checked-in test, so the seeds keep running even in builds
