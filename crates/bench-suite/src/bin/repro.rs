@@ -9,7 +9,12 @@
 //!   sensitivity adaptation comparison ablation
 //!   integration variants persistence limitless scaling topology
 //!   simcheck     (bounded schedule-exploration model check)
+//!   tournament   (predictor competition: accuracy-vs-bits frontier)
 //!   all          (default) everything above
+//!
+//! Repeated targets run once: the list is deduplicated preserving the
+//! first occurrence's position, so `repro table5 all` never evaluates a
+//! table twice.
 //! ```
 //!
 //! `--small` uses the reduced workload sizes (for smoke runs); the default
@@ -62,6 +67,7 @@ const TARGETS: &[&str] = &[
     "faults",
     "simcheck",
     "tracespans",
+    "tournament",
 ];
 
 fn main() -> ExitCode {
@@ -210,6 +216,14 @@ fn main() -> ExitCode {
     if targets.is_empty() {
         targets.extend(TARGETS.iter().map(|s| s.to_string()));
     }
+    // Run each target once however often it was named (`repro table5
+    // table5`, or `table5 all`, or an implied push duplicating an explicit
+    // one). Keep the first occurrence's position so output order follows
+    // the command line.
+    {
+        let mut seen = std::collections::HashSet::new();
+        targets.retain(|t| seen.insert(t.clone()));
+    }
 
     // Figures 6/7 share the same trace set as the tables; generate once.
     let needs_set = targets.iter().any(|t| {
@@ -227,6 +241,7 @@ fn main() -> ExitCode {
                 | "variants"
                 | "persistence"
                 | "lookahead"
+                | "tournament"
         )
     });
     let mut bench = bench_json.as_ref().map(|_| BenchTimer::new());
@@ -358,6 +373,29 @@ fn main() -> ExitCode {
                         }
                     }
                 }
+            }
+            "tournament" => {
+                use bench_suite::tournament;
+                eprintln!("running predictor tournament ({scale:?} scale)...");
+                let cells = tournament::tournament(set.unwrap());
+                let rows = tournament::frontier(&cells);
+                println!("{}", tournament::render_tournament(&cells));
+                println!("{}", tournament::render_frontier(&rows));
+                write_csv(
+                    &csv_dir,
+                    "tournament.csv",
+                    &tournament::csv_tournament(&cells),
+                );
+                write_csv(
+                    &csv_dir,
+                    "tournament_frontier.csv",
+                    &tournament::csv_frontier(&rows),
+                );
+                write_csv(
+                    &csv_dir,
+                    "tournament_obs.json",
+                    &tournament::export_obs(&cells, &rows).to_json(),
+                );
             }
             "simcheck" => {
                 use bench_suite::modelcheck;

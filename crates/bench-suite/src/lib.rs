@@ -25,6 +25,7 @@
 //! | §4/§8 live integration | [`integration::integration`] |
 //! | §5 fault-sensitivity (clean vs perturbed traces) | [`faults::fault_report`] |
 //! | Schedule-exploration model check | [`modelcheck::simcheck_report`] |
+//! | Predictor tournament (accuracy-vs-bits frontier) | [`tournament::tournament`] |
 //!
 //! The `repro` binary drives them from the command line; the [`Harness`]
 //! benches under `benches/` time the underlying machinery. The
@@ -43,6 +44,7 @@ pub mod par;
 pub mod report;
 pub mod spans;
 pub mod tables;
+pub mod tournament;
 pub mod traces;
 
 pub use bench_report::BenchTimer;

@@ -1,0 +1,453 @@
+//! The predictor tournament: every family in the repo raced over the same
+//! traces, with honest storage accounting — the accuracy-vs-bits frontier.
+//!
+//! The paper compares Cosmos against directed predictors on accuracy alone
+//! (§7); Table 7 prices Cosmos's tables separately. The tournament joins
+//! the two axes: each contender replays the identical trace set through
+//! [`cosmos::eval::evaluate`] and reports both its accuracy *and* the
+//! storage its fleet actually used, in bits, via
+//! [`MessagePredictor::storage_bits`]. Nothing is normalised in the
+//! predictor's favour: a TAGE table pays for every entry of its fixed
+//! geometry whether occupied or not, while the map-based predictors pay
+//! per resident entry — exactly the hardware-vs-software trade each design
+//! makes.
+//!
+//! Contenders: Cosmos at MHR depths 1–4 (filterless), the §7 directed
+//! baselines, TAGE-MP at three budget points, and the per-agent
+//! Cosmos-vs-TAGE tournament hybrid.
+
+use crate::par;
+use crate::traces::TraceSet;
+use cosmos::directed::{
+    Composition, DsiPredictor, LastTuple, MigratoryPredictor, MostCommon, RmwPredictor,
+};
+use cosmos::eval::{evaluate, EvalOptions};
+use cosmos::{CosmosPredictor, CosmosTageHybrid, MessagePredictor, TageConfig, TagePredictor};
+use stache::Role;
+use std::fmt::Write as _;
+
+/// One contender family at one configuration point.
+#[derive(Debug, Clone)]
+enum Family {
+    Cosmos(usize),
+    Migratory,
+    Dsi,
+    Rmw,
+    Composition,
+    LastTuple,
+    MostCommon,
+    Tage(TageConfig),
+    Hybrid(TageConfig),
+}
+
+impl Family {
+    fn build(&self, role: Role) -> Box<dyn MessagePredictor> {
+        match self {
+            Family::Cosmos(depth) => Box::new(CosmosPredictor::new(*depth, 0)),
+            Family::Migratory => Box::new(MigratoryPredictor::new(role)),
+            Family::Dsi => Box::new(DsiPredictor::new(role)),
+            Family::Rmw => Box::new(RmwPredictor::new(role)),
+            Family::Composition => Box::new(Composition::new(role)),
+            Family::LastTuple => Box::new(LastTuple::new()),
+            Family::MostCommon => Box::new(MostCommon::new()),
+            Family::Tage(config) => Box::new(TagePredictor::new(config.clone())),
+            Family::Hybrid(config) => Box::new(CosmosTageHybrid::new(1, 0, config.clone())),
+        }
+    }
+}
+
+/// The fixed contender list, in display order.
+fn contenders() -> Vec<(&'static str, Family)> {
+    vec![
+        ("cosmos-d1", Family::Cosmos(1)),
+        ("cosmos-d2", Family::Cosmos(2)),
+        ("cosmos-d3", Family::Cosmos(3)),
+        ("cosmos-d4", Family::Cosmos(4)),
+        ("migratory", Family::Migratory),
+        ("self-inval", Family::Dsi),
+        ("rmw", Family::Rmw),
+        ("composition", Family::Composition),
+        ("last-tuple", Family::LastTuple),
+        ("most-common", Family::MostCommon),
+        ("tage-small", Family::Tage(TageConfig::small())),
+        ("tage-mid", Family::Tage(TageConfig::mid())),
+        ("tage-large", Family::Tage(TageConfig::large())),
+        ("cosmos+tage", Family::Hybrid(TageConfig::mid())),
+    ]
+}
+
+/// One `(contender, benchmark)` cell of the tournament.
+#[derive(Debug, Clone)]
+pub struct TournamentCell {
+    /// Benchmark name.
+    pub app: String,
+    /// Contender label (budget point included, unlike `name()`).
+    pub predictor: String,
+    /// Correct predictions among scored messages.
+    pub hits: u64,
+    /// Messages scored.
+    pub total: u64,
+    /// Messages for which a prediction was offered at all.
+    pub offered: u64,
+    /// The fleet's storage cost after the replay, in bits.
+    pub storage_bits: u64,
+}
+
+impl TournamentCell {
+    /// Accuracy on all messages, as a percentage.
+    pub fn accuracy_pct(&self) -> f64 {
+        if self.total == 0 {
+            return 0.0;
+        }
+        100.0 * self.hits as f64 / self.total as f64
+    }
+
+    /// Share of messages with a prediction offered, as a percentage.
+    pub fn coverage_pct(&self) -> f64 {
+        if self.total == 0 {
+            return 0.0;
+        }
+        100.0 * self.offered as f64 / self.total as f64
+    }
+}
+
+/// One contender's aggregate row: accuracy pooled over every benchmark
+/// (messages-weighted, not a mean of means) and the per-benchmark mean
+/// fleet storage.
+#[derive(Debug, Clone)]
+pub struct FrontierRow {
+    /// Contender label.
+    pub predictor: String,
+    /// Correct predictions pooled over all benchmarks.
+    pub hits: u64,
+    /// Messages scored over all benchmarks.
+    pub total: u64,
+    /// Mean fleet storage per benchmark, in bits (rounded to nearest).
+    pub storage_bits: u64,
+    /// Whether no other contender has both fewer-or-equal bits and
+    /// greater-or-equal accuracy (with one strict) — the Pareto frontier.
+    pub pareto: bool,
+}
+
+impl FrontierRow {
+    /// Pooled accuracy as a percentage.
+    pub fn accuracy_pct(&self) -> f64 {
+        if self.total == 0 {
+            return 0.0;
+        }
+        100.0 * self.hits as f64 / self.total as f64
+    }
+}
+
+/// Races every contender over every trace of the set. Cells come back in
+/// deterministic contender-major order; the sweep itself is parallel.
+pub fn tournament(set: &TraceSet) -> Vec<TournamentCell> {
+    let contenders = contenders();
+    let traces = set.traces();
+    let n = contenders.len() * traces.len();
+    par::sweep(n, |i| {
+        let (name, family) = &contenders[i / traces.len()];
+        let trace = &traces[i % traces.len()];
+        let report = evaluate(trace, &EvalOptions::default(), |_, role| family.build(role));
+        TournamentCell {
+            app: trace.meta().app.clone(),
+            predictor: name.to_string(),
+            hits: report.overall.hits,
+            total: report.overall.total,
+            offered: report.coverage.hits,
+            storage_bits: report.storage_bits,
+        }
+    })
+}
+
+/// Folds the cells into one frontier row per contender and marks Pareto
+/// optimality. Rows keep the contender display order.
+pub fn frontier(cells: &[TournamentCell]) -> Vec<FrontierRow> {
+    let mut rows: Vec<FrontierRow> = Vec::new();
+    let mut bits_sum: Vec<(u64, u64)> = Vec::new(); // (Σ bits, benchmarks)
+    for cell in cells {
+        let idx = match rows.iter().position(|r| r.predictor == cell.predictor) {
+            Some(i) => i,
+            None => {
+                rows.push(FrontierRow {
+                    predictor: cell.predictor.clone(),
+                    hits: 0,
+                    total: 0,
+                    storage_bits: 0,
+                    pareto: false,
+                });
+                bits_sum.push((0, 0));
+                rows.len() - 1
+            }
+        };
+        rows[idx].hits += cell.hits;
+        rows[idx].total += cell.total;
+        bits_sum[idx].0 += cell.storage_bits;
+        bits_sum[idx].1 += 1;
+    }
+    for (row, (sum, n)) in rows.iter_mut().zip(&bits_sum) {
+        row.storage_bits = if *n == 0 { 0 } else { (sum + n / 2) / n };
+    }
+    let snapshot: Vec<(u64, f64)> = rows
+        .iter()
+        .map(|r| (r.storage_bits, r.accuracy_pct()))
+        .collect();
+    for (i, row) in rows.iter_mut().enumerate() {
+        let (bits, acc) = snapshot[i];
+        row.pareto = !snapshot
+            .iter()
+            .enumerate()
+            .any(|(j, &(b, a))| j != i && b <= bits && a >= acc && (b < bits || a > acc));
+    }
+    rows
+}
+
+/// Renders the per-benchmark accuracy matrix.
+pub fn render_tournament(cells: &[TournamentCell]) -> String {
+    let mut out = String::from(
+        "Tournament: overall accuracy (%) per contender and benchmark.\n\
+         Every contender replays the identical traces; a message with no\n\
+         prediction offered scores as a miss.\n",
+    );
+    let apps: Vec<&str> = {
+        let mut seen = Vec::new();
+        for c in cells {
+            if !seen.contains(&c.app.as_str()) {
+                seen.push(c.app.as_str());
+            }
+        }
+        seen
+    };
+    let _ = write!(out, "{:<14}", "predictor");
+    for app in &apps {
+        let _ = write!(out, " {app:>12}");
+    }
+    let _ = writeln!(out, " {:>8}", "cov%");
+    let mut preds = Vec::new();
+    for c in cells {
+        if !preds.contains(&c.predictor.as_str()) {
+            preds.push(c.predictor.as_str());
+        }
+    }
+    for pred in preds {
+        let _ = write!(out, "{pred:<14}");
+        let mine: Vec<&TournamentCell> = cells.iter().filter(|c| c.predictor == pred).collect();
+        for app in &apps {
+            match mine.iter().find(|c| c.app == *app) {
+                Some(c) => {
+                    let _ = write!(out, " {:>12.1}", c.accuracy_pct());
+                }
+                None => {
+                    let _ = write!(out, " {:>12}", "-");
+                }
+            }
+        }
+        let offered: u64 = mine.iter().map(|c| c.offered).sum();
+        let total: u64 = mine.iter().map(|c| c.total).sum();
+        let cov = if total == 0 {
+            0.0
+        } else {
+            100.0 * offered as f64 / total as f64
+        };
+        let _ = writeln!(out, " {cov:>8.1}");
+    }
+    out
+}
+
+/// Renders the accuracy-vs-bits frontier, cheapest first.
+pub fn render_frontier(rows: &[FrontierRow]) -> String {
+    let mut out = String::from(
+        "Frontier: pooled accuracy vs mean fleet storage (bits/benchmark).\n\
+         `*` marks the Pareto frontier — no contender is both cheaper and\n\
+         more accurate.\n",
+    );
+    let _ = writeln!(
+        out,
+        "{:<14} {:>12} {:>10} {:>7}",
+        "predictor", "bits", "acc%", "pareto"
+    );
+    let mut sorted: Vec<&FrontierRow> = rows.iter().collect();
+    sorted.sort_by(|a, b| {
+        a.storage_bits
+            .cmp(&b.storage_bits)
+            .then_with(|| a.predictor.cmp(&b.predictor))
+    });
+    for row in sorted {
+        let _ = writeln!(
+            out,
+            "{:<14} {:>12} {:>10.1} {:>7}",
+            row.predictor,
+            row.storage_bits,
+            row.accuracy_pct(),
+            if row.pareto { "*" } else { "" }
+        );
+    }
+    out
+}
+
+/// Machine-readable per-cell CSV.
+pub fn csv_tournament(cells: &[TournamentCell]) -> String {
+    let mut out = String::from("app,predictor,hits,total,accuracy_pct,coverage_pct,storage_bits\n");
+    for c in cells {
+        let _ = writeln!(
+            out,
+            "{},{},{},{},{:.4},{:.4},{}",
+            c.app,
+            c.predictor,
+            c.hits,
+            c.total,
+            c.accuracy_pct(),
+            c.coverage_pct(),
+            c.storage_bits
+        );
+    }
+    out
+}
+
+/// Machine-readable frontier CSV, in contender display order.
+pub fn csv_frontier(rows: &[FrontierRow]) -> String {
+    let mut out = String::from("predictor,storage_bits,accuracy_pct,pareto\n");
+    for r in rows {
+        let _ = writeln!(
+            out,
+            "{},{},{:.4},{}",
+            r.predictor,
+            r.storage_bits,
+            r.accuracy_pct(),
+            u64::from(r.pareto)
+        );
+    }
+    out
+}
+
+/// Exports the frontier as a `tournament.*` obs snapshot.
+pub fn export_obs(cells: &[TournamentCell], rows: &[FrontierRow]) -> obs::Snapshot {
+    let mut snap = obs::Snapshot::new();
+    snap.counter("tournament.cells", cells.len() as u64);
+    snap.counter("tournament.contenders", rows.len() as u64);
+    snap.counter(
+        "tournament.pareto_count",
+        rows.iter().filter(|r| r.pareto).count() as u64,
+    );
+    for r in rows {
+        let key = r.predictor.replace('+', "-");
+        snap.gauge(&format!("tournament.{key}.accuracy_pct"), r.accuracy_pct());
+        snap.counter(&format!("tournament.{key}.storage_bits"), r.storage_bits);
+        snap.counter(&format!("tournament.{key}.pareto"), u64::from(r.pareto));
+    }
+    snap
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::traces::Scale;
+
+    fn small_cells() -> Vec<TournamentCell> {
+        let set = TraceSet::generate(Scale::Small);
+        tournament(&set)
+    }
+
+    #[test]
+    fn covers_every_contender_and_benchmark() {
+        let cells = small_cells();
+        assert_eq!(cells.len(), contenders().len() * 5);
+        for c in &cells {
+            assert!(c.total > 0, "{}:{} scored nothing", c.app, c.predictor);
+            assert!(c.hits <= c.total);
+            assert!(c.offered <= c.total);
+        }
+        // Every contender carries a storage price on at least one
+        // benchmark: 0 would mean unaccounted, which the frontier bans.
+        for (name, _) in contenders() {
+            let bits: u64 = cells
+                .iter()
+                .filter(|c| c.predictor == name)
+                .map(|c| c.storage_bits)
+                .sum();
+            assert!(bits > 0, "{name} reports no storage");
+        }
+    }
+
+    #[test]
+    fn tage_fixed_geometry_dominates_its_storage() {
+        let cells = small_cells();
+        // A TAGE fleet's bits are at least its fixed table geometry times
+        // the number of agents that saw any traffic (here: ≥ 1 agent).
+        let small_bits = TageConfig::small().table_bits();
+        for c in cells.iter().filter(|c| c.predictor == "tage-small") {
+            assert!(
+                c.storage_bits >= small_bits,
+                "{}: {} < {}",
+                c.app,
+                c.storage_bits,
+                small_bits
+            );
+        }
+    }
+
+    #[test]
+    fn frontier_pools_and_marks_pareto() {
+        let cells = small_cells();
+        let rows = frontier(&cells);
+        assert_eq!(rows.len(), contenders().len());
+        // Totals pool: each row's total is the sum of its cells'.
+        for row in &rows {
+            let total: u64 = cells
+                .iter()
+                .filter(|c| c.predictor == row.predictor)
+                .map(|c| c.total)
+                .sum();
+            assert_eq!(row.total, total, "{}", row.predictor);
+        }
+        // At least one Pareto point exists, and no Pareto point is
+        // dominated by another row.
+        let pareto: Vec<&FrontierRow> = rows.iter().filter(|r| r.pareto).collect();
+        assert!(!pareto.is_empty());
+        for p in &pareto {
+            for other in &rows {
+                if other.predictor == p.predictor {
+                    continue;
+                }
+                let dominated = other.storage_bits <= p.storage_bits
+                    && other.accuracy_pct() >= p.accuracy_pct()
+                    && (other.storage_bits < p.storage_bits
+                        || other.accuracy_pct() > p.accuracy_pct());
+                assert!(
+                    !dominated,
+                    "{} dominated by {}",
+                    p.predictor, other.predictor
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn runs_are_byte_identical() {
+        let set = TraceSet::generate(Scale::Small);
+        let a = tournament(&set);
+        let b = tournament(&set);
+        assert_eq!(csv_tournament(&a), csv_tournament(&b));
+        assert_eq!(csv_frontier(&frontier(&a)), csv_frontier(&frontier(&b)));
+    }
+
+    #[test]
+    fn renders_and_exports() {
+        let cells = small_cells();
+        let rows = frontier(&cells);
+        let t = render_tournament(&cells);
+        assert!(t.contains("cosmos-d1") && t.contains("tage-large"));
+        let f = render_frontier(&rows);
+        assert!(f.contains("pareto"));
+        let snap = export_obs(&cells, &rows);
+        assert!(snap.names().iter().all(|n| n.starts_with("tournament.")));
+        assert!(matches!(
+            snap.get("tournament.cells"),
+            Some(obs::MetricValue::Counter(n)) if *n == cells.len() as u64
+        ));
+        assert!(matches!(
+            snap.get("tournament.cosmos-tage.storage_bits"),
+            Some(obs::MetricValue::Counter(n)) if *n > 0
+        ));
+    }
+}

@@ -78,3 +78,41 @@ fn bad_faults_seed_exits_nonzero() {
     assert!(!out.status.success());
     assert!(String::from_utf8_lossy(&out.stderr).contains("not a u64"));
 }
+
+// Regression: naming a target twice used to run it twice (the target list
+// was never deduplicated), doubling output and wall time. `table1` is
+// trace-free, so these stay fast.
+
+#[test]
+fn duplicate_target_runs_once() {
+    let out = repro(&["table1", "table1"]);
+    assert!(out.status.success());
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert_eq!(
+        stdout.matches("TABLE 1.").count(),
+        1,
+        "duplicated target must run once; stdout was {stdout:?}"
+    );
+}
+
+#[test]
+fn dedup_preserves_first_occurrence_order() {
+    let out = repro(&["table2", "table1", "table2"]);
+    assert!(out.status.success());
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert_eq!(stdout.matches("TABLE 2.").count(), 1);
+    assert_eq!(stdout.matches("TABLE 1.").count(), 1);
+    let t2 = stdout.find("TABLE 2.").expect("table 2 present");
+    let t1 = stdout.find("TABLE 1.").expect("table 1 present");
+    assert!(
+        t2 < t1,
+        "first occurrence wins the position: table2 must print before table1"
+    );
+}
+
+#[test]
+fn help_mentions_the_tournament_target() {
+    let out = repro(&["--help"]);
+    assert!(out.status.success());
+    assert!(String::from_utf8_lossy(&out.stdout).contains("tournament"));
+}

@@ -1,0 +1,17 @@
+//! Golden regression test for the predictor tournament: the small-scale
+//! frontier CSV must stay byte-identical to the committed copy. Any drift
+//! means a predictor's accuracy or storage accounting changed — which is
+//! either a real behaviour change (update the golden deliberately) or a
+//! lost determinism guarantee (a bug).
+
+use bench_suite::{tournament, Scale, TraceSet};
+
+const GOLDEN: &str = include_str!("golden/tournament_frontier_small.csv");
+
+#[test]
+fn small_frontier_csv_is_byte_identical_to_the_golden() {
+    let set = TraceSet::generate(Scale::Small);
+    let cells = tournament::tournament(&set);
+    let csv = tournament::csv_frontier(&tournament::frontier(&cells));
+    assert_eq!(csv, GOLDEN, "tournament frontier drifted from the golden");
+}

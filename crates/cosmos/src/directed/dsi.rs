@@ -60,6 +60,11 @@ impl MessagePredictor for DsiPredictor {
             self.last.insert(block, (tuple.sender, tuple.mtype));
         }
     }
+
+    /// Per tracked block: one 16-bit `<sender, type>` tuple.
+    fn storage_bits(&self) -> u64 {
+        self.last.len() as u64 * 16
+    }
 }
 
 #[cfg(test)]

@@ -50,6 +50,11 @@ impl MessagePredictor for RmwPredictor {
     fn observe(&mut self, block: BlockAddr, tuple: PredTuple) {
         self.last.insert(block, (tuple.sender, tuple.mtype));
     }
+
+    /// Per tracked block: one 16-bit `<sender, type>` tuple.
+    fn storage_bits(&self) -> u64 {
+        self.last.len() as u64 * 16
+    }
 }
 
 #[cfg(test)]

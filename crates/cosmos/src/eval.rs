@@ -113,6 +113,10 @@ pub struct AccuracyReport {
     /// Predictor-core counters summed over the fleet (probe volume and
     /// resident table capacity) — the perf-engineering view of the run.
     pub core: CoreStats,
+    /// Fleet storage cost in bits after the full replay, summed from each
+    /// agent's [`MessagePredictor::storage_bits`]. Zero when the predictor
+    /// family does not model its storage (unaccounted, not free).
+    pub storage_bits: u64,
 }
 
 impl AccuracyReport {
@@ -325,6 +329,7 @@ where
         per_arc_by_iteration: HashMap::new(),
         memory: MemoryFootprint::default(),
         core: CoreStats::default(),
+        storage_bits: 0,
     };
 
     for r in bundle.records() {
@@ -387,6 +392,7 @@ where
     for slot in fleet.iter().flatten() {
         report.memory = report.memory + slot.predictor.memory();
         report.core.merge(slot.predictor.core_stats());
+        report.storage_bits += slot.predictor.storage_bits();
         // Agents that only saw warmup records never scored anything and
         // get no per-agent entry, matching the map-keyed accounting.
         if slot.counts.total > 0 {

@@ -112,6 +112,11 @@ impl MessagePredictor for HybridCosmos {
         stats.merge(self.deep.core_stats());
         stats
     }
+
+    /// Both components' Table 7 bits plus one 2-bit chooser per block.
+    fn storage_bits(&self) -> u64 {
+        self.shallow.storage_bits() + self.deep.storage_bits() + 2 * self.choosers.len() as u64
+    }
 }
 
 #[cfg(test)]

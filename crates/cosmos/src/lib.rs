@@ -65,6 +65,7 @@ pub mod predictor;
 pub mod shared_pht;
 pub mod snapshot;
 pub mod speedup;
+pub mod tage;
 pub mod tuple;
 
 pub use confidence::ConfidenceCosmos;
@@ -81,6 +82,7 @@ pub use pht::{Pht, PhtEntry};
 pub use prealloc::PreallocCosmos;
 pub use predictor::{CosmosPredictor, TypeOnlyCosmos};
 pub use shared_pht::SharedPhtCosmos;
+pub use tage::{CosmosTageHybrid, TageConfig, TagePredictor};
 pub use tuple::PredTuple;
 
 use stache::BlockAddr;
@@ -133,6 +135,17 @@ pub trait MessagePredictor {
     /// Predictors without an instrumented core report zeros.
     fn core_stats(&self) -> CoreStats {
         CoreStats::default()
+    }
+
+    /// Modelled storage cost of this predictor instance in **bits** — the
+    /// currency of the `repro tournament` accuracy-vs-bits frontier. Each
+    /// implementation documents its counting rule (Cosmos uses Table 7's
+    /// tuple accounting; TAGE-MP its fixed table geometry plus history
+    /// registers; the directed predictors their per-block tracking state).
+    /// Predictors that do not model storage report 0, which the frontier
+    /// renders as unaccounted rather than free.
+    fn storage_bits(&self) -> u64 {
+        0
     }
 }
 

@@ -21,10 +21,17 @@ pub const MAX_DEPTH: usize = 4;
 ///
 /// # Panics
 ///
-/// Panics (in debug builds) if `depth` is outside `1..=MAX_DEPTH`.
+/// Panics if `depth` is outside `1..=MAX_DEPTH`, in every build profile.
+/// A debug-only guard here let release builds compute `key_mask(0) == 0`,
+/// which silently pinned every [`push_key`] result to zero — a key that
+/// aliases all histories — and saturated out-of-range depths to the full
+/// word. Both are data corruption, not recoverable states.
 #[inline]
 pub fn key_mask(depth: usize) -> u64 {
-    debug_assert!((1..=MAX_DEPTH).contains(&depth));
+    assert!(
+        (1..=MAX_DEPTH).contains(&depth),
+        "packed-key depth {depth} outside 1..={MAX_DEPTH}"
+    );
     if depth >= MAX_DEPTH {
         u64::MAX
     } else {
@@ -54,8 +61,15 @@ pub fn pack_key(tuples: &[PredTuple]) -> u64 {
 
 /// Unpacks a key word of `depth` lanes back into tuples (oldest first).
 /// Returns `None` if any lane holds an invalid tuple encoding.
+///
+/// # Panics
+///
+/// Panics if `depth` is outside `1..=MAX_DEPTH`, in every build profile.
 pub fn unpack_key(key: u64, depth: usize) -> Option<Vec<PredTuple>> {
-    debug_assert!((1..=MAX_DEPTH).contains(&depth));
+    assert!(
+        (1..=MAX_DEPTH).contains(&depth),
+        "packed-key depth {depth} outside 1..={MAX_DEPTH}"
+    );
     (0..depth)
         .rev()
         .map(|lane| PredTuple::unpack((key >> (16 * lane)) as u16))
@@ -257,5 +271,34 @@ mod tests {
     #[should_panic(expected = "depth")]
     fn depth_five_rejected() {
         let _ = PackedHistory::new(5);
+    }
+
+    // The next four guard the release-mode regression: these asserts used
+    // to be debug-only, so optimised builds returned mask 0 for depth 0
+    // (pinning every pushed key to 0) and u64::MAX for depth > MAX_DEPTH.
+    // They must panic in *every* profile.
+
+    #[test]
+    #[should_panic(expected = "outside 1..=4")]
+    fn key_mask_depth_zero_panics_in_all_profiles() {
+        let _ = key_mask(0);
+    }
+
+    #[test]
+    #[should_panic(expected = "outside 1..=4")]
+    fn key_mask_depth_five_panics_in_all_profiles() {
+        let _ = key_mask(MAX_DEPTH + 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "outside 1..=4")]
+    fn push_key_depth_zero_panics_in_all_profiles() {
+        let _ = push_key(0xABCD, 0, 0x1234);
+    }
+
+    #[test]
+    #[should_panic(expected = "outside 1..=4")]
+    fn unpack_key_depth_zero_panics_in_all_profiles() {
+        let _ = unpack_key(0, 0);
     }
 }

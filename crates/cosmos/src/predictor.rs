@@ -229,6 +229,12 @@ impl MessagePredictor for CosmosPredictor {
             table_capacity_bytes: self.table_capacity_bytes(),
         }
     }
+
+    /// Table 7's tuple accounting, in bits: `depth` tuples per MHR plus
+    /// `depth + 1` tuples per PHT entry, at 2 bytes per tuple.
+    fn storage_bits(&self) -> u64 {
+        self.memory().bytes(self.depth) as u64 * 8
+    }
 }
 
 /// A sender-agnostic Cosmos variant for the §3.5 footnote-3 ablation: both
@@ -274,6 +280,10 @@ impl MessagePredictor for TypeOnlyCosmos {
 
     fn core_stats(&self) -> CoreStats {
         self.inner.core_stats()
+    }
+
+    fn storage_bits(&self) -> u64 {
+        self.inner.storage_bits()
     }
 }
 

@@ -26,24 +26,71 @@ pub struct SpeedupParams {
     pub r: f64,
 }
 
+/// A parameter outside the model's documented domain.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum SpeedupError {
+    /// `p` outside `[0, 1]` (or NaN).
+    AccuracyOutOfRange(f64),
+    /// `f` outside `[0, 1]` (or NaN).
+    DelayFractionOutOfRange(f64),
+    /// `r` negative (or NaN).
+    PenaltyNegative(f64),
+}
+
+impl std::fmt::Display for SpeedupError {
+    fn fmt(&self, out: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SpeedupError::AccuracyOutOfRange(p) => {
+                write!(out, "accuracy p = {p} outside [0, 1]")
+            }
+            SpeedupError::DelayFractionOutOfRange(f) => {
+                write!(out, "delay fraction f = {f} outside [0, 1]")
+            }
+            SpeedupError::PenaltyNegative(r) => write!(out, "penalty r = {r} negative"),
+        }
+    }
+}
+
+impl std::error::Error for SpeedupError {}
+
+/// The speedup ratio `time(without) / time(with)`, or an error if any
+/// parameter is outside its documented range — the checked entry point for
+/// callers fed by untrusted input (CLI flags, config files).
+pub fn try_speedup(params: SpeedupParams) -> Result<f64, SpeedupError> {
+    let SpeedupParams { p, f, r } = params;
+    if !(0.0..=1.0).contains(&p) {
+        return Err(SpeedupError::AccuracyOutOfRange(p));
+    }
+    if !(0.0..=1.0).contains(&f) {
+        return Err(SpeedupError::DelayFractionOutOfRange(f));
+    }
+    if r < 0.0 || r.is_nan() {
+        return Err(SpeedupError::PenaltyNegative(r));
+    }
+    let denom = p * f + (1.0 - p) * (1.0 + r);
+    if denom <= 0.0 {
+        return Ok(f64::INFINITY);
+    }
+    Ok(1.0 / denom)
+}
+
 /// The speedup ratio `time(without) / time(with)`.
 ///
 /// # Panics
 ///
-/// Panics (debug assertions) on parameters outside their documented
-/// ranges, and always if the denominator is non-positive (which requires
-/// `p = 1` and `f = 0` — infinite speedup is out of the model's scope, so
-/// the function returns `f64::INFINITY` there instead of panicking).
+/// Panics — in every build profile — on parameters outside their
+/// documented ranges. (These checks were previously `debug_assert!`s, so
+/// release builds silently produced garbage ratios for out-of-range
+/// inputs, e.g. a *negative* "speedup" for `p > 1`.) A non-positive
+/// denominator requires `p = 1` and `f = 0`; infinite speedup is out of
+/// the model's scope, so the function returns `f64::INFINITY` there
+/// instead of panicking. Use [`try_speedup`] to handle bad parameters
+/// without panicking.
 pub fn speedup(params: SpeedupParams) -> f64 {
-    let SpeedupParams { p, f, r } = params;
-    debug_assert!((0.0..=1.0).contains(&p), "accuracy p out of range");
-    debug_assert!((0.0..=1.0).contains(&f), "delay fraction f out of range");
-    debug_assert!(r >= 0.0, "penalty r negative");
-    let denom = p * f + (1.0 - p) * (1.0 + r);
-    if denom <= 0.0 {
-        return f64::INFINITY;
+    match try_speedup(params) {
+        Ok(s) => s,
+        Err(e) => panic!("speedup model: {e}"),
     }
-    1.0 / denom
 }
 
 /// Percentage speedup, `(speedup − 1) · 100`.
@@ -161,5 +208,64 @@ mod tests {
     #[should_panic(expected = "two points")]
     fn degenerate_sweep_rejected() {
         let _ = figure5_sweep(0.8, &[0.0], 1);
+    }
+
+    // Range checks must hold in release builds too: as `debug_assert!`s
+    // they vanished under `--release`, and e.g. `p = 1.2` yielded a
+    // negative denominator and a nonsensical negative "speedup".
+
+    #[test]
+    #[should_panic(expected = "accuracy p")]
+    fn accuracy_above_one_panics_in_all_profiles() {
+        let _ = speedup(SpeedupParams {
+            p: 1.2,
+            f: 0.3,
+            r: 1.0,
+        });
+    }
+
+    #[test]
+    #[should_panic(expected = "delay fraction f")]
+    fn negative_delay_fraction_panics_in_all_profiles() {
+        let _ = speedup(SpeedupParams {
+            p: 0.8,
+            f: -0.1,
+            r: 1.0,
+        });
+    }
+
+    #[test]
+    #[should_panic(expected = "penalty r")]
+    fn negative_penalty_panics_in_all_profiles() {
+        let _ = speedup(SpeedupParams {
+            p: 0.8,
+            f: 0.3,
+            r: -1.0,
+        });
+    }
+
+    #[test]
+    fn try_speedup_reports_each_violation() {
+        let ok = SpeedupParams {
+            p: 0.8,
+            f: 0.3,
+            r: 1.0,
+        };
+        assert_eq!(try_speedup(ok), Ok(speedup(ok)));
+        assert_eq!(
+            try_speedup(SpeedupParams { p: -0.1, ..ok }),
+            Err(SpeedupError::AccuracyOutOfRange(-0.1))
+        );
+        assert_eq!(
+            try_speedup(SpeedupParams { f: 1.5, ..ok }),
+            Err(SpeedupError::DelayFractionOutOfRange(1.5))
+        );
+        assert_eq!(
+            try_speedup(SpeedupParams { r: -0.5, ..ok }),
+            Err(SpeedupError::PenaltyNegative(-0.5))
+        );
+        assert!(try_speedup(SpeedupParams { p: f64::NAN, ..ok }).is_err());
+        let msg = SpeedupError::PenaltyNegative(-0.5).to_string();
+        assert!(msg.contains("penalty"), "{msg}");
     }
 }

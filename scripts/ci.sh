@@ -88,6 +88,19 @@ else
 fi
 echo "    tracespans CSV matches golden; trace export valid"
 
+# Tournament smoke: race every predictor family over the small suite and
+# diff the accuracy-vs-bits frontier against its golden — both the
+# accuracies and the storage-bit accounting must stay deterministic and
+# byte-identical across runs and build profiles.
+echo "==> tournament smoke (predictor competition + golden frontier diff)"
+cargo run -q --release --offline -p bench-suite --bin repro -- \
+  --small --csv "$SMOKE_DIR" tournament > /dev/null
+diff -u crates/bench-suite/tests/golden/tournament_frontier_small.csv \
+  "$SMOKE_DIR/tournament_frontier.csv"
+grep -q '"tournament.cells"' "$SMOKE_DIR/tournament_obs.json"
+grep -q '"tournament.pareto_count"' "$SMOKE_DIR/tournament_obs.json"
+echo "    frontier CSV matches golden; tournament obs JSON emitted"
+
 # Proptest seed promotion: every saved counterexample hash in a
 # *.proptest-regressions file must have a matching `promoted: <hash>`
 # marker in a checked-in test, so the seeds keep running even in builds
