@@ -10,7 +10,9 @@
 //!   integration variants persistence limitless scaling topology
 //!   simcheck     (bounded schedule-exploration model check)
 //!   tournament   (predictor competition: accuracy-vs-bits frontier)
-//!   all          (default) everything above
+//!   scale        (sharded-engine 64-1024 node throughput sweep;
+//!                 run explicitly — `all` does not include it)
+//!   all          (default) everything above except `scale`
 //!
 //! Repeated targets run once: the list is deduplicated preserving the
 //! first occurrence's position, so `repro table5 all` never evaluates a
@@ -68,7 +70,16 @@ const TARGETS: &[&str] = &[
     "simcheck",
     "tracespans",
     "tournament",
+    "scale",
 ];
+
+/// Targets `all` expands to. The `scale` sweep is excluded: it exists to
+/// measure the simulator itself at 64–1024 nodes (minutes of wall clock
+/// at paper scale) and is run explicitly — `repro all` wall-clock stays
+/// a property of the paper reproduction alone.
+fn all_targets() -> impl Iterator<Item = &'static &'static str> {
+    TARGETS.iter().filter(|t| **t != "scale")
+}
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -152,7 +163,7 @@ fn main() -> ExitCode {
                 );
                 return ExitCode::SUCCESS;
             }
-            "all" => targets.extend(TARGETS.iter().map(|s| s.to_string())),
+            "all" => targets.extend(all_targets().map(|s| s.to_string())),
             t if TARGETS.contains(&t) => targets.push(t.to_string()),
             other => {
                 eprintln!("unknown target `{other}`; try --help");
@@ -214,7 +225,7 @@ fn main() -> ExitCode {
         }
     }
     if targets.is_empty() {
-        targets.extend(TARGETS.iter().map(|s| s.to_string()));
+        targets.extend(all_targets().map(|s| s.to_string()));
     }
     // Run each target once however often it was named (`repro table5
     // table5`, or `table5 all`, or an implied push duplicating an explicit
@@ -395,6 +406,18 @@ fn main() -> ExitCode {
                     &csv_dir,
                     "tournament_obs.json",
                     &tournament::export_obs(&cells, &rows).to_json(),
+                );
+            }
+            "scale" => {
+                use bench_suite::scale as sc;
+                eprintln!("running sharded scale sweep ({scale:?} scale)...");
+                let rows = sc::sweep(scale);
+                println!("{}", sc::render_scale(&rows));
+                write_csv(&csv_dir, "scale.csv", &sc::csv_scale(&rows));
+                write_csv(
+                    &csv_dir,
+                    "BENCH_scale.json",
+                    &sc::export_obs(&rows).to_json(),
                 );
             }
             "simcheck" => {

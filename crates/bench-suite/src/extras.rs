@@ -16,19 +16,21 @@ use std::fmt::Write as _;
 /// overall depth-1 accuracy at each latency.
 pub fn latency_sensitivity(scale: Scale, latencies_ns: &[u64]) -> Vec<(String, Vec<f64>)> {
     let names = ["appbt", "barnes", "dsmc", "moldyn", "unstructured"];
+    // One sweep cell per (benchmark, latency) — each is an independent
+    // simulation, so the whole grid parallelises instead of one thread
+    // crawling the 15 runs.
+    let cols = latencies_ns.len();
+    let cells = crate::par::sweep(names.len() * cols, |i| {
+        let name = names[i / cols];
+        let lat = latencies_ns[i % cols];
+        let sys = SystemConfig::paper().with_network_latency(lat);
+        let t = single_trace(name, scale, ProtocolConfig::paper(), sys);
+        evaluate_cosmos(&t, 1, 0).overall.percent()
+    });
     names
         .iter()
-        .map(|name| {
-            let rates = latencies_ns
-                .iter()
-                .map(|&lat| {
-                    let sys = SystemConfig::paper().with_network_latency(lat);
-                    let t = single_trace(name, scale, ProtocolConfig::paper(), sys);
-                    evaluate_cosmos(&t, 1, 0).overall.percent()
-                })
-                .collect();
-            (name.to_string(), rates)
-        })
+        .enumerate()
+        .map(|(r, name)| (name.to_string(), cells[r * cols..(r + 1) * cols].to_vec()))
         .collect()
 }
 
@@ -80,43 +82,38 @@ pub fn render_adaptation(rows: &[(String, Option<u32>)]) -> String {
 /// §7's comparison: Cosmos (depths 1 and 3) against every directed
 /// predictor and the baselines, overall accuracy per benchmark.
 pub fn comparison(set: &TraceSet) -> Vec<(String, Vec<(String, f64)>)> {
-    type Factory = Box<dyn Fn(NodeId, Role) -> Box<dyn MessagePredictor>>;
-    let contenders: Vec<(&str, Factory)> = vec![
-        (
-            "cosmos-d1",
-            Box::new(|_, _| Box::new(CosmosPredictor::new(1, 0))),
-        ),
-        (
-            "cosmos-d3",
-            Box::new(|_, _| Box::new(CosmosPredictor::new(3, 0))),
-        ),
-        (
-            "migratory",
-            Box::new(|_, role| Box::new(MigratoryPredictor::new(role))),
-        ),
-        (
-            "self-inval",
-            Box::new(|_, role| Box::new(DsiPredictor::new(role))),
-        ),
-        ("rmw", Box::new(|_, role| Box::new(RmwPredictor::new(role)))),
-        (
-            "composition",
-            Box::new(|_, role| Box::new(Composition::new(role))),
-        ),
-        ("last-tuple", Box::new(|_, _| Box::new(LastTuple::new()))),
-        ("most-common", Box::new(|_, _| Box::new(MostCommon::new()))),
+    // Plain fn pointers (capture nothing) so the contender table is
+    // `Sync` and the (benchmark × predictor) grid can fan out as one
+    // sweep cell per evaluation.
+    type Factory = fn(NodeId, Role) -> Box<dyn MessagePredictor>;
+    let contenders: &[(&str, Factory)] = &[
+        ("cosmos-d1", |_, _| Box::new(CosmosPredictor::new(1, 0))),
+        ("cosmos-d3", |_, _| Box::new(CosmosPredictor::new(3, 0))),
+        ("migratory", |_, role| {
+            Box::new(MigratoryPredictor::new(role))
+        }),
+        ("self-inval", |_, role| Box::new(DsiPredictor::new(role))),
+        ("rmw", |_, role| Box::new(RmwPredictor::new(role))),
+        ("composition", |_, role| Box::new(Composition::new(role))),
+        ("last-tuple", |_, _| Box::new(LastTuple::new())),
+        ("most-common", |_, _| Box::new(MostCommon::new())),
     ];
-    set.traces()
+    let cols = contenders.len();
+    let traces = set.traces();
+    let cells = crate::par::sweep(traces.len() * cols, |i| {
+        let t = &traces[i / cols];
+        let (name, factory) = contenders[i % cols];
+        let r = evaluate(t, &EvalOptions::default(), |n, role| factory(n, role));
+        (name.to_string(), r.overall.percent())
+    });
+    traces
         .iter()
-        .map(|t| {
-            let rows = contenders
-                .iter()
-                .map(|(name, factory)| {
-                    let r = evaluate(t, &EvalOptions::default(), |n, role| factory(n, role));
-                    (name.to_string(), r.overall.percent())
-                })
-                .collect();
-            (t.meta().app.clone(), rows)
+        .enumerate()
+        .map(|(r, t)| {
+            (
+                t.meta().app.clone(),
+                cells[r * cols..(r + 1) * cols].to_vec(),
+            )
         })
         .collect()
 }
@@ -435,26 +432,35 @@ pub fn scaling(scale: Scale) -> String {
         "{:<14} {:>6} {:>11} {:>10} {:>10}",
         "benchmark", "nodes", "messages", "d1", "d3"
     );
-    for nodes in [4usize, 16, 64] {
+    // Row-major (machine size, benchmark) grid on the shared worker
+    // pool; rendering below walks the cells in the same order the old
+    // nested loops did, so the report is byte-identical.
+    let sizes = [4usize, 16, 64];
+    let cells = crate::par::sweep(sizes.len() * 5, |i| {
+        let nodes = sizes[i / 5];
         let proto = ProtocolConfig {
             nodes,
             ..ProtocolConfig::paper()
         };
-        for mut w in suite_with_nodes(nodes) {
-            let t = workloads::run_to_trace(w.as_mut(), proto.clone(), SystemConfig::paper())
-                .unwrap_or_else(|e| panic!("{} at {nodes} nodes: {e}", w.name()));
-            let d1 = evaluate_cosmos(&t, 1, 0);
-            let d3 = evaluate_cosmos(&t, 3, 0);
-            let _ = writeln!(
-                out,
-                "{:<14} {:>6} {:>11} {:>9.1}% {:>9.1}%",
-                w.name(),
-                nodes,
-                t.len(),
-                d1.overall.percent(),
-                d3.overall.percent()
-            );
-        }
+        let mut w = suite_with_nodes(nodes).remove(i % 5);
+        let t = workloads::run_to_trace(w.as_mut(), proto, SystemConfig::paper())
+            .unwrap_or_else(|e| panic!("{} at {nodes} nodes: {e}", w.name()));
+        let d1 = evaluate_cosmos(&t, 1, 0);
+        let d3 = evaluate_cosmos(&t, 3, 0);
+        (
+            w.name().to_string(),
+            nodes,
+            t.len(),
+            d1.overall.percent(),
+            d3.overall.percent(),
+        )
+    });
+    for (name, nodes, msgs, d1, d3) in cells {
+        let _ = writeln!(
+            out,
+            "{:<14} {:>6} {:>11} {:>9.1}% {:>9.1}%",
+            name, nodes, msgs, d1, d3
+        );
     }
     out
 }
@@ -477,16 +483,17 @@ pub fn topology_sensitivity(scale: Scale) -> String {
     }
     out.push('\n');
     let names = ["appbt", "barnes", "dsmc", "moldyn", "unstructured"];
-    for name in names {
+    // (benchmark, topology) grid on the shared worker pool.
+    let cols = topologies.len();
+    let cells = crate::par::sweep(names.len() * cols, |i| {
+        let sys = SystemConfig::paper().with_topology(topologies[i % cols].1);
+        let t = single_trace(names[i / cols], scale, ProtocolConfig::paper(), sys);
+        evaluate_cosmos(&t, 1, 0).overall.percent()
+    });
+    for (r, name) in names.iter().enumerate() {
         let _ = write!(out, "{name:<14}");
-        for (_, topo) in &topologies {
-            let sys = SystemConfig::paper().with_topology(*topo);
-            let t = single_trace(name, scale, ProtocolConfig::paper(), sys);
-            let _ = write!(
-                out,
-                " {:>9.1}%",
-                evaluate_cosmos(&t, 1, 0).overall.percent()
-            );
+        for pct in &cells[r * cols..(r + 1) * cols] {
+            let _ = write!(out, " {pct:>9.1}%");
         }
         out.push('\n');
     }
@@ -514,47 +521,48 @@ pub fn engines(scale: Scale) -> String {
         "{:<14} {:>10} {:>8} {:>12} | {:>10} {:>8} {:>12}",
         "benchmark", "ser msgs", "ser d1", "ser time", "con msgs", "con d1", "con time"
     );
-    for name in ["appbt", "barnes", "dsmc", "moldyn", "unstructured"] {
+    // Each (benchmark, engine) pair is an independent run: 10 sweep
+    // cells, each returning (messages, depth-1 accuracy, time in us).
+    let names = ["appbt", "barnes", "dsmc", "moldyn", "unstructured"];
+    let cells = crate::par::sweep(names.len() * 2, |i| {
+        let name = names[i / 2];
         let mut w = suite()
             .into_iter()
             .find(|w| w.name() == name)
             .expect("known");
-        let serial =
-            workloads::run_to_trace(&mut *w, ProtocolConfig::paper(), SystemConfig::paper())
-                .expect("clean serialized run");
-        let ser_acc = evaluate_cosmos(&serial, 1, 0).overall.percent();
-        let ser_time = serial
-            .records()
-            .iter()
-            .map(|r| r.time_ns)
-            .max()
-            .unwrap_or(0);
-
-        let mut w2 = suite()
-            .into_iter()
-            .find(|w| w.name() == name)
-            .expect("known");
-        let iterations = w2.iterations();
-        let conc = run_concurrent(
-            name,
-            iterations,
-            |it| w2.plan(it),
-            ProtocolConfig::paper(),
-            SystemConfig::paper(),
-        )
-        .expect("clean concurrent run");
-        let con_acc = evaluate_cosmos(conc.trace(), 1, 0).overall.percent();
-        let con_time = conc.execution_time_ns();
+        if i % 2 == 0 {
+            let serial =
+                workloads::run_to_trace(&mut *w, ProtocolConfig::paper(), SystemConfig::paper())
+                    .expect("clean serialized run");
+            let acc = evaluate_cosmos(&serial, 1, 0).overall.percent();
+            let time = serial
+                .records()
+                .iter()
+                .map(|r| r.time_ns)
+                .max()
+                .unwrap_or(0);
+            (serial.len(), acc, time / 1000)
+        } else {
+            let iterations = w.iterations();
+            let conc = run_concurrent(
+                name,
+                iterations,
+                |it| w.plan(it),
+                ProtocolConfig::paper(),
+                SystemConfig::paper(),
+            )
+            .expect("clean concurrent run");
+            let acc = evaluate_cosmos(conc.trace(), 1, 0).overall.percent();
+            (conc.trace().len(), acc, conc.execution_time_ns() / 1000)
+        }
+    });
+    for (r, name) in names.iter().enumerate() {
+        let (ser_msgs, ser_acc, ser_us) = cells[r * 2];
+        let (con_msgs, con_acc, con_us) = cells[r * 2 + 1];
         let _ = writeln!(
             out,
             "{:<14} {:>10} {:>7.1}% {:>10}us | {:>10} {:>7.1}% {:>10}us",
-            name,
-            serial.len(),
-            ser_acc,
-            ser_time / 1000,
-            conc.trace().len(),
-            con_acc,
-            con_time / 1000,
+            name, ser_msgs, ser_acc, ser_us, con_msgs, con_acc, con_us,
         );
     }
     out.push_str(
@@ -666,15 +674,22 @@ pub fn seed_robustness(scale: Scale) -> String {
     }
     out.push('\n');
     let names = ["appbt", "barnes", "dsmc", "moldyn", "unstructured"];
-    for (i, name) in names.iter().enumerate() {
+    // (benchmark, seed) grid on the shared worker pool — 15 full
+    // simulations, all independent.
+    let cols = seeds.len();
+    let cells = crate::par::sweep(names.len() * cols, |i| {
+        let (name, seed) = (names[i / cols], seeds[i % cols]);
+        let mut w = suite_with_seed(seed).remove(i / cols);
+        let t = workloads::run_to_trace(&mut *w, ProtocolConfig::paper(), SystemConfig::paper())
+            .unwrap_or_else(|e| panic!("{name} seed {seed}: {e}"));
+        (
+            evaluate_cosmos(&t, 1, 0).overall.percent(),
+            evaluate_cosmos(&t, 3, 0).overall.percent(),
+        )
+    });
+    for (r, name) in names.iter().enumerate() {
         let _ = write!(out, "{name:<14}");
-        for seed in seeds {
-            let mut w = suite_with_seed(seed).remove(i);
-            let t =
-                workloads::run_to_trace(&mut *w, ProtocolConfig::paper(), SystemConfig::paper())
-                    .unwrap_or_else(|e| panic!("{name} seed {seed}: {e}"));
-            let d1 = evaluate_cosmos(&t, 1, 0).overall.percent();
-            let d3 = evaluate_cosmos(&t, 3, 0).overall.percent();
+        for (d1, d3) in &cells[r * cols..(r + 1) * cols] {
             let _ = write!(out, " | {d1:>5.1} {d3:>6.1} ");
         }
         out.push('\n');

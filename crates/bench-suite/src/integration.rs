@@ -31,35 +31,35 @@ fn suite(scale: Scale) -> Vec<Box<dyn Workload>> {
 /// Runs the integration study over the five benchmarks.
 pub fn integration(scale: Scale, depth: usize) -> Vec<IntegrationRow> {
     let names: Vec<&str> = suite(scale).iter().map(|w| w.name()).collect();
-    names
-        .into_iter()
-        .map(|name| {
-            let fresh = || {
-                suite(scale)
-                    .into_iter()
-                    .find(|w| w.name() == name)
-                    .expect("known benchmark")
-            };
-            let cosmos = compare(fresh().as_mut(), fresh().as_mut(), || {
-                Box::new(CosmosPolicy::new(depth))
-            })
-            .expect("coherent accelerated run");
-            let directed = compare(fresh().as_mut(), fresh().as_mut(), || {
-                Box::new(DirectedPolicy::new())
-            })
-            .expect("coherent directed run");
-            let cosmos_concurrent = compare_concurrent(fresh().as_mut(), fresh().as_mut(), || {
-                Box::new(CosmosPolicy::new(depth))
-            })
-            .expect("coherent concurrent accelerated run");
-            IntegrationRow {
-                app: name.to_string(),
-                cosmos,
-                directed,
-                cosmos_concurrent,
-            }
+    // Each benchmark runs six full simulations (three baseline/accelerated
+    // pairs); fan the five benchmarks out on the shared worker pool.
+    crate::par::sweep(names.len(), |i| {
+        let name = names[i];
+        let fresh = || {
+            suite(scale)
+                .into_iter()
+                .find(|w| w.name() == name)
+                .expect("known benchmark")
+        };
+        let cosmos = compare(fresh().as_mut(), fresh().as_mut(), || {
+            Box::new(CosmosPolicy::new(depth))
         })
-        .collect()
+        .expect("coherent accelerated run");
+        let directed = compare(fresh().as_mut(), fresh().as_mut(), || {
+            Box::new(DirectedPolicy::new())
+        })
+        .expect("coherent directed run");
+        let cosmos_concurrent = compare_concurrent(fresh().as_mut(), fresh().as_mut(), || {
+            Box::new(CosmosPolicy::new(depth))
+        })
+        .expect("coherent concurrent accelerated run");
+        IntegrationRow {
+            app: name.to_string(),
+            cosmos,
+            directed,
+            cosmos_concurrent,
+        }
+    })
 }
 
 /// Renders the study.

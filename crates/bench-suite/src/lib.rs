@@ -42,6 +42,7 @@ pub mod integration;
 pub mod modelcheck;
 pub mod par;
 pub mod report;
+pub mod scale;
 pub mod spans;
 pub mod tables;
 pub mod tournament;

@@ -31,28 +31,20 @@ impl TraceSet {
     }
 
     /// Generates all five traces on a custom machine configuration,
-    /// running the benchmarks in parallel.
+    /// running the benchmarks on the shared bounded worker pool
+    /// ([`crate::par::sweep`]), so the generation phase counts toward
+    /// the sweep-utilisation metrics in `BENCH_repro.json`.
     pub fn generate_with(scale: Scale, proto: ProtocolConfig, sys: SystemConfig) -> Self {
         let suite = match scale {
             Scale::Paper => paper_suite(),
             Scale::Small => small_suite(),
         };
-        let traces = std::thread::scope(|s| {
-            let handles: Vec<_> = suite
-                .into_iter()
-                .map(|mut w| {
-                    let proto = proto.clone();
-                    let sys = sys.clone();
-                    s.spawn(move || {
-                        run_to_trace(w.as_mut(), proto, sys)
-                            .unwrap_or_else(|e| panic!("{} failed: {e}", w.name()))
-                    })
-                })
-                .collect();
-            handles
-                .into_iter()
-                .map(|h| h.join().expect("benchmark thread"))
-                .collect()
+        let suite: Vec<std::sync::Mutex<Box<dyn Workload>>> =
+            suite.into_iter().map(std::sync::Mutex::new).collect();
+        let traces = crate::par::sweep(suite.len(), |i| {
+            let mut w = suite[i].lock().expect("workload lock poisoned");
+            run_to_trace(w.as_mut(), proto.clone(), sys.clone())
+                .unwrap_or_else(|e| panic!("{} failed: {e}", w.name()))
         });
         TraceSet { traces }
     }

@@ -208,16 +208,34 @@ impl EventRing {
         self.next = (self.next + 1) % self.cap;
     }
 
-    /// The held events, oldest first.
-    pub fn events(&self) -> Vec<Event> {
+    /// Visits the held events, oldest first, without allocating.
+    #[inline]
+    pub fn for_each(&self, mut f: impl FnMut(&Event)) {
         if self.buf.len() < self.cap {
-            self.buf.clone()
+            self.buf.iter().for_each(&mut f);
         } else {
-            let mut out = Vec::with_capacity(self.cap);
+            self.buf[self.next..].iter().for_each(&mut f);
+            self.buf[..self.next].iter().for_each(&mut f);
+        }
+    }
+
+    /// Appends the held events, oldest first, to a caller-owned buffer —
+    /// lets hot paths reuse one scratch `Vec` across reads.
+    pub fn events_into(&self, out: &mut Vec<Event>) {
+        out.reserve(self.buf.len());
+        if self.buf.len() < self.cap {
+            out.extend_from_slice(&self.buf);
+        } else {
             out.extend_from_slice(&self.buf[self.next..]);
             out.extend_from_slice(&self.buf[..self.next]);
-            out
         }
+    }
+
+    /// The held events, oldest first, as a fresh allocation.
+    pub fn events(&self) -> Vec<Event> {
+        let mut out = Vec::new();
+        self.events_into(&mut out);
+        out
     }
 
     /// Discards all held events (counters and settings survive).
@@ -229,15 +247,15 @@ impl EventRing {
     /// Renders the held events, oldest first, as a multi-line report —
     /// the flight-recorder dump printed on invariant failure.
     pub fn dump(&self) -> String {
+        use std::fmt::Write as _;
         let mut out = format!(
             "=== flight recorder: last {} of {} events ===\n",
             self.len(),
             self.total
         );
-        for ev in self.events() {
-            out.push_str(&ev.to_string());
-            out.push('\n');
-        }
+        self.for_each(|ev| {
+            let _ = writeln!(out, "{ev}");
+        });
         out
     }
 }
@@ -323,6 +341,26 @@ mod tests {
         assert!(dump.contains("block=0x40"));
         assert!(dump.contains("multiple writers"));
         assert!(dump.contains("ERROR"));
+    }
+
+    #[test]
+    fn for_each_and_events_into_match_events() {
+        // Both before and after the ring wraps, the allocation-free
+        // accessors must agree with the copying one, oldest first.
+        let mut ring = EventRing::new(3);
+        for n in [2usize, 5] {
+            for t in 0..n as u64 {
+                ring.push(ev(t));
+            }
+            let copied = ring.events();
+            let mut visited = Vec::new();
+            ring.for_each(|e| visited.push(*e));
+            assert_eq!(visited, copied);
+            let mut reused = vec![ev(99)];
+            ring.events_into(&mut reused);
+            assert_eq!(reused[1..], copied[..], "events_into appends");
+            ring.clear();
+        }
     }
 
     #[test]

@@ -445,6 +445,12 @@ impl ConcurrentMachine {
         self.ring.borrow().events()
     }
 
+    /// Visits the flight recorder's retained events, oldest first,
+    /// without copying them out.
+    pub fn for_each_flight_event(&self, f: impl FnMut(&ObsEvent)) {
+        self.ring.borrow().for_each(f);
+    }
+
     /// Renders the flight recorder for post-mortem inspection.
     pub fn dump_flight_recorder(&self) -> String {
         self.ring.borrow().dump()
@@ -742,11 +748,9 @@ impl ConcurrentMachine {
     /// Labels of the pending events in deterministic delivery order
     /// (rank 0 delivers first under the unforced scheduler).
     pub fn pending_labels(&self) -> Vec<String> {
-        self.queue
-            .iter_ranked()
-            .into_iter()
-            .map(|(_, ev)| ev.label())
-            .collect()
+        let mut out = Vec::with_capacity(self.queue.len());
+        self.queue.for_each_ranked(|_, ev| out.push(ev.label()));
+        out
     }
 
     /// The `(sender, receiver)` channel of each pending event in
@@ -757,14 +761,14 @@ impl ConcurrentMachine {
     /// legally be forced next. simcheck uses this to confine exploration
     /// to delivery orders the network can actually produce.
     pub fn pending_channels(&self) -> Vec<Option<(NodeId, NodeId)>> {
-        self.queue
-            .iter_ranked()
-            .into_iter()
-            .map(|(_, ev)| match ev {
+        let mut out = Vec::with_capacity(self.queue.len());
+        self.queue.for_each_ranked(|_, ev| {
+            out.push(match ev {
                 Event::Deliver(msg, _) => Some((msg.sender, msg.receiver)),
                 _ => None,
             })
-            .collect()
+        });
+        out
     }
 
     /// Forces the `rank`-th pending event (in deterministic `(time, seq)`
@@ -958,12 +962,9 @@ impl ConcurrentMachine {
             fp.absorb(&b);
         }
         fp.tag(0x08);
-        let mut events: Vec<u64> = self
-            .queue
-            .iter_ranked()
-            .into_iter()
-            .map(|(_, ev)| ev.fingerprint())
-            .collect();
+        let mut events: Vec<u64> = Vec::with_capacity(self.queue.len());
+        self.queue
+            .for_each_ranked(|_, ev| events.push(ev.fingerprint()));
         events.sort_unstable();
         fp.word(events.len() as u64);
         for e in events {

@@ -1,12 +1,36 @@
-//! A minimal discrete-event queue.
+//! A deterministic discrete-event queue built on a calendar queue.
 //!
-//! A min-heap over `(time, seq)` where `seq` is an insertion counter, so
-//! events at equal times pop in FIFO order — determinism matters because
-//! traces (and therefore every reported accuracy) must be reproducible
-//! run-to-run.
+//! Events are totally ordered by `(time, seq)` where `seq` is an
+//! insertion counter, so events at equal times pop in FIFO order —
+//! determinism matters because traces (and therefore every reported
+//! accuracy) must be reproducible run-to-run.
+//!
+//! The previous implementation was a binary heap: `O(log n)` per
+//! operation with poor cache behaviour once the machine scales to
+//! thousands of nodes and hundreds of thousands of in-flight events.
+//! This is a classic *calendar queue* (Brown 1988): a circular array of
+//! time buckets, each `width` nanoseconds wide, scanned like the pages
+//! of a desk calendar. With the bucket count resized to track the
+//! population and the width resampled from observed inter-event gaps,
+//! both `push` and `pop` are amortized `O(1)`.
+//!
+//! The simcheck model checker additionally needs a *ranked* view of the
+//! pending set ([`EventQueue::iter_ranked`]) and forced out-of-order
+//! removal ([`EventQueue::remove_rank`]); both are preserved with the
+//! exact semantics of the heap-based queue (they are `O(n log n)` and
+//! explicitly off the simulation fast path).
 
-use std::cmp::Reverse;
-use std::collections::BinaryHeap;
+use std::cell::RefCell;
+
+/// Smallest number of buckets the calendar ever shrinks to.
+const MIN_BUCKETS: usize = 4;
+/// Hard cap on bucket-array growth (2^20 buckets ≈ 8 MiB of `Vec`
+/// headers); beyond this the per-bucket population grows instead, which
+/// only matters for queues holding tens of millions of events.
+const MAX_BUCKETS: usize = 1 << 20;
+/// How many pending entries are sampled when re-deriving the bucket
+/// width during a resize.
+const WIDTH_SAMPLE: usize = 64;
 
 /// A deterministic time-ordered event queue.
 ///
@@ -23,9 +47,22 @@ use std::collections::BinaryHeap;
 /// ```
 #[derive(Debug, Clone)]
 pub struct EventQueue<T> {
-    heap: BinaryHeap<Reverse<Entry<T>>>,
+    /// Circular bucket array; `buckets.len()` is always a power of two.
+    buckets: Vec<Vec<Entry<T>>>,
+    /// Time span covered by one bucket, ≥ 1.
+    width: u64,
+    /// Total pending entries across all buckets.
+    len: usize,
+    /// Bucket the pop scan is currently standing on.
+    cur: usize,
+    /// Exclusive upper time bound of bucket `cur` in the current lap;
+    /// every pending entry satisfies `time >= bucket_top - width`.
+    bucket_top: u64,
     seq: u64,
     depth: obs::Histogram,
+    /// Scratch for ranked traversals so repeated `iter_ranked` /
+    /// `for_each_ranked` calls (the simcheck hot path) do not allocate.
+    scratch: RefCell<Vec<(u64, u64, u32, u32)>>,
 }
 
 #[derive(Debug, Clone)]
@@ -35,62 +72,154 @@ struct Entry<T> {
     payload: T,
 }
 
-impl<T> PartialEq for Entry<T> {
-    fn eq(&self, other: &Self) -> bool {
-        self.time == other.time && self.seq == other.seq
-    }
-}
-impl<T> Eq for Entry<T> {}
-impl<T> PartialOrd for Entry<T> {
-    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
-        Some(self.cmp(other))
-    }
-}
-impl<T> Ord for Entry<T> {
-    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
-        (self.time, self.seq).cmp(&(other.time, other.seq))
-    }
-}
-
 impl<T> EventQueue<T> {
     /// Creates an empty queue.
     pub fn new() -> Self {
         EventQueue {
-            heap: BinaryHeap::new(),
+            buckets: (0..MIN_BUCKETS).map(|_| Vec::new()).collect(),
+            width: 1,
+            len: 0,
+            cur: 0,
+            bucket_top: 1,
             seq: 0,
             depth: obs::Histogram::new(),
+            scratch: RefCell::new(Vec::new()),
         }
+    }
+
+    #[inline]
+    fn bucket_of(&self, time: u64) -> usize {
+        ((time / self.width) as usize) & (self.buckets.len() - 1)
+    }
+
+    /// Points the pop scan at the bucket (and lap) containing `time`.
+    #[inline]
+    fn aim_at(&mut self, time: u64) {
+        self.cur = self.bucket_of(time);
+        self.bucket_top = (time / self.width) * self.width + self.width;
     }
 
     /// Schedules `payload` at `time`.
     pub fn push(&mut self, time: u64, payload: T) {
-        self.heap.push(Reverse(Entry {
-            time,
-            seq: self.seq,
-            payload,
-        }));
+        let seq = self.seq;
         self.seq += 1;
-        self.depth.record(self.heap.len() as u64);
+        let b = self.bucket_of(time);
+        self.buckets[b].push(Entry { time, seq, payload });
+        self.len += 1;
+        // The scan cursor may only ever stand at-or-before the earliest
+        // pending event; a push into the past (relative to the cursor's
+        // lap) rewinds it.
+        if time < self.bucket_top - self.width || self.len == 1 {
+            self.aim_at(time);
+        }
+        if self.len > 2 * self.buckets.len() && self.buckets.len() < MAX_BUCKETS {
+            self.resize(self.buckets.len() * 2);
+        }
+        self.depth.record(self.len as u64);
     }
 
     /// Pops the earliest event (FIFO among equal times).
     pub fn pop(&mut self) -> Option<(u64, T)> {
-        self.heap.pop().map(|Reverse(e)| (e.time, e.payload))
+        if self.len == 0 {
+            return None;
+        }
+        let nbuckets = self.buckets.len();
+        for _ in 0..nbuckets {
+            // Entries due within the cursor's lap live exactly in this
+            // bucket, so the lap-local minimum is the global minimum.
+            let bucket_top = self.bucket_top;
+            if let Some(slot) = min_slot_below(&self.buckets[self.cur], bucket_top) {
+                return Some(self.take(self.cur, slot));
+            }
+            self.cur = (self.cur + 1) & (nbuckets - 1);
+            self.bucket_top += self.width;
+        }
+        // A whole lap without a hit: the queue is sparse relative to its
+        // span. Fall back to a direct search and re-aim the cursor.
+        let (b, slot) = self
+            .buckets
+            .iter()
+            .enumerate()
+            .flat_map(|(b, bucket)| {
+                bucket
+                    .iter()
+                    .enumerate()
+                    .map(move |(s, e)| ((e.time, e.seq), (b, s)))
+            })
+            .min()
+            .map(|(_, at)| at)
+            .expect("len > 0 but no entry found");
+        let time = self.buckets[b][slot].time;
+        self.aim_at(time);
+        Some(self.take(b, slot))
+    }
+
+    /// Removes the entry at `(bucket, slot)`, maintaining the population
+    /// and resize thresholds.
+    fn take(&mut self, bucket: usize, slot: usize) -> (u64, T) {
+        let e = self.buckets[bucket].swap_remove(slot);
+        self.len -= 1;
+        if self.buckets.len() > MIN_BUCKETS && self.len < self.buckets.len() / 2 {
+            self.resize(self.buckets.len() / 2);
+        }
+        (e.time, e.payload)
+    }
+
+    /// Rebuilds the bucket array at `new_n` buckets with a freshly
+    /// sampled width. `O(n)`, amortized to `O(1)` per operation by the
+    /// doubling/halving thresholds.
+    fn resize(&mut self, new_n: usize) {
+        let mut entries: Vec<Entry<T>> = Vec::with_capacity(self.len);
+        for bucket in &mut self.buckets {
+            entries.append(bucket);
+        }
+        self.width = choose_width(&entries);
+        self.buckets = (0..new_n).map(|_| Vec::new()).collect();
+        let min_time = entries.iter().map(|e| e.time).min();
+        for e in entries {
+            let b = ((e.time / self.width) as usize) & (new_n - 1);
+            self.buckets[b].push(e);
+        }
+        match min_time {
+            Some(t) => self.aim_at(t),
+            None => {
+                self.cur = 0;
+                self.bucket_top = self.width;
+            }
+        }
     }
 
     /// Time of the next event without popping it.
     pub fn peek_time(&self) -> Option<u64> {
-        self.heap.peek().map(|Reverse(e)| e.time)
+        if self.len == 0 {
+            return None;
+        }
+        // Same scan as `pop`, without mutating the cursor.
+        let nbuckets = self.buckets.len();
+        let mut cur = self.cur;
+        let mut top = self.bucket_top;
+        for _ in 0..nbuckets {
+            if let Some(slot) = min_slot_below(&self.buckets[cur], top) {
+                return Some(self.buckets[cur][slot].time);
+            }
+            cur = (cur + 1) & (nbuckets - 1);
+            top += self.width;
+        }
+        self.buckets
+            .iter()
+            .flat_map(|b| b.iter().map(|e| (e.time, e.seq)))
+            .min()
+            .map(|(t, _)| t)
     }
 
     /// Number of pending events.
     pub fn len(&self) -> usize {
-        self.heap.len()
+        self.len
     }
 
     /// Whether no events are pending.
     pub fn is_empty(&self) -> bool {
-        self.heap.is_empty()
+        self.len == 0
     }
 
     /// Distribution of queue depth sampled after every push — how much
@@ -99,37 +228,95 @@ impl<T> EventQueue<T> {
         &self.depth
     }
 
+    /// Fills the shared scratch with `(time, seq, bucket, slot)` sorted
+    /// into pop order and hands it to the caller.
+    fn with_ranked<R>(&self, f: impl FnOnce(&[(u64, u64, u32, u32)], &Self) -> R) -> R {
+        let mut scratch = self.scratch.borrow_mut();
+        scratch.clear();
+        for (b, bucket) in self.buckets.iter().enumerate() {
+            for (s, e) in bucket.iter().enumerate() {
+                scratch.push((e.time, e.seq, b as u32, s as u32));
+            }
+        }
+        scratch.sort_unstable_by_key(|&(t, q, _, _)| (t, q));
+        f(&scratch, self)
+    }
+
+    /// Visits every pending event in deterministic pop order without
+    /// allocating a return vector — the scan reuses an internal scratch
+    /// buffer, so repeated calls (fingerprinting, simcheck enumeration)
+    /// are allocation-free once warm.
+    pub fn for_each_ranked(&self, mut f: impl FnMut(u64, &T)) {
+        self.with_ranked(|ranked, q| {
+            for &(t, _, b, s) in ranked {
+                f(t, &q.buckets[b as usize][s as usize].payload);
+            }
+        });
+    }
+
     /// The pending events in deterministic pop order — rank 0 is what
     /// [`pop`](Self::pop) would return next, ties broken FIFO. This is
     /// the enumeration surface the `simcheck` model checker branches on.
     pub fn iter_ranked(&self) -> Vec<(u64, &T)> {
-        let mut entries: Vec<&Entry<T>> = self.heap.iter().map(|Reverse(e)| e).collect();
-        entries.sort_by_key(|e| (e.time, e.seq));
-        entries.into_iter().map(|e| (e.time, &e.payload)).collect()
+        let mut out = Vec::with_capacity(self.len);
+        self.with_ranked(|ranked, _| {
+            for &(t, _, b, s) in ranked {
+                out.push((t, b, s));
+            }
+        });
+        out.into_iter()
+            .map(|(t, b, s)| (t, &self.buckets[b as usize][s as usize].payload))
+            .collect()
     }
 
     /// Removes and returns the `rank`-th pending event in the
     /// [`iter_ranked`](Self::iter_ranked) order (`remove_rank(0)` is
     /// `pop`), or `None` if `rank` is out of range.
     ///
-    /// Costs a heap rebuild for `rank > 0`; intended for the model
+    /// Costs a full ranked scan for `rank > 0`; intended for the model
     /// checker's forced delivery orders, not the simulation fast path.
     pub fn remove_rank(&mut self, rank: usize) -> Option<(u64, T)> {
-        if rank >= self.heap.len() {
+        if rank >= self.len {
             return None;
         }
         if rank == 0 {
             return self.pop();
         }
-        let mut entries: Vec<Entry<T>> = std::mem::take(&mut self.heap)
-            .into_iter()
-            .map(|Reverse(e)| e)
-            .collect();
-        entries.sort_by_key(|e| (e.time, e.seq));
-        let chosen = entries.remove(rank);
-        self.heap = entries.into_iter().map(Reverse).collect();
-        Some((chosen.time, chosen.payload))
+        let (b, s) = self.with_ranked(|ranked, _| {
+            let (_, _, b, s) = ranked[rank];
+            (b as usize, s as usize)
+        });
+        Some(self.take(b, s))
     }
+}
+
+/// Index of the `(time, seq)`-minimal entry with `time < top`, if any.
+#[inline]
+fn min_slot_below<T>(bucket: &[Entry<T>], top: u64) -> Option<usize> {
+    let mut best: Option<(u64, u64, usize)> = None;
+    for (i, e) in bucket.iter().enumerate() {
+        if e.time < top && best.is_none_or(|(t, q, _)| (e.time, e.seq) < (t, q)) {
+            best = Some((e.time, e.seq, i));
+        }
+    }
+    best.map(|(_, _, i)| i)
+}
+
+/// Picks a bucket width from a sorted sample of pending-event gaps: the
+/// doubled median inter-event gap, which keeps the typical bucket
+/// population at a couple of entries while staying robust to a long
+/// far-future tail (barrier and timeout events).
+fn choose_width<T>(entries: &[Entry<T>]) -> u64 {
+    if entries.len() < 2 {
+        return 1;
+    }
+    let stride = (entries.len() / WIDTH_SAMPLE).max(1);
+    let mut times: Vec<u64> = entries.iter().step_by(stride).map(|e| e.time).collect();
+    times.sort_unstable();
+    let mut gaps: Vec<u64> = times.windows(2).map(|w| w[1] - w[0]).collect();
+    gaps.sort_unstable();
+    let median = gaps[gaps.len() / 2];
+    (median * 2).max(1)
 }
 
 impl<T> Default for EventQueue<T> {
@@ -195,7 +382,7 @@ mod tests {
         q.push(3, 'c');
         assert_eq!(q.remove_rank(1), Some((2, 'b')));
         assert_eq!(q.len(), 2);
-        // The remaining order is preserved across the heap rebuild.
+        // The remaining order is preserved across the removal.
         assert_eq!(q.remove_rank(0), Some((1, 'a')));
         assert_eq!(q.remove_rank(5), None, "out of range");
         assert_eq!(q.remove_rank(0), Some((3, 'c')));
@@ -223,5 +410,163 @@ mod tests {
         assert!(!q.is_empty());
         q.pop();
         assert!(q.is_empty());
+    }
+
+    #[test]
+    fn interleaved_push_pop_tracks_simulation_shape() {
+        // A DES-shaped load: pop the head, schedule a couple of
+        // follow-ups slightly in the future, repeat. Times must come
+        // out non-decreasing and FIFO among ties.
+        let mut q = EventQueue::new();
+        for n in 0..8u64 {
+            q.push(n * 100, n);
+        }
+        let mut last = (0u64, 0u64);
+        let mut popped = 0usize;
+        let mut spawned = 8u64;
+        while let Some((t, id)) = q.pop() {
+            assert!((t, id) >= last || popped == 0, "non-monotonic pop");
+            last = (t, id);
+            popped += 1;
+            if spawned < 600 {
+                q.push(t + 160, spawned);
+                spawned += 1;
+                q.push(t + 100, spawned);
+                spawned += 1;
+            }
+        }
+        assert_eq!(popped, 600);
+    }
+
+    #[test]
+    fn for_each_ranked_matches_iter_ranked() {
+        let mut q = EventQueue::new();
+        for i in 0..40u64 {
+            q.push((i * 37) % 11, i);
+        }
+        q.pop();
+        let via_iter: Vec<(u64, u64)> = q.iter_ranked().iter().map(|&(t, &p)| (t, p)).collect();
+        let mut via_for_each = Vec::new();
+        q.for_each_ranked(|t, &p| via_for_each.push((t, p)));
+        assert_eq!(via_iter, via_for_each);
+    }
+
+    #[test]
+    fn sparse_far_future_events_still_pop_in_order() {
+        // Widely separated times force the direct-search fallback.
+        let mut q = EventQueue::new();
+        let times = [5u64, 1 << 40, 3, 1 << 20, 7, (1 << 40) + 1];
+        for (i, &t) in times.iter().enumerate() {
+            q.push(t, i);
+        }
+        let mut sorted: Vec<u64> = times.to_vec();
+        sorted.sort_unstable();
+        let popped: Vec<u64> = std::iter::from_fn(|| q.pop().map(|(t, _)| t)).collect();
+        assert_eq!(popped, sorted);
+    }
+
+    // ---- differential check against the original binary-heap queue ----
+
+    /// The pre-calendar implementation, kept as the ordering oracle.
+    struct HeapQueue<T> {
+        heap: std::collections::BinaryHeap<std::cmp::Reverse<(u64, u64, T)>>,
+        seq: u64,
+    }
+
+    impl<T: Ord> HeapQueue<T> {
+        fn new() -> Self {
+            HeapQueue {
+                heap: std::collections::BinaryHeap::new(),
+                seq: 0,
+            }
+        }
+        fn push(&mut self, time: u64, payload: T) {
+            self.heap.push(std::cmp::Reverse((time, self.seq, payload)));
+            self.seq += 1;
+        }
+        fn pop(&mut self) -> Option<(u64, T)> {
+            self.heap.pop().map(|std::cmp::Reverse((t, _, p))| (t, p))
+        }
+        fn remove_rank(&mut self, rank: usize) -> Option<(u64, T)> {
+            if rank >= self.heap.len() {
+                return None;
+            }
+            let mut entries: Vec<(u64, u64, T)> = std::mem::take(&mut self.heap)
+                .into_iter()
+                .map(|std::cmp::Reverse(e)| e)
+                .collect();
+            entries.sort_by_key(|e| (e.0, e.1));
+            let chosen = entries.remove(rank);
+            self.heap = entries.into_iter().map(std::cmp::Reverse).collect();
+            Some((chosen.0, chosen.2))
+        }
+    }
+
+    /// xorshift64* — deterministic, dependency-free randomness.
+    fn rng_next(state: &mut u64) -> u64 {
+        let mut x = *state;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        *state = x;
+        x.wrapping_mul(0x2545_F491_4F6C_DD1D)
+    }
+
+    #[test]
+    fn differential_random_interleavings_match_heap_oracle() {
+        for seed in 1..=20u64 {
+            let mut state = seed.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+            let mut cal = EventQueue::new();
+            let mut heap = HeapQueue::new();
+            let mut now = 0u64;
+            for step in 0..2_000u64 {
+                match rng_next(&mut state) % 10 {
+                    // Pushes dominate early so the queue grows through
+                    // several resizes; time scales are mixed to exercise
+                    // dense laps, ties, and the sparse fallback.
+                    0..=5 => {
+                        let dt = match rng_next(&mut state) % 5 {
+                            0 => 0,
+                            1 => rng_next(&mut state) % 8,
+                            2 => rng_next(&mut state) % 500,
+                            3 => rng_next(&mut state) % 100_000,
+                            _ => rng_next(&mut state) % (1 << 30),
+                        };
+                        cal.push(now + dt, step);
+                        heap.push(now + dt, step);
+                    }
+                    6..=8 => {
+                        let a = cal.pop();
+                        let b = heap.pop();
+                        assert_eq!(a, b, "pop diverged (seed {seed}, step {step})");
+                        if let Some((t, _)) = a {
+                            now = t;
+                        }
+                    }
+                    _ => {
+                        let rank = if cal.is_empty() {
+                            0
+                        } else {
+                            (rng_next(&mut state) as usize) % (cal.len() + 1)
+                        };
+                        let a = cal.remove_rank(rank);
+                        let b = heap.remove_rank(rank);
+                        assert_eq!(a, b, "remove_rank diverged (seed {seed}, step {step})");
+                        if let Some((t, _)) = a {
+                            now = now.max(t);
+                        }
+                    }
+                }
+                assert_eq!(cal.len(), heap.heap.len());
+            }
+            // Drain both completely.
+            loop {
+                let (a, b) = (cal.pop(), heap.pop());
+                assert_eq!(a, b, "drain diverged (seed {seed})");
+                if a.is_none() {
+                    break;
+                }
+            }
+        }
     }
 }

@@ -37,6 +37,7 @@
 //! m.verify_coherence().unwrap();
 //! ```
 
+pub mod arena;
 pub mod concurrent;
 pub mod config;
 pub mod driver;
@@ -45,9 +46,11 @@ pub mod fault;
 pub mod machine;
 pub mod network;
 pub mod rng;
+pub mod shard;
 pub mod simcheck;
 pub mod stats;
 
+pub use arena::{Arena, ArenaId};
 pub use concurrent::ConcurrentMachine;
 pub use config::SystemConfig;
 pub use driver::{Access, AccessOp, IterationPlan, Phase};
@@ -55,4 +58,5 @@ pub use event::EventQueue;
 pub use fault::{FaultInjector, FaultPlan};
 pub use machine::{AccessOutcome, Machine, SimError, SpeculationPolicy};
 pub use network::Topology;
+pub use shard::ShardedMachine;
 pub use stats::MachineStats;

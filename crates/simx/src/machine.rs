@@ -404,6 +404,13 @@ impl Machine {
         self.ring.borrow().events()
     }
 
+    /// Visits the flight recorder's held events, oldest first, without
+    /// copying them out — the allocation-free form of
+    /// [`flight_events`](Self::flight_events).
+    pub fn for_each_flight_event(&self, f: impl FnMut(&Event)) {
+        self.ring.borrow().for_each(f);
+    }
+
     /// Renders the flight recorder's recent events — call this when a
     /// verification fails to see the message/transition history that led
     /// up to the violation.

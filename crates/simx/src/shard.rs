@@ -1,0 +1,1223 @@
+//! Sharded parallel execution of the concurrent engine (DESIGN.md §6h).
+//!
+//! [`ConcurrentMachine`](crate::ConcurrentMachine) processes one global
+//! event queue on one thread; at 1k+ nodes that single queue is the
+//! scaling wall. This engine partitions the machine by node — each
+//! *shard* owns a contiguous node range: those nodes' caches, clocks,
+//! scripts, handler-occupancy horizons, and the directory entries of
+//! every block homed on them — and executes shards in parallel under
+//! conservative time-window synchronisation.
+//!
+//! ## Why windows are safe
+//!
+//! Every cross-node interaction travels as a message with latency at
+//! least `L = min one-way latency` (≥ 160 ns on the paper's crossbar).
+//! If `floor` is the earliest pending event anywhere, no event executed
+//! in the window `[floor, floor + L)` can cause *another* node to act
+//! before `floor + L`: its sends all arrive at or after the window's
+//! end. Events an executing node schedules on *itself* (a grant
+//! completing a miss schedules the next issue +100 ns; a local memory
+//! access +120 ns) can land inside the window — the shard executes them
+//! in-window, in rank order, exactly as the sequential engine would.
+//!
+//! ## Why shard counts cannot change results
+//!
+//! Shards do pure protocol work and *log* their side effects; a
+//! sequential coordinator then merges the logs in the global `(time,
+//! tie)` rank order — the exact order the sequential engine would have
+//! popped those events — and replays them: assigning queue sequence
+//! numbers, appending trace records, feeding the flight recorder, and
+//! reconstructing the queue-depth histogram. Events pushed at window
+//! boundaries carry their replay-assigned `(time, seq)` rank; events
+//! spawned *inside* a window carry a composite tie-break derived from
+//! their parent's rank, constructed so that compact ranks sort before
+//! composite ones at equal times — which is precisely the order the
+//! sequential engine's global push counter would impose. The result:
+//! traces, statistics, tallies, and obs snapshots are byte-identical
+//! for every shard count, including the `shards = 1` sequential
+//! fallback (see `crates/simx/tests/shard_identity.rs`).
+//!
+//! ## What this engine deliberately omits
+//!
+//! Fault injection, speculation policies, span tracing, the simcheck
+//! stepping surface, and the value oracle stay on the serialized
+//! engines — they are debugging/evaluation features of small
+//! configurations, and the first three mutate cross-shard state in
+//! ways that would serialise the windows anyway. (The value oracle is
+//! omitted because it is free of observable effects: it feeds no
+//! stat, trace, or fingerprint.) Clean-fabric runs use only
+//! [`Issue`](SEvent::Issue) and [`Deliver`](SEvent::Deliver) events,
+//! which is all this engine implements.
+
+use crate::arena::{Arena, ArenaId};
+use crate::config::SystemConfig;
+use crate::driver::{AccessOp, IterationPlan, Phase};
+use crate::machine::SimError;
+use crate::stats::MachineStats;
+use obs::{Event as ObsEvent, EventRing, Severity};
+use stache::cache::{self, CacheAction};
+use stache::directory;
+use stache::invariants::check_block;
+use stache::placement::home_of_block;
+use stache::{
+    BlockAddr, CacheState, DirState, Msg, MsgType, NodeId, ProcOp, ProtocolConfig, ProtocolTally,
+};
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashMap, HashSet, VecDeque};
+use trace::{MsgRecord, TraceBundle, TraceMeta};
+
+/// A simulation event on the clean fabric.
+#[derive(Debug, Clone, Copy)]
+enum SEvent {
+    /// A processor attempts its next script operation.
+    Issue(NodeId),
+    /// A message is delivered to its receiver.
+    Deliver(Msg),
+}
+
+impl SEvent {
+    /// The node whose shard must execute this event.
+    fn owner(&self) -> NodeId {
+        match self {
+            SEvent::Issue(n) => *n,
+            SEvent::Deliver(m) => m.receiver,
+        }
+    }
+}
+
+/// Tie-break key ordering events at equal times: `(head, rest)`
+/// compared lexicographically as the flattened sequence `[head] ++
+/// rest`.
+///
+/// * Events pushed at a window boundary carry their replay-assigned
+///   global sequence number: `(seq, [])`.
+/// * Events spawned inside a window carry `(u64::MAX, [parent_time,
+///   parent_head, parent_rest ..., child_index])` — `u64::MAX` sorts
+///   them after every boundary event at the same time (the sequential
+///   push counter would have assigned them later seqs), the embedded
+///   parent rank orders children of different parents by their parents'
+///   processing order, and the child index orders siblings.
+type Tie = (u64, Vec<u64>);
+
+fn child_tie(parent_time: u64, parent: &Tie, index: u64) -> Tie {
+    let mut rest = Vec::with_capacity(parent.1.len() + 3);
+    rest.push(parent_time);
+    rest.push(parent.0);
+    rest.extend_from_slice(&parent.1);
+    rest.push(index);
+    (u64::MAX, rest)
+}
+
+/// One push a handler made while executing an event, in order.
+#[derive(Debug, Clone, Copy)]
+struct PushRec {
+    time: u64,
+    ev: SEvent,
+    /// Executed within the same window (an intra-node follow-up), so the
+    /// replay assigns it a sequence number but does not enqueue it.
+    consumed: bool,
+}
+
+/// One executed event, with offsets into the flat side-effect logs
+/// (`push_end` etc. are exclusive ends; starts are the previous entry's
+/// ends, consumed sequentially by the replay).
+#[derive(Debug)]
+struct LogEntry {
+    time: u64,
+    tie: Tie,
+    push_end: u32,
+    rec_end: u32,
+    ring_end: u32,
+}
+
+/// A shard's per-window side-effect log, buffers reused across windows.
+#[derive(Debug, Default)]
+struct WindowLog {
+    entries: Vec<LogEntry>,
+    pushes: Vec<PushRec>,
+    recs: Vec<MsgRecord>,
+    rings: Vec<ObsEvent>,
+}
+
+impl WindowLog {
+    fn clear(&mut self) {
+        self.entries.clear();
+        self.pushes.clear();
+        self.recs.clear();
+        self.rings.clear();
+    }
+}
+
+/// An in-flight directory transaction (clean-fabric subset of the
+/// concurrent engine's).
+#[derive(Debug, Clone)]
+struct STxn {
+    requester: NodeId,
+    reply: Option<MsgType>,
+    next: DirState,
+    outstanding: usize,
+    local: bool,
+}
+
+/// A request waiting for a busy block at its home directory.
+#[derive(Debug, Clone, Copy)]
+struct PendingReq {
+    msg: Msg,
+    arrived: u64,
+}
+
+/// One node-range partition of the machine.
+#[derive(Debug)]
+struct Shard {
+    proto: ProtocolConfig,
+    sys: SystemConfig,
+    /// First owned node index; the shard owns `lo .. lo + clocks.len()`.
+    lo: usize,
+    /// Cross-window pending events, compact `(time, seq)` ranks only.
+    queue: BinaryHeap<Reverse<(u64, u64, ArenaId)>>,
+    /// The current window's working set, ranked by `(time, tie)`.
+    wheap: BinaryHeap<Reverse<(u64, Tie, ArenaId)>>,
+    /// Backing storage for queued and in-window events: slots recycle
+    /// through the free list, so steady-state execution allocates
+    /// nothing per message.
+    events: Arena<SEvent>,
+    /// Waiting-room storage for requests queued behind a busy block.
+    preqs: Arena<PendingReq>,
+    // -- owned protocol state --
+    caches: Vec<HashMap<BlockAddr, CacheState>>,
+    dirs: HashMap<BlockAddr, DirState>,
+    txns: HashMap<BlockAddr, STxn>,
+    pending: HashMap<BlockAddr, VecDeque<ArenaId>>,
+    overflowed: HashSet<BlockAddr>,
+    dir_busy: Vec<u64>,
+    cache_busy: Vec<u64>,
+    clocks: Vec<u64>,
+    scripts: Vec<VecDeque<(BlockAddr, ProcOp)>>,
+    waiting: Vec<Option<(BlockAddr, ProcOp, u64)>>,
+    stats: MachineStats,
+    tally: ProtocolTally,
+    log: WindowLog,
+    ring_enabled: bool,
+    capture_trace: bool,
+    iteration: u32,
+    // -- current-event context while a window runs --
+    horizon: u64,
+    cur_time: u64,
+    cur_tie: Tie,
+    cur_children: u64,
+}
+
+impl Shard {
+    fn new(proto: ProtocolConfig, sys: SystemConfig, lo: usize, count: usize) -> Self {
+        Shard {
+            proto,
+            sys,
+            lo,
+            queue: BinaryHeap::new(),
+            wheap: BinaryHeap::new(),
+            events: Arena::new(),
+            preqs: Arena::new(),
+            caches: vec![HashMap::new(); count],
+            dirs: HashMap::new(),
+            txns: HashMap::new(),
+            pending: HashMap::new(),
+            overflowed: HashSet::new(),
+            dir_busy: vec![0; count],
+            cache_busy: vec![0; count],
+            clocks: vec![0; count],
+            scripts: vec![VecDeque::new(); count],
+            waiting: vec![None; count],
+            stats: MachineStats::default(),
+            tally: ProtocolTally::new(),
+            log: WindowLog::default(),
+            ring_enabled: true,
+            capture_trace: true,
+            iteration: 0,
+            horizon: 0,
+            cur_time: 0,
+            cur_tie: (0, Vec::new()),
+            cur_children: 0,
+        }
+    }
+
+    #[inline]
+    fn li(&self, node: NodeId) -> usize {
+        node.index() - self.lo
+    }
+
+    /// Earliest pending cross-window event time.
+    fn peek_time(&self) -> Option<u64> {
+        self.queue.peek().map(|Reverse((t, _, _))| *t)
+    }
+
+    /// Enqueues an event with its replay-assigned compact rank.
+    fn enqueue(&mut self, time: u64, seq: u64, ev: SEvent) {
+        let id = self.events.alloc(ev);
+        self.queue.push(Reverse((time, seq, id)));
+    }
+
+    /// Executes every owned event with `time < horizon`, appending all
+    /// side effects to the window log.
+    fn run_window(&mut self, horizon: u64) -> Result<(), SimError> {
+        self.horizon = horizon;
+        while let Some(&Reverse((t, _, _))) = self.queue.peek() {
+            if t >= horizon {
+                break;
+            }
+            let Reverse((t, seq, id)) = self.queue.pop().expect("peeked");
+            self.wheap.push(Reverse((t, (seq, Vec::new()), id)));
+        }
+        while let Some(Reverse((t, tie, id))) = self.wheap.pop() {
+            let ev = self.events.free(id).expect("live window event");
+            self.cur_time = t;
+            self.cur_tie = tie;
+            self.cur_children = 0;
+            match ev {
+                SEvent::Issue(n) => self.on_issue(n, t)?,
+                SEvent::Deliver(msg) => self.on_deliver(&msg, t)?,
+            }
+            let tie = std::mem::take(&mut self.cur_tie);
+            self.log.entries.push(LogEntry {
+                time: t,
+                tie,
+                push_end: self.log.pushes.len() as u32,
+                rec_end: self.log.recs.len() as u32,
+                ring_end: self.log.rings.len() as u32,
+            });
+        }
+        Ok(())
+    }
+
+    /// Logs a push made by the current event. Pushes landing inside the
+    /// window are intra-node follow-ups: they join the window heap with
+    /// a composite tie derived from the current event's rank.
+    fn push_event(&mut self, at: u64, ev: SEvent) {
+        let consumed = at < self.horizon;
+        self.log.pushes.push(PushRec {
+            time: at,
+            ev,
+            consumed,
+        });
+        if consumed {
+            debug_assert!(
+                self.li(ev.owner()) < self.clocks.len(),
+                "intra-window pushes stay on the owning shard"
+            );
+            let tie = child_tie(self.cur_time, &self.cur_tie, self.cur_children);
+            self.cur_children += 1;
+            let id = self.events.alloc(ev);
+            self.wheap.push(Reverse((at, tie, id)));
+        }
+    }
+
+    fn one_way(&self, from: NodeId, to: NodeId) -> u64 {
+        self.sys.one_way_between_ns(from, to, self.proto.nodes)
+    }
+
+    fn send(&mut self, at: u64, msg: Msg) {
+        let hop = self.one_way(msg.sender, msg.receiver);
+        self.stats.net_latency_ns.record(hop);
+        self.push_event(at + hop, SEvent::Deliver(msg));
+    }
+
+    fn record(&mut self, time: u64, msg: &Msg) {
+        self.stats.count_message(msg.mtype);
+        if self.ring_enabled {
+            self.log.rings.push(
+                ObsEvent::new(time, Severity::Info, "msg.recv")
+                    .node(msg.receiver.raw())
+                    .block(msg.block.number())
+                    .msg(msg.mtype.paper_name())
+                    .value(msg.sender.raw() as u64),
+            );
+        }
+        if self.capture_trace {
+            self.log
+                .recs
+                .push(MsgRecord::from_msg(msg, time, self.iteration));
+        }
+    }
+
+    fn cache_state(&self, node: NodeId, block: BlockAddr) -> CacheState {
+        self.caches[self.li(node)]
+            .get(&block)
+            .copied()
+            .unwrap_or(CacheState::Invalid)
+    }
+
+    fn set_cache_state(&mut self, node: NodeId, block: BlockAddr, s: CacheState) {
+        let prev = self.cache_state(node, block);
+        self.tally.cache_transition(prev, s);
+        let li = self.li(node);
+        if s == CacheState::Invalid {
+            self.caches[li].remove(&block);
+        } else {
+            self.caches[li].insert(block, s);
+        }
+        if self.ring_enabled {
+            self.log.rings.push(
+                ObsEvent::new(self.clocks[li], Severity::Debug, "cache.transition")
+                    .node(node.raw())
+                    .block(block.number())
+                    .msg(s.short_name()),
+            );
+        }
+    }
+
+    fn set_dir(&mut self, block: BlockAddr, next: DirState) {
+        match (&next, self.proto.limited_pointers) {
+            (DirState::Shared(s), Some(budget)) if s.len() > budget => {
+                if self.overflowed.insert(block) {
+                    self.stats.directory_overflows += 1;
+                }
+            }
+            (DirState::Shared(_), _) => {}
+            _ => {
+                self.overflowed.remove(&block);
+            }
+        }
+        self.tally
+            .dir_transition(self.dirs.get(&block).unwrap_or(&DirState::Idle), &next);
+        self.dirs.insert(block, next);
+    }
+
+    fn on_issue(&mut self, node: NodeId, t: u64) -> Result<(), SimError> {
+        let li = self.li(node);
+        let mut now = self.clocks[li].max(t);
+        while let Some(&(block, op)) = self.scripts[li].front() {
+            let home = home_of_block(block, &self.proto);
+            if node == home {
+                let dir = self.dirs.entry(block).or_default().clone();
+                let sufficient = match op {
+                    ProcOp::Read => dir.node_readable(node),
+                    ProcOp::Write => dir.node_writable(node),
+                } && !self.txns.contains_key(&block);
+                if sufficient {
+                    self.scripts[li].pop_front();
+                    self.stats.count_access(op, true, self.sys.cache_hit_ns);
+                    now += self.sys.cache_hit_ns;
+                    continue;
+                }
+                self.scripts[li].pop_front();
+                self.waiting[li] = Some((block, op, now));
+                self.clocks[li] = now;
+                let req = match op {
+                    ProcOp::Read => MsgType::GetRoRequest,
+                    ProcOp::Write => MsgType::GetRwRequest,
+                };
+                let marker = Msg::new(node, node, block, req);
+                self.enqueue_or_start(marker, now)?;
+                return Ok(());
+            }
+            let state = self.cache_state(node, block);
+            let (transient, action) = cache::on_processor_op(state, op)?;
+            match action {
+                CacheAction::Hit => {
+                    self.scripts[li].pop_front();
+                    self.stats.count_access(op, true, self.sys.cache_hit_ns);
+                    now += self.sys.cache_hit_ns;
+                }
+                CacheAction::Send(req) => {
+                    self.scripts[li].pop_front();
+                    self.set_cache_state(node, block, transient);
+                    let li = self.li(node);
+                    self.waiting[li] = Some((block, op, now));
+                    self.clocks[li] = now;
+                    self.send(now, Msg::new(node, home, block, req));
+                    return Ok(());
+                }
+            }
+        }
+        self.clocks[li] = now;
+        Ok(())
+    }
+
+    fn on_deliver(&mut self, msg: &Msg, t: u64) -> Result<(), SimError> {
+        if msg.receiver_role() == stache::Role::Directory {
+            self.on_directory_receive(msg, t)
+        } else {
+            self.on_cache_receive(msg, t)
+        }
+    }
+
+    fn on_directory_receive(&mut self, msg: &Msg, t: u64) -> Result<(), SimError> {
+        if msg.mtype.is_request() {
+            // Local markers (sender == receiver) are not real messages.
+            if msg.sender != msg.receiver {
+                self.record(t, msg);
+            }
+            self.enqueue_or_start(*msg, t)
+        } else {
+            self.record(t, msg);
+            match self.txns.get_mut(&msg.block) {
+                Some(txn) => {
+                    txn.outstanding -= 1;
+                    if txn.outstanding == 0 {
+                        let service = t + self.sys.handler_ns;
+                        self.finish_txn(msg.block, service)?;
+                    }
+                }
+                None => {
+                    // A voluntary writeback (only speculation policies
+                    // produce these; kept for protocol completeness).
+                    debug_assert_eq!(msg.mtype, MsgType::InvalRwResponse, "voluntary writeback");
+                    let dir = self.dirs.entry(msg.block).or_default().clone();
+                    if dir.owner() == Some(msg.sender) {
+                        self.set_dir(msg.block, DirState::Idle);
+                    }
+                }
+            }
+            Ok(())
+        }
+    }
+
+    fn enqueue_or_start(&mut self, msg: Msg, t: u64) -> Result<(), SimError> {
+        if self.txns.contains_key(&msg.block) {
+            let id = self.preqs.alloc(PendingReq { msg, arrived: t });
+            self.pending.entry(msg.block).or_default().push_back(id);
+            Ok(())
+        } else {
+            self.start_txn(msg, t)
+        }
+    }
+
+    fn start_txn(&mut self, msg: Msg, t: u64) -> Result<(), SimError> {
+        let home = msg.receiver;
+        let block = msg.block;
+        let local = msg.sender == msg.receiver;
+        let hli = self.li(home);
+        let service = t.max(self.dir_busy[hli]);
+        let dispatch = service + self.sys.handler_ns;
+        self.dir_busy[hli] = dispatch;
+
+        let dir = self.dirs.entry(block).or_default().clone();
+        // The upgrade race: the requester lost its copy to a concurrent
+        // writer while this request was queued; convert to a write miss.
+        let mut effective = msg.mtype;
+        let mut reply_override = None;
+        if effective == MsgType::UpgradeRequest && !dir.holders().contains(msg.sender) {
+            effective = MsgType::GetRwRequest;
+            reply_override = Some(MsgType::GetRwResponse);
+        }
+        let outcome = if local {
+            let op = match effective {
+                MsgType::GetRoRequest => ProcOp::Read,
+                MsgType::GetRwRequest | MsgType::UpgradeRequest => ProcOp::Write,
+                other => unreachable!("local marker {other}"),
+            };
+            match directory::handle_local(&dir, home, op, &self.proto) {
+                Some(o) => o,
+                None => {
+                    // Rights appeared while the request was queued.
+                    self.dir_busy[hli] = service; // handler unused
+                    return self.complete_local(home, block, dispatch);
+                }
+            }
+        } else {
+            directory::handle_request(&dir, home, msg.sender, effective, &self.proto)
+                .map_err(SimError::Protocol)?
+        };
+        let mut holder_requests = outcome.holder_requests;
+        if self.overflowed.contains(&block) && matches!(outcome.next, DirState::Exclusive(_)) {
+            holder_requests = (0..self.proto.nodes)
+                .map(NodeId::new)
+                .filter(|&n| n != msg.sender && n != home)
+                .map(|n| (n, MsgType::InvalRoRequest))
+                .collect();
+        }
+        let reply = if local {
+            None
+        } else {
+            Some(reply_override.unwrap_or_else(|| outcome.reply.expect("remote grants reply")))
+        };
+        let txn = STxn {
+            requester: msg.sender,
+            reply,
+            next: outcome.next,
+            outstanding: holder_requests.len(),
+            local,
+        };
+        for (target, imsg) in &holder_requests {
+            self.send(dispatch, Msg::new(home, *target, block, *imsg));
+        }
+        self.txns.insert(block, txn);
+        if holder_requests.is_empty() {
+            self.finish_txn(block, dispatch)?;
+        }
+        Ok(())
+    }
+
+    fn finish_txn(&mut self, block: BlockAddr, t: u64) -> Result<(), SimError> {
+        let txn = self.txns.remove(&block).expect("transaction in flight");
+        let home = home_of_block(block, &self.proto);
+        self.set_dir(block, txn.next);
+        if txn.local {
+            self.complete_local(home, block, t)?;
+        } else {
+            let reply = txn.reply.expect("remote transactions reply");
+            self.send(t, Msg::new(home, txn.requester, block, reply));
+        }
+        // The block is free: service the next queued request, if any.
+        if let Some(id) = self.pending.get_mut(&block).and_then(VecDeque::pop_front) {
+            let next = self.preqs.free(id).expect("queued request live");
+            let resume = next.arrived.max(t);
+            self.start_txn(next.msg, resume)?;
+        }
+        Ok(())
+    }
+
+    /// Completes the home node's own (message-free) access.
+    fn complete_local(&mut self, home: NodeId, block: BlockAddr, t: u64) -> Result<(), SimError> {
+        let li = self.li(home);
+        let (wblock, op, issued) = self.waiting[li].take().expect("home was waiting");
+        debug_assert_eq!(wblock, block);
+        let done = t + self.sys.mem_access_ns;
+        self.clocks[li] = self.clocks[li].max(done);
+        self.stats
+            .count_access(op, false, done.saturating_sub(issued));
+        self.push_event(done, SEvent::Issue(home));
+        Ok(())
+    }
+
+    fn on_cache_receive(&mut self, msg: &Msg, t: u64) -> Result<(), SimError> {
+        self.record(t, msg);
+        let node = msg.receiver;
+        let li = self.li(node);
+        let block = msg.block;
+        let state = self.cache_state(node, block);
+        // The cache's software handler serialises incoming messages.
+        let service = t.max(self.cache_busy[li]);
+        let handled = service + self.sys.handler_ns;
+        self.cache_busy[li] = handled;
+
+        // The replacement race: an owner-recall crossing a voluntary
+        // writeback finds the cache already empty; the writeback serves
+        // as the acknowledgment, so stay silent.
+        if msg.mtype == MsgType::InvalRwRequest
+            && matches!(
+                state,
+                CacheState::Invalid | CacheState::IToS | CacheState::IToE
+            )
+        {
+            return Ok(());
+        }
+
+        // A broadcast invalidation reaching a node without a shared copy:
+        // acknowledge without touching the line.
+        if msg.mtype == MsgType::InvalRoRequest
+            && matches!(
+                state,
+                CacheState::Invalid | CacheState::IToS | CacheState::IToE
+            )
+        {
+            let home = msg.sender;
+            self.send(
+                handled,
+                Msg::new(node, home, block, MsgType::InvalRoResponse),
+            );
+            return Ok(());
+        }
+
+        let (next, reply) = cache::on_message(state, msg.mtype)?;
+        self.set_cache_state(node, block, next);
+        match reply {
+            Some(resp) => {
+                // An invalidation or downgrade: acknowledge to the home.
+                let home = msg.sender;
+                self.send(handled, Msg::new(node, home, block, resp));
+            }
+            None => {
+                // A grant: the processor's miss completes.
+                let li = self.li(node);
+                let (wblock, op, issued) = self.waiting[li].take().expect("node was waiting");
+                debug_assert_eq!(wblock, block);
+                let done = handled;
+                self.clocks[li] = self.clocks[li].max(done);
+                self.stats
+                    .count_access(op, false, done.saturating_sub(issued));
+                self.push_event(done, SEvent::Issue(node));
+            }
+        }
+        Ok(())
+    }
+}
+
+/// The sharded machine: a coordinator plus `shards` node-range
+/// partitions executed in parallel per window. See the module docs for
+/// the synchronisation and determinism arguments.
+#[derive(Debug)]
+pub struct ShardedMachine {
+    proto: ProtocolConfig,
+    sys: SystemConfig,
+    shards: Vec<Shard>,
+    /// Nodes per shard (the last shard may own fewer).
+    chunk: usize,
+    /// The conservative lookahead `L`: minimum one-way latency between
+    /// distinct nodes.
+    lookahead: u64,
+    /// Global event-queue sequence counter, assigned during replay in
+    /// exactly the sequential engine's push order.
+    seq: u64,
+    /// Virtual queue length during replay, for the depth histogram.
+    vlen: u64,
+    depth: obs::Histogram,
+    trace: TraceBundle,
+    ring: EventRing,
+    coord_stats: MachineStats,
+    coord_tally: ProtocolTally,
+    capture_trace: bool,
+    audit_barriers: bool,
+    iteration: u32,
+    windows: u64,
+}
+
+impl ShardedMachine {
+    /// Creates a machine partitioned into (at most) `shards` node groups.
+    /// `shards = 1` is the sequential fallback: same code path, no
+    /// threads, byte-identical output by construction.
+    pub fn new(proto: ProtocolConfig, sys: SystemConfig, shards: usize) -> Self {
+        let nodes = proto.nodes;
+        let shards = shards.clamp(1, nodes);
+        let chunk = nodes.div_ceil(shards);
+        let mut parts = Vec::new();
+        let mut lo = 0;
+        while lo < nodes {
+            let count = chunk.min(nodes - lo);
+            parts.push(Shard::new(proto.clone(), sys.clone(), lo, count));
+            lo += count;
+        }
+        let mut lookahead = u64::MAX;
+        for a in 0..nodes {
+            for b in 0..nodes {
+                if a != b {
+                    lookahead = lookahead.min(sys.one_way_between_ns(
+                        NodeId::new(a),
+                        NodeId::new(b),
+                        nodes,
+                    ));
+                }
+            }
+        }
+        if lookahead == u64::MAX || lookahead == 0 {
+            lookahead = 1;
+        }
+        ShardedMachine {
+            trace: TraceBundle::new(TraceMeta::new("unnamed", nodes, 0)),
+            proto,
+            sys,
+            shards: parts,
+            chunk,
+            lookahead,
+            seq: 0,
+            vlen: 0,
+            depth: obs::Histogram::new(),
+            ring: EventRing::default(),
+            coord_stats: MachineStats::default(),
+            coord_tally: ProtocolTally::new(),
+            capture_trace: true,
+            audit_barriers: true,
+            iteration: 0,
+            windows: 0,
+        }
+    }
+
+    /// Names the trace.
+    pub fn set_app(&mut self, app: &str, iterations: u32) {
+        let nodes = self.proto.nodes;
+        let mut bundle = TraceBundle::new(TraceMeta::new(app, nodes, iterations));
+        bundle.extend_records(self.trace.records().iter().copied());
+        self.trace = bundle;
+    }
+
+    /// Turns trace capture off (or back on). Off, delivered messages are
+    /// still *counted* — `simx.trace.records` stays truthful — but no
+    /// [`MsgRecord`] is materialised: the streaming mode for
+    /// 1k-node/million-block scale runs whose traces would not fit in
+    /// memory.
+    pub fn set_capture_trace(&mut self, capture: bool) {
+        self.capture_trace = capture;
+        for s in &mut self.shards {
+            s.capture_trace = capture;
+        }
+    }
+
+    /// Turns the per-barrier coherence audit off (or back on). The audit
+    /// walks every touched block at every barrier — exhaustive and right
+    /// for protocol validation, but O(blocks × nodes × barriers) and so
+    /// unaffordable at millions of blocks. Scale runs disable it and
+    /// finish with one [`verify_coherence_sampled`]
+    /// (Self::verify_coherence_sampled) sweep instead. Note the audit
+    /// feeds `stache.invariant.checks`, so snapshots are only comparable
+    /// between runs using the same audit setting.
+    pub fn set_audit_barriers(&mut self, audit: bool) {
+        self.audit_barriers = audit;
+    }
+
+    /// Enables or disables the flight recorder (enabled by default).
+    pub fn set_ring_enabled(&mut self, enabled: bool) {
+        self.ring.set_enabled(enabled);
+        for s in &mut self.shards {
+            s.ring_enabled = enabled;
+        }
+    }
+
+    /// Number of shards actually created.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// The conservative lookahead `L` in ns (window width).
+    pub fn lookahead_ns(&self) -> u64 {
+        self.lookahead
+    }
+
+    /// Synchronisation windows executed so far. Identical for every
+    /// shard count — the window sequence is a global property of the
+    /// event timeline, not of the partitioning.
+    pub fn windows(&self) -> u64 {
+        self.windows
+    }
+
+    /// The captured trace.
+    pub fn trace(&self) -> &TraceBundle {
+        &self.trace
+    }
+
+    /// Consumes the machine, returning its trace.
+    pub fn into_trace(self) -> TraceBundle {
+        self.trace
+    }
+
+    /// Machine statistics, merged across shards.
+    pub fn stats(&self) -> MachineStats {
+        let mut s = self.coord_stats.clone();
+        for sh in &self.shards {
+            s.merge(&sh.stats);
+        }
+        s
+    }
+
+    /// Protocol tallies, merged across shards.
+    pub fn tally(&self) -> ProtocolTally {
+        let mut t = self.coord_tally.clone();
+        for sh in &self.shards {
+            t.merge(&sh.tally);
+        }
+        t
+    }
+
+    /// The flight recorder's retained events, oldest first.
+    pub fn flight_events(&self) -> Vec<ObsEvent> {
+        self.ring.events()
+    }
+
+    /// Visits the flight recorder's retained events, oldest first,
+    /// without copying them out.
+    pub fn for_each_flight_event(&self, f: impl FnMut(&ObsEvent)) {
+        self.ring.for_each(f);
+    }
+
+    /// Execution time so far (latest node clock).
+    pub fn execution_time_ns(&self) -> u64 {
+        self.shards
+            .iter()
+            .flat_map(|s| s.clocks.iter().copied())
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// One node's recorded cache state for a block.
+    pub fn cache_state(&self, node: NodeId, block: BlockAddr) -> CacheState {
+        self.shards[self.shard_of(node)].cache_state(node, block)
+    }
+
+    /// Every node's effective cache state for `block` (home rights are
+    /// derived from the directory entry, as in the audits).
+    pub fn cache_states_for(&self, block: BlockAddr) -> Vec<CacheState> {
+        let home = home_of_block(block, &self.proto);
+        let dir = self.dir_state(block);
+        (0..self.proto.nodes)
+            .map(|i| {
+                let n = NodeId::new(i);
+                if n == home {
+                    if dir.node_writable(n) {
+                        CacheState::Exclusive
+                    } else if dir.node_readable(n) {
+                        CacheState::Shared
+                    } else {
+                        CacheState::Invalid
+                    }
+                } else {
+                    self.cache_state(n, block)
+                }
+            })
+            .collect()
+    }
+
+    /// The directory entry for `block` (`Idle` if never touched).
+    pub fn dir_state(&self, block: BlockAddr) -> DirState {
+        let home = home_of_block(block, &self.proto);
+        self.shards[self.shard_of(home)]
+            .dirs
+            .get(&block)
+            .cloned()
+            .unwrap_or_default()
+    }
+
+    /// Point-in-time export of every machine metric. Byte-identical for
+    /// every shard count (only deterministic, partition-independent
+    /// metrics are included).
+    pub fn obs_snapshot(&self) -> obs::Snapshot {
+        let mut snap = obs::Snapshot::new();
+        let stats = self.stats();
+        stats.export_obs(&mut snap);
+        self.tally().export_obs(&mut snap);
+        let records = if self.capture_trace {
+            self.trace.len() as u64
+        } else {
+            stats.messages_total()
+        };
+        snap.counter("simx.trace.records", records);
+        snap.counter("simx.ring.events_total", self.ring.total_pushed());
+        snap.histogram("simx.queue.depth", &self.depth);
+        snap.counter("simx.shard.windows", self.windows);
+        snap.gauge("simx.shard.lookahead_ns", self.lookahead as f64);
+        snap
+    }
+
+    #[inline]
+    fn shard_of(&self, node: NodeId) -> usize {
+        node.index() / self.chunk
+    }
+
+    /// Executes one iteration plan: each phase runs to quiescence, then a
+    /// barrier synchronises the clocks and audits coherence.
+    ///
+    /// # Errors
+    ///
+    /// Propagates protocol errors and invariant violations.
+    pub fn run_plan(&mut self, plan: &IterationPlan, iteration: u32) -> Result<(), SimError> {
+        self.iteration = iteration;
+        for s in &mut self.shards {
+            s.iteration = iteration;
+        }
+        for phase in &plan.phases {
+            self.run_phase(phase)?;
+            self.barrier()?;
+        }
+        Ok(())
+    }
+
+    fn run_phase(&mut self, phase: &Phase) -> Result<(), SimError> {
+        self.begin_phase(phase);
+        while let Some(floor) = self.min_pending() {
+            let horizon = floor.saturating_add(self.lookahead);
+            self.windows += 1;
+            self.run_windows(horizon)?;
+            self.replay_windows();
+        }
+        Ok(())
+    }
+
+    fn min_pending(&self) -> Option<u64> {
+        self.shards.iter().filter_map(Shard::peek_time).min()
+    }
+
+    /// Loads a phase's scripts and seeds each node's first issue event —
+    /// sequentially, so the seeds carry the same compact ranks the
+    /// sequential engine assigns.
+    fn begin_phase(&mut self, phase: &Phase) {
+        for (node, accesses) in phase.per_node.iter().enumerate() {
+            let si = self.shard_of(NodeId::new(node));
+            let li = node - self.shards[si].lo;
+            let script = &mut self.shards[si].scripts[li];
+            debug_assert!(script.is_empty(), "previous phase drained");
+            for a in accesses {
+                debug_assert_eq!(a.node.index(), node);
+                match a.op {
+                    AccessOp::Read => script.push_back((a.block, ProcOp::Read)),
+                    AccessOp::Write => script.push_back((a.block, ProcOp::Write)),
+                    AccessOp::ReadModifyWrite => {
+                        script.push_back((a.block, ProcOp::Read));
+                        script.push_back((a.block, ProcOp::Write));
+                    }
+                }
+            }
+            if !script.is_empty() {
+                let n = NodeId::new(node);
+                let start = self.shards[si].clocks[li] + phase.delay(n);
+                self.shards[si].clocks[li] = start;
+                let seq = self.seq;
+                self.seq += 1;
+                self.vlen += 1;
+                self.depth.record(self.vlen);
+                self.shards[si].enqueue(start, seq, SEvent::Issue(n));
+            }
+        }
+    }
+
+    /// Runs one window on every shard — in parallel when there is more
+    /// than one shard, inline otherwise (the sequential fallback).
+    fn run_windows(&mut self, horizon: u64) -> Result<(), SimError> {
+        if self.shards.len() == 1 {
+            return self.shards[0].run_window(horizon);
+        }
+        let results: Vec<Result<(), SimError>> = std::thread::scope(|scope| {
+            let handles: Vec<_> = self
+                .shards
+                .iter_mut()
+                .map(|sh| scope.spawn(move || sh.run_window(horizon)))
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("shard thread panicked"))
+                .collect()
+        });
+        results.into_iter().collect()
+    }
+
+    /// Merges the shards' window logs in global rank order and replays
+    /// their side effects: sequence-number assignment (which fixes the
+    /// rank of every event entering the next window), trace records,
+    /// flight-recorder events, and the queue-depth histogram.
+    fn replay_windows(&mut self) {
+        let logs: Vec<WindowLog> = self
+            .shards
+            .iter_mut()
+            .map(|s| std::mem::take(&mut s.log))
+            .collect();
+        let k = logs.len();
+        let mut ei = vec![0usize; k]; // next entry per shard
+        let mut pi = vec![0usize; k]; // consumed pushes per shard
+        let mut ri = vec![0usize; k]; // consumed trace records per shard
+        let mut gi = vec![0usize; k]; // consumed ring events per shard
+        loop {
+            let mut best: Option<usize> = None;
+            for s in 0..k {
+                if ei[s] >= logs[s].entries.len() {
+                    continue;
+                }
+                let e = &logs[s].entries[ei[s]];
+                let better = match best {
+                    None => true,
+                    Some(b) => {
+                        let be = &logs[b].entries[ei[b]];
+                        (e.time, &e.tie) < (be.time, &be.tie)
+                    }
+                };
+                if better {
+                    best = Some(s);
+                }
+            }
+            let Some(s) = best else { break };
+            let e = &logs[s].entries[ei[s]];
+            self.vlen -= 1; // the executed event itself popped
+            for g in gi[s]..e.ring_end as usize {
+                self.ring.push(logs[s].rings[g]);
+            }
+            gi[s] = e.ring_end as usize;
+            if self.capture_trace {
+                for r in ri[s]..e.rec_end as usize {
+                    self.trace.push(logs[s].recs[r]);
+                }
+            }
+            ri[s] = e.rec_end as usize;
+            let push_end = e.push_end as usize;
+            let time_tie_done = ei[s];
+            let _ = time_tie_done;
+            for p in pi[s]..push_end {
+                let push = logs[s].pushes[p];
+                let seq = self.seq;
+                self.seq += 1;
+                self.vlen += 1;
+                self.depth.record(self.vlen);
+                if !push.consumed {
+                    let si = self.shard_of(push.ev.owner());
+                    self.shards[si].enqueue(push.time, seq, push.ev);
+                }
+            }
+            pi[s] = push_end;
+            ei[s] += 1;
+        }
+        for (s, mut log) in logs.into_iter().enumerate() {
+            log.clear();
+            self.shards[s].log = log;
+        }
+    }
+
+    /// Barrier: quiescent by construction; audits the invariants and
+    /// synchronises clocks.
+    fn barrier(&mut self) -> Result<(), SimError> {
+        debug_assert!(
+            self.shards.iter().all(|s| s.txns.is_empty()),
+            "transactions drained at barrier"
+        );
+        if self.audit_barriers {
+            self.verify_coherence()?;
+        }
+        let max = self.execution_time_ns();
+        for s in &mut self.shards {
+            for c in &mut s.clocks {
+                *c = max + self.sys.barrier_ns;
+            }
+        }
+        self.coord_stats.barriers += 1;
+        Ok(())
+    }
+
+    /// Audits the full-map/SWMR invariants for every touched block
+    /// (callable at quiescence — between phases).
+    ///
+    /// # Errors
+    ///
+    /// Returns the first violation found.
+    pub fn verify_coherence(&mut self) -> Result<(), SimError> {
+        let mut blocks: HashSet<BlockAddr> = HashSet::new();
+        for s in &self.shards {
+            blocks.extend(s.dirs.keys().copied());
+            for c in &s.caches {
+                blocks.extend(c.keys().copied());
+            }
+        }
+        let mut blocks: Vec<BlockAddr> = blocks.into_iter().collect();
+        blocks.sort_by_key(|b| b.number());
+        for block in blocks {
+            self.check_one_block(block)?;
+        }
+        Ok(())
+    }
+
+    /// Audits the coherence invariants for at most `max_blocks` touched
+    /// blocks, stride-sampled deterministically across the sorted touched
+    /// set. The affordable end-of-run check for millions-of-blocks scale
+    /// runs, where the exhaustive [`verify_coherence`]
+    /// (Self::verify_coherence) would cost O(blocks × nodes).
+    ///
+    /// # Errors
+    ///
+    /// Returns the first violation found among the sampled blocks.
+    pub fn verify_coherence_sampled(&mut self, max_blocks: usize) -> Result<(), SimError> {
+        if max_blocks == 0 {
+            return Ok(());
+        }
+        let mut blocks: Vec<BlockAddr> = Vec::new();
+        for s in &self.shards {
+            blocks.extend(s.dirs.keys().copied());
+        }
+        blocks.sort_by_key(|b| b.number());
+        blocks.dedup();
+        let stride = blocks.len().div_ceil(max_blocks).max(1);
+        for block in blocks.into_iter().step_by(stride) {
+            self.check_one_block(block)?;
+        }
+        Ok(())
+    }
+
+    fn check_one_block(&mut self, block: BlockAddr) -> Result<(), SimError> {
+        let dir = self.dir_state(block);
+        let states = self.cache_states_for(block);
+        self.coord_tally.count_invariant_check();
+        if let Err(v) = check_block(block, &dir, &states) {
+            self.coord_tally.count_invariant_failure();
+            let mut ev = ObsEvent::new(
+                self.execution_time_ns(),
+                Severity::Error,
+                "invariant.failure",
+            )
+            .block(block.number())
+            .msg(v.kind_name());
+            if let Some(n) = v.node() {
+                ev = ev.node(n.raw());
+            }
+            self.ring.push(ev);
+            return Err(SimError::from(v));
+        }
+        Ok(())
+    }
+}
+
+/// Runs a workload-style plan stream through a fresh sharded machine.
+///
+/// # Errors
+///
+/// Propagates any [`SimError`].
+pub fn run_workload_sharded<F>(
+    name: &str,
+    iterations: u32,
+    mut plan_for: F,
+    proto: ProtocolConfig,
+    sys: SystemConfig,
+    shards: usize,
+) -> Result<ShardedMachine, SimError>
+where
+    F: FnMut(u32) -> IterationPlan,
+{
+    let mut m = ShardedMachine::new(proto, sys, shards);
+    m.set_app(name, iterations);
+    for it in 0..iterations {
+        let plan = plan_for(it);
+        m.run_plan(&plan, it)?;
+    }
+    m.verify_coherence()?;
+    Ok(m)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::driver::Access;
+
+    fn n(i: usize) -> NodeId {
+        NodeId::new(i)
+    }
+
+    fn plan_of(phases: Vec<Vec<Access>>) -> IterationPlan {
+        let mut plan = IterationPlan::new();
+        for accesses in phases {
+            let mut phase = Phase::new(16);
+            for a in accesses {
+                phase.push(a);
+            }
+            plan.push(phase);
+        }
+        plan
+    }
+
+    #[test]
+    fn single_miss_round_trip() {
+        let mut m = ShardedMachine::new(ProtocolConfig::paper(), SystemConfig::paper(), 4);
+        let plan = plan_of(vec![vec![Access::read(n(1), BlockAddr::new(0))]]);
+        m.run_plan(&plan, 0).unwrap();
+        let types: Vec<MsgType> = m.trace().records().iter().map(|r| r.mtype).collect();
+        assert_eq!(types, vec![MsgType::GetRoRequest, MsgType::GetRoResponse]);
+        m.verify_coherence().unwrap();
+    }
+
+    #[test]
+    fn lookahead_matches_min_crossbar_latency() {
+        let m = ShardedMachine::new(ProtocolConfig::paper(), SystemConfig::paper(), 2);
+        // Crossbar: 2 * ni + 1 hop * wire = 2*60 + 40.
+        assert_eq!(m.lookahead_ns(), 160);
+    }
+
+    #[test]
+    fn shard_count_clamps_to_nodes() {
+        let m = ShardedMachine::new(ProtocolConfig::paper(), SystemConfig::paper(), 64);
+        assert_eq!(m.shard_count(), 16);
+    }
+
+    #[test]
+    fn capture_off_still_counts_records() {
+        let mut m = ShardedMachine::new(ProtocolConfig::paper(), SystemConfig::paper(), 2);
+        m.set_capture_trace(false);
+        let plan = plan_of(vec![vec![Access::read(n(1), BlockAddr::new(0))]]);
+        m.run_plan(&plan, 0).unwrap();
+        assert_eq!(m.trace().len(), 0, "no records materialised");
+        let snap = m.obs_snapshot();
+        assert_eq!(
+            snap.get("simx.trace.records"),
+            Some(&obs::MetricValue::Counter(2)),
+            "the two coherence messages are still counted"
+        );
+    }
+}

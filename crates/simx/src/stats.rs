@@ -59,6 +59,27 @@ impl MachineStats {
         self.messages.values().sum()
     }
 
+    /// Folds another machine's counters into this one. Every field is a
+    /// sum, a histogram, or a per-type count — all commutative — so
+    /// per-shard statistics merged in any order equal the single-machine
+    /// statistics of the same run (the sharded engine's byte-identity
+    /// tests pin this).
+    pub fn merge(&mut self, other: &MachineStats) {
+        self.reads += other.reads;
+        self.writes += other.writes;
+        self.hits += other.hits;
+        self.misses += other.misses;
+        self.barriers += other.barriers;
+        self.exclusive_grants += other.exclusive_grants;
+        self.voluntary_replacements += other.voluntary_replacements;
+        self.directory_overflows += other.directory_overflows;
+        self.latency_ns.merge(&other.latency_ns);
+        self.net_latency_ns.merge(&other.net_latency_ns);
+        for (t, c) in &other.messages {
+            *self.messages.entry(*t).or_insert(0) += c;
+        }
+    }
+
     /// Total accesses.
     pub fn accesses(&self) -> u64 {
         self.reads + self.writes

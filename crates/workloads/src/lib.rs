@@ -43,6 +43,7 @@ pub mod meta;
 pub mod micro;
 pub mod moldyn;
 pub mod rng;
+pub mod scale;
 pub mod unstructured;
 
 use simx::{driver, IterationPlan, Machine, SimError, SystemConfig};
@@ -53,6 +54,7 @@ pub use appbt::Appbt;
 pub use barnes::Barnes;
 pub use dsmc::Dsmc;
 pub use moldyn::Moldyn;
+pub use scale::Scale;
 pub use unstructured::Unstructured;
 
 /// A benchmark: a named, deterministic stream of per-iteration access plans.
@@ -176,6 +178,32 @@ pub fn run_to_trace_concurrent<W: Workload + ?Sized>(
     let machine =
         simx::concurrent::run_workload(name, iterations, |it| workload.plan(it), proto, sys)?;
     Ok(machine.into_trace())
+}
+
+/// Runs a workload on the *sharded* parallel engine ([`simx::shard`])
+/// and returns the finished machine. Output — trace, statistics,
+/// tallies, obs snapshot — is byte-identical to a `shards = 1` run for
+/// every shard count (see `tests/shard_identity.rs`); `shards` only
+/// changes how many threads execute each synchronisation window.
+///
+/// # Errors
+///
+/// Propagates any [`SimError`].
+pub fn run_sharded<W: Workload + ?Sized>(
+    workload: &mut W,
+    proto: ProtocolConfig,
+    sys: SystemConfig,
+    shards: usize,
+) -> Result<simx::ShardedMachine, SimError> {
+    assert!(
+        workload.nodes() <= proto.nodes,
+        "workload needs {} nodes but machine has {}",
+        workload.nodes(),
+        proto.nodes
+    );
+    let name = workload.name();
+    let iterations = workload.iterations();
+    simx::shard::run_workload_sharded(name, iterations, |it| workload.plan(it), proto, sys, shards)
 }
 
 /// Like [`run_to_trace`] but with causal span tracing enabled: returns

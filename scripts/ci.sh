@@ -101,6 +101,18 @@ grep -q '"tournament.cells"' "$SMOKE_DIR/tournament_obs.json"
 grep -q '"tournament.pareto_count"' "$SMOKE_DIR/tournament_obs.json"
 echo "    frontier CSV matches golden; tournament obs JSON emitted"
 
+# Scale smoke: run the sharded-engine sweep at small scale and diff the
+# deterministic CSV against its golden. The CSV carries only
+# simulation-defined columns, and the sharded engine is byte-identical
+# for every shard count, so the diff must hold on any machine. The
+# throughput side lands in BENCH_scale.json (recorded, never diffed).
+echo "==> scale smoke (sharded sweep + golden CSV diff)"
+cargo run -q --release --offline -p bench-suite --bin repro -- \
+  --small --csv "$SMOKE_DIR" scale > /dev/null
+diff -u crates/bench-suite/tests/golden/scale_small.csv "$SMOKE_DIR/scale.csv"
+grep -q '"sim.throughput.msgs_per_sec_per_core"' "$SMOKE_DIR/BENCH_scale.json"
+echo "    scale CSV matches golden; throughput JSON emitted"
+
 # Proptest seed promotion: every saved counterexample hash in a
 # *.proptest-regressions file must have a matching `promoted: <hash>`
 # marker in a checked-in test, so the seeds keep running even in builds
