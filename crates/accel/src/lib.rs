@@ -24,13 +24,22 @@
 //!   directed predictors, for comparison;
 //! * [`ConfidentPolicy`] gates both actions behind a confidence counter,
 //!   for workloads where mispredicted speculation is costly.
+//! * [`SpeculatePolicy`] closes the loop on the concurrent engine: the
+//!   same confidence-gated fleet additionally drives **early
+//!   invalidation acks** and **speculative forwarding pushes** — the two
+//!   §4 actions that *do* send extra protocol messages and need the
+//!   engine's rollback machinery when wrong.
 //! * [`runner`] executes a workload with and without a policy and reports
 //!   messages, execution time, and the speculation outcome counters.
 //!
-//! Mispredictions need no protocol recovery (both actions move the
-//! protocol between legal states — the first category of §4.3); their
-//! *cost* is the extra misses they cause, which the runner's
-//! execution-time comparison captures end to end.
+//! Mispredictions by the grant/self-invalidate actions need no protocol
+//! recovery (both move the protocol between legal states — the first
+//! category of §4.3); their *cost* is the extra misses they cause, which
+//! the runner's execution-time comparison captures end to end. The
+//! push/early-ack actions are the second §4.3 category: a wrong push is
+//! rejected by its target and rolled back by the directory (counted in
+//! [`stache::RollbackTally`]), so correctness never depends on the
+//! predictor being right.
 //!
 //! ## Example
 //!
@@ -53,10 +62,12 @@ pub mod confident_policy;
 pub mod directed_policy;
 pub mod policy;
 pub mod runner;
+pub mod speculate;
 
 pub use confident_policy::ConfidentPolicy;
 pub use policy::CosmosPolicy;
 pub use runner::{
-    compare, compare_concurrent, run_concurrent_with_policy, run_with_policy, Comparison,
-    RunSummary,
+    audit_actions, compare, compare_concurrent, run_concurrent_with_policy, run_with_policy,
+    ActionAudit, Comparison, RunSummary,
 };
+pub use speculate::SpeculatePolicy;

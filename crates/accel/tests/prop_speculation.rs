@@ -1,0 +1,56 @@
+//! Property tests for the actioned speculation layer: a learned
+//! [`SpeculatePolicy`] with an *arbitrary* confidence threshold, over an
+//! *arbitrary* fault plan, must never violate SWMR and must always drain
+//! to quiescence. Correctness never depends on the predictor being right
+//! — a mispredict costs time (rollback, re-fetch), never coherence.
+
+// Property tests need the external `proptest` crate; the feature is a
+// placeholder until it can be vendored (see the workspace manifest).
+#![cfg(feature = "proptest-tests")]
+use accel::SpeculatePolicy;
+use proptest::prelude::*;
+use simx::{ConcurrentMachine, FaultPlan, SystemConfig};
+use stache::ProtocolConfig;
+use workloads::small_suite;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Random speculation thresholds × random fault plans over the small
+    /// suite: every run drains (returning from `run_plan` at all means no
+    /// deadlock — the engine's retry watchdog would error first) and the
+    /// barrier + final audits hold SWMR and directory/cache agreement.
+    ///
+    /// `threshold = None` is the ∞ threshold (train, never fire); small
+    /// values fire aggressively on barely-warm predictions — far harsher
+    /// than the tuned default.
+    #[test]
+    fn speculation_under_faults_stays_coherent_and_quiescent(
+        app in 0usize..5,
+        depth in 1usize..5,
+        threshold in prop::option::of(0u8..6),
+        drop_bp in 0u32..=200,   // basis points: up to 2% drop
+        dup_bp in 0u32..=100,    // up to 1% duplication
+        reorder in 0u32..=4,
+        seed in any::<u64>(),
+    ) {
+        let plan = FaultPlan {
+            drop: f64::from(drop_bp) / 10_000.0,
+            dup: f64::from(dup_bp) / 10_000.0,
+            reorder,
+            seed,
+            ..FaultPlan::default()
+        };
+        let mut suite = small_suite();
+        let w = suite[app].as_mut();
+        let mut m = ConcurrentMachine::new(ProtocolConfig::paper(), SystemConfig::paper());
+        m.set_app(w.name(), w.iterations());
+        m.set_fault_plan(plan);
+        m.set_policy(Box::new(SpeculatePolicy::new(depth, threshold)));
+        for it in 0..w.iterations() {
+            let p = w.plan(it);
+            m.run_plan(&p, it).expect("speculative faulted run must drain");
+        }
+        m.verify_coherence().expect("SWMR + directory/cache agreement");
+    }
+}

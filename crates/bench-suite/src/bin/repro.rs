@@ -9,6 +9,7 @@
 //!   sensitivity adaptation comparison ablation
 //!   integration variants persistence limitless scaling topology
 //!   simcheck     (bounded schedule-exploration model check)
+//!   speedup      (measured speculative speedup vs the Figure 5 model)
 //!   tournament   (predictor competition: accuracy-vs-bits frontier)
 //!   scale        (sharded-engine 64-1024 node throughput sweep;
 //!                 run explicitly — `all` does not include it)
@@ -68,6 +69,7 @@ const TARGETS: &[&str] = &[
     "seeds",
     "faults",
     "simcheck",
+    "speedup",
     "tracespans",
     "tournament",
     "scale",
@@ -361,6 +363,21 @@ fn main() -> ExitCode {
                 println!("{}", faults::render_fault_report(&report));
                 write_csv(&csv_dir, "faults.csv", &faults::csv_fault_report(&report));
                 write_csv(&csv_dir, "faults_obs.json", &report.export_obs().to_json());
+            }
+            "speedup" => {
+                use bench_suite::speedup;
+                eprintln!(
+                    "running speculative speedup report ({scale:?} scale, seed {})...",
+                    fault_plan.seed
+                );
+                let report = speedup::speedup_report(scale, &fault_plan);
+                println!("{}", speedup::render_speedup_report(&report));
+                write_csv(
+                    &csv_dir,
+                    "speedup.csv",
+                    &speedup::csv_speedup_report(&report),
+                );
+                write_csv(&csv_dir, "speedup_obs.json", &report.export_obs().to_json());
             }
             "integration" => {
                 let rows = bench_suite::integration::integration(scale, 2);

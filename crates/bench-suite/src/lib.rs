@@ -26,6 +26,7 @@
 //! | §5 fault-sensitivity (clean vs perturbed traces) | [`faults::fault_report`] |
 //! | Schedule-exploration model check | [`modelcheck::simcheck_report`] |
 //! | Predictor tournament (accuracy-vs-bits frontier) | [`tournament::tournament`] |
+//! | Measured speculation speedup vs Figure 5 | [`speedup::speedup_report`] |
 //!
 //! The `repro` binary drives them from the command line; the [`Harness`]
 //! benches under `benches/` time the underlying machinery. The
@@ -44,6 +45,7 @@ pub mod par;
 pub mod report;
 pub mod scale;
 pub mod spans;
+pub mod speedup;
 pub mod tables;
 pub mod tournament;
 pub mod traces;

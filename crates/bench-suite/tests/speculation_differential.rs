@@ -1,0 +1,96 @@
+//! The ∞-threshold differential: a [`SpeculatePolicy`] with `threshold:
+//! None` is structurally enabled — every consult point runs, every
+//! predictor trains, the engine's policy-aware guards are armed — but no
+//! action ever fires. Such a run must be *byte-identical* to the plain
+//! engine on every observable surface: the message trace, the metric
+//! snapshot, the execution clock, and the machine's state fingerprint.
+//! Clean and faulted, every workload, every MHR depth.
+//!
+//! This pins the claim DESIGN §6i makes: speculation is a pure overlay.
+//! Installing the machinery costs nothing until a prediction clears the
+//! confidence gate, so any divergence here is a consult point mutating
+//! state it should only read.
+
+use accel::SpeculatePolicy;
+use simx::{ConcurrentMachine, FaultPlan, SystemConfig};
+use stache::ProtocolConfig;
+use workloads::{small_suite, Workload};
+
+const DEPTHS: [usize; 4] = [1, 2, 3, 4];
+
+struct Observed {
+    records: Vec<trace::MsgRecord>,
+    obs_json: String,
+    time_ns: u64,
+    fingerprint: u64,
+}
+
+fn run(w: &mut dyn Workload, policy: Option<usize>, plan: Option<&FaultPlan>) -> Observed {
+    let mut machine = ConcurrentMachine::new(ProtocolConfig::paper(), SystemConfig::paper());
+    machine.set_app(w.name(), w.iterations());
+    if let Some(p) = plan {
+        machine.set_fault_plan(p.clone());
+    }
+    if let Some(depth) = policy {
+        machine.set_policy(Box::new(SpeculatePolicy::new(depth, None)));
+    }
+    for it in 0..w.iterations() {
+        let plan = w.plan(it);
+        machine.run_plan(&plan, it).expect("run");
+    }
+    machine.verify_coherence().expect("coherent");
+    assert!(
+        machine.rollback_tally().is_quiet(),
+        "an infinite threshold must never speculate"
+    );
+    Observed {
+        fingerprint: machine.state_fingerprint(),
+        time_ns: machine.execution_time_ns(),
+        obs_json: machine.obs_snapshot().to_json(),
+        records: machine.into_trace().records().to_vec(),
+    }
+}
+
+fn differential(plan: Option<&FaultPlan>) {
+    std::thread::scope(|s| {
+        for i in 0..small_suite().len() {
+            s.spawn(move || {
+                let mut suite = small_suite();
+                let name = suite[i].name();
+                let base = run(suite[i].as_mut(), None, plan);
+                for depth in DEPTHS {
+                    let spec = run(small_suite()[i].as_mut(), Some(depth), plan);
+                    assert_eq!(
+                        base.records, spec.records,
+                        "{name} depth {depth}: trace diverged"
+                    );
+                    assert_eq!(
+                        base.obs_json, spec.obs_json,
+                        "{name} depth {depth}: metrics diverged"
+                    );
+                    assert_eq!(
+                        base.time_ns, spec.time_ns,
+                        "{name} depth {depth}: clock diverged"
+                    );
+                    assert_eq!(
+                        base.fingerprint, spec.fingerprint,
+                        "{name} depth {depth}: state diverged"
+                    );
+                }
+            });
+        }
+    });
+}
+
+#[test]
+fn inert_policy_is_byte_identical_on_a_perfect_fabric() {
+    differential(None);
+}
+
+#[test]
+fn inert_policy_is_byte_identical_under_faults() {
+    let plan = FaultPlan::parse("drop=0.01,dup=0.005,reorder=3")
+        .unwrap()
+        .with_seed(7);
+    differential(Some(&plan));
+}

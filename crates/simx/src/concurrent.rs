@@ -28,7 +28,7 @@ use crate::config::SystemConfig;
 use crate::driver::{AccessOp, IterationPlan, Phase};
 use crate::event::EventQueue;
 use crate::fault::{FaultInjector, FaultPlan, FaultTally};
-use crate::machine::{SimError, SpeculationPolicy};
+use crate::machine::{ForwardKind, SimError, SpeculationPolicy};
 use crate::stats::MachineStats;
 use obs::span::{SpanKind, SpanLog, TraceId};
 use obs::{Event as ObsEvent, EventRing, Severity};
@@ -38,8 +38,8 @@ use stache::fingerprint::Fp;
 use stache::invariants::check_block;
 use stache::placement::home_of_block;
 use stache::{
-    BlockAddr, CacheState, DedupFilter, DirState, Msg, MsgType, NodeId, ProcOp, ProtocolConfig,
-    ProtocolTally, RecoveryTally,
+    BlockAddr, CacheState, DedupFilter, DirState, Msg, MsgType, NodeId, NodeSet, ProcOp,
+    ProtocolConfig, ProtocolTally, RecoveryTally, RollbackTally,
 };
 use std::cell::RefCell;
 use std::collections::{HashMap, HashSet, VecDeque};
@@ -82,6 +82,20 @@ enum Event {
         /// Re-send rounds completed so far.
         attempt: u32,
     },
+    /// A speculative push (unsolicited grant) travelling home → target
+    /// over the reliable control channel. Like NAKs, pushes are outside
+    /// the Table 1 trace vocabulary. The message type encodes the flavour
+    /// (`get_ro_response` = shared copy, `get_rw_response` = exclusive).
+    SpecPush(Msg, u64),
+    /// The target's verdict on a push, travelling back to the home.
+    SpecPushResp {
+        /// The response message (target → home).
+        msg: Msg,
+        /// Whether the target accepted the pushed copy.
+        accepted: bool,
+        /// Transmission sequence number (0 on a perfect fabric).
+        seq: u64,
+    },
 }
 
 impl Event {
@@ -103,6 +117,20 @@ impl Event {
             Event::AckCheck { block, attempt, .. } => {
                 format!("ack_check B{} attempt {attempt}", block.number())
             }
+            Event::SpecPush(m, _) => format!(
+                "spec_push {} P{}->P{} B{}",
+                m.mtype.paper_name(),
+                m.sender.raw(),
+                m.receiver.raw(),
+                m.block.number()
+            ),
+            Event::SpecPushResp { msg, accepted, .. } => format!(
+                "spec_push_resp {} P{}->P{} B{}",
+                if *accepted { "accept" } else { "reject" },
+                msg.sender.raw(),
+                msg.receiver.raw(),
+                msg.block.number()
+            ),
         }
     }
 
@@ -137,6 +165,17 @@ impl Event {
                 fp.absorb(block);
                 fp.word(u64::from(*attempt));
             }
+            Event::SpecPush(m, seq) => {
+                fp.tag(0x15);
+                fp.absorb(m);
+                fp.word(*seq);
+            }
+            Event::SpecPushResp { msg, accepted, seq } => {
+                fp.tag(0x16);
+                fp.absorb(msg);
+                fp.word(u64::from(*accepted));
+                fp.word(*seq);
+            }
         }
         fp.finish()
     }
@@ -156,6 +195,14 @@ pub enum ProtocolMutation {
     /// the directory then grants exclusive rights while a stale reader
     /// survives, violating SWMR a few deliveries later.
     AckWithoutInvalidate,
+    /// A build with no speculative rollback healing at all: the
+    /// directory commits a push even when the target rejects it, drops
+    /// the target's voluntary ack when it crosses the push verdict, and
+    /// skips the replacement-hint strip that would repair a stale entry
+    /// on the holder's next demand miss. The entry then records a copy
+    /// nobody holds — the quiescent full-map audit flags it, or the
+    /// phantom holder's next request trips `InconsistentDirectory`.
+    SpeculateWithoutRollback,
 }
 
 impl ProtocolMutation {
@@ -164,6 +211,7 @@ impl ProtocolMutation {
         match self {
             ProtocolMutation::None => "none",
             ProtocolMutation::AckWithoutInvalidate => "ack_without_invalidate",
+            ProtocolMutation::SpeculateWithoutRollback => "speculate_without_rollback",
         }
     }
 
@@ -172,6 +220,7 @@ impl ProtocolMutation {
         match name {
             "none" => Some(ProtocolMutation::None),
             "ack_without_invalidate" => Some(ProtocolMutation::AckWithoutInvalidate),
+            "speculate_without_rollback" => Some(ProtocolMutation::SpeculateWithoutRollback),
             _ => None,
         }
     }
@@ -197,6 +246,9 @@ struct DirTxn {
     /// Monotone transaction id; a popped [`Event::AckCheck`] with a
     /// different epoch belongs to an earlier transaction and is ignored.
     epoch: u64,
+    /// Whether this transaction is a speculative push (no requester is
+    /// blocked on it; `next` is provisional until the target's verdict).
+    speculative: bool,
     /// The requester's span tree, threaded onto every message the
     /// transaction sends (observability only).
     trace: TraceId,
@@ -265,6 +317,12 @@ pub struct ConcurrentMachine {
     /// Per-node miss epoch, bumped when a miss completes — lazily
     /// cancels that node's outstanding [`Event::RetryCheck`] timers.
     miss_epoch: Vec<u64>,
+    /// Per-node grant poison line: a grant carrying a sequence number
+    /// below this was transmitted before a recall this node has already
+    /// acknowledged while waiting, so consuming it would re-admit a copy
+    /// the directory believes reclaimed. Only ever raised in fault mode
+    /// (sequence numbers are all zero on a perfect fabric).
+    grant_poison: Vec<u64>,
     /// Whether the node's current miss needed a recovery action, for the
     /// recovery-latency histogram.
     miss_recovered: Vec<bool>,
@@ -272,6 +330,8 @@ pub struct ConcurrentMachine {
     txn_epoch: u64,
     /// Everything the recovery layer did (quiet on a perfect fabric).
     recovery: RecoveryTally,
+    /// Speculative push/rollback accounting (quiet without a policy).
+    rollback: RollbackTally,
     /// Seeded protocol bug for simcheck self-validation (off by default).
     mutation: ProtocolMutation,
     /// Causal span log (disabled by default — see
@@ -312,9 +372,11 @@ impl ConcurrentMachine {
             dedup: vec![DedupFilter::new(); nodes],
             next_seq_to: vec![0; nodes],
             miss_epoch: vec![0; nodes],
+            grant_poison: vec![0; nodes],
             miss_recovered: vec![false; nodes],
             txn_epoch: 0,
             recovery: RecoveryTally::new(),
+            rollback: RollbackTally::new(),
             mutation: ProtocolMutation::default(),
             spans: SpanLog::new(),
             miss_trace: vec![TraceId::NONE; nodes],
@@ -358,6 +420,12 @@ impl ConcurrentMachine {
     /// Recovery-layer actions taken so far (quiet on a perfect fabric).
     pub fn recovery_tally(&self) -> &RecoveryTally {
         &self.recovery
+    }
+
+    /// Speculative push/rollback actions taken so far (quiet without a
+    /// speculation policy installed).
+    pub fn rollback_tally(&self) -> &RollbackTally {
+        &self.rollback
     }
 
     /// Installs a speculation policy (the §4 integration): exclusive
@@ -470,6 +538,11 @@ impl ConcurrentMachine {
         if let Some(inj) = &self.fault {
             inj.tally().export_obs(&mut snap);
             self.recovery.export_obs(&mut snap);
+        }
+        // Rollback metrics appear only when speculation actually acted,
+        // so non-speculative runs keep their exact metric set.
+        if !self.rollback.is_quiet() {
+            self.rollback.export_obs(&mut snap);
         }
         // Span metrics appear only when tracing is on, so untraced runs
         // keep their exact metric set.
@@ -722,7 +795,7 @@ impl ConcurrentMachine {
                     self.recovery.dups_absorbed += 1;
                     return Ok(());
                 }
-                self.on_deliver(&msg, t)?;
+                self.on_deliver(&msg, seq, t)?;
             }
             Event::Nak { node, block } => self.on_nak(node, block, t),
             Event::RetryCheck {
@@ -735,6 +808,20 @@ impl ConcurrentMachine {
                 epoch,
                 attempt,
             } => self.on_ack_check(block, epoch, attempt, t)?,
+            Event::SpecPush(msg, seq) => {
+                if self.fault.is_some() && !self.dedup[msg.receiver.index()].observe(seq) {
+                    self.recovery.dups_absorbed += 1;
+                    return Ok(());
+                }
+                self.on_spec_push(&msg, t);
+            }
+            Event::SpecPushResp { msg, accepted, seq } => {
+                if self.fault.is_some() && !self.dedup[msg.receiver.index()].observe(seq) {
+                    self.recovery.dups_absorbed += 1;
+                    return Ok(());
+                }
+                self.on_spec_push_resp(&msg, accepted, t)?;
+            }
         }
         Ok(())
     }
@@ -764,7 +851,10 @@ impl ConcurrentMachine {
         let mut out = Vec::with_capacity(self.queue.len());
         self.queue.for_each_ranked(|_, ev| {
             out.push(match ev {
-                Event::Deliver(msg, _) => Some((msg.sender, msg.receiver)),
+                Event::Deliver(msg, _) | Event::SpecPush(msg, _) => {
+                    Some((msg.sender, msg.receiver))
+                }
+                Event::SpecPushResp { msg, .. } => Some((msg.sender, msg.receiver)),
                 _ => None,
             })
         });
@@ -913,6 +1003,7 @@ impl ConcurrentMachine {
             fp.absorb(&txn.next);
             fp.word(txn.outstanding as u64);
             fp.word(u64::from(txn.local));
+            fp.word(u64::from(txn.speculative));
             for (n, m) in &txn.holders {
                 fp.absorb(n);
                 fp.absorb(m);
@@ -978,6 +1069,9 @@ impl ConcurrentMachine {
             }
             for s in &self.next_seq_to {
                 fp.word(*s);
+            }
+            for p in &self.grant_poison {
+                fp.word(*p);
             }
         }
         fp.finish()
@@ -1181,6 +1275,7 @@ impl ConcurrentMachine {
                         continue;
                     }
                     now += self.sys.cache_hit_ns;
+                    self.maybe_early_ack(node, block, now);
                 }
                 CacheAction::Send(req) => {
                     self.scripts[node.index()].pop_front();
@@ -1201,11 +1296,11 @@ impl ConcurrentMachine {
         Ok(())
     }
 
-    fn on_deliver(&mut self, msg: &Msg, t: u64) -> Result<(), SimError> {
+    fn on_deliver(&mut self, msg: &Msg, seq: u64, t: u64) -> Result<(), SimError> {
         if msg.receiver_role() == stache::Role::Directory {
             self.on_directory_receive(msg, t)
         } else {
-            self.on_cache_receive(msg, t)
+            self.on_cache_receive(msg, seq, t)
         }
     }
 
@@ -1214,8 +1309,21 @@ impl ConcurrentMachine {
             // Local markers (sender == receiver) are not real messages.
             if msg.sender != msg.receiver {
                 self.record(t, msg);
-                if self.fault.is_some() && self.fault_request_shortcut(msg, t) {
-                    return Ok(());
+                if self.fault.is_some() {
+                    // A retransmission that lost the race with its own
+                    // grant: the sender already consumed a response (it
+                    // is no longer missing on this block with this op),
+                    // so servicing the copy again would re-admit a
+                    // holder that may since have dropped the line —
+                    // e.g. by a voluntary early ack. Absorb it; the
+                    // NAK path uses the same still-waiting test.
+                    if self.request_is_stale(msg) {
+                        self.recovery.dups_absorbed += 1;
+                        return Ok(());
+                    }
+                    if self.fault_request_shortcut(msg, t) {
+                        return Ok(());
+                    }
                 }
             }
             self.enqueue_or_start(*msg, t)
@@ -1253,8 +1361,44 @@ impl ConcurrentMachine {
                     // sender's cache really gave up the conflicting copy.
                     // Genuine acks always pass (b): a holder cannot
                     // re-acquire while the block is busy, because its
-                    // request would be NAKed.
-                    if self.fault.is_some() {
+                    // request would be NAKed. With a speculation policy
+                    // installed the same double-count exists on a perfect
+                    // fabric — a sharer's voluntary early ack crossing the
+                    // transaction's solicited invalidation produces two
+                    // acks from one holder — so the guards engage then too.
+                    // A voluntary ack from a push target crossing the
+                    // push verdict on the reliable channel: the target
+                    // installed the pushed copy and dropped it again
+                    // (early ack or self-invalidation) before the home
+                    // committed. Cancel the provisional entry — the
+                    // in-flight verdict still closes the transaction —
+                    // unless the sender still holds a copy, in which
+                    // case the ack is a stale fault-mode re-ack and is
+                    // absorbed below like any other unexpected one.
+                    let from_push_target = txn.speculative && msg.sender == txn.requester;
+                    if from_push_target
+                        && matches!(
+                            msg.mtype,
+                            MsgType::InvalRoResponse | MsgType::InvalRwResponse
+                        )
+                        && !matches!(
+                            self.cache_state(msg.sender, msg.block),
+                            CacheState::Shared | CacheState::Exclusive
+                        )
+                    {
+                        if self.mutation == ProtocolMutation::SpeculateWithoutRollback {
+                            // Seeded bug: drop the crossing ack too —
+                            // the mutation models a build with no
+                            // rollback healing at all (see its doc).
+                            return Ok(());
+                        }
+                        let txn = self.txns.get_mut(&msg.block).expect("checked above");
+                        txn.next = DirState::Idle;
+                        self.rollback.rolled_back += 1;
+                        return Ok(());
+                    }
+                    let txn = self.txns.get_mut(&msg.block).expect("checked above");
+                    if self.fault.is_some() || self.policy.is_some() {
                         let expected = txn.holders.iter().any(|&(h, req)| {
                             h == msg.sender
                                 && matches!(
@@ -1275,13 +1419,18 @@ impl ConcurrentMachine {
                             _ => true,
                         };
                         if !expected || !complied {
-                            self.recovery.dups_absorbed += 1;
+                            if self.fault.is_some() {
+                                self.recovery.dups_absorbed += 1;
+                            }
                             return Ok(());
                         }
                     }
+                    let policing = self.fault.is_some() || self.policy.is_some();
                     let txn = self.txns.get_mut(&msg.block).expect("checked above");
-                    if self.fault.is_some() && !txn.acked.insert(msg.sender) {
-                        self.recovery.dups_absorbed += 1;
+                    if policing && !txn.acked.insert(msg.sender) {
+                        if self.fault.is_some() {
+                            self.recovery.dups_absorbed += 1;
+                        }
                         return Ok(());
                     }
                     txn.outstanding -= 1;
@@ -1291,6 +1440,47 @@ impl ConcurrentMachine {
                     }
                 }
                 None => {
+                    // A voluntary early invalidation-ack (speculation):
+                    // the sharer dropped its read-only copy unsolicited.
+                    // The sender's live cache state separates it from a
+                    // stale solicited ack racing a freshly re-acquired
+                    // copy, which must leave the entry alone. A genuine
+                    // ack's sender holds no read copy: `Invalid`, or
+                    // already off in its next *write* miss on the same
+                    // block (`IToE` — the drop and the follow-up miss
+                    // issue in the same handler slot, so the ack lands
+                    // "late"). `IToS` is excluded: a sharer with a
+                    // shared re-fill in flight is `IToS`, and removing
+                    // it would desynchronise the map; the demand path
+                    // reconciles that case (see `start_txn`).
+                    if self.policy.is_some() && msg.mtype == MsgType::InvalRoResponse {
+                        if matches!(
+                            self.cache_state(msg.sender, msg.block),
+                            CacheState::Invalid | CacheState::IToE
+                        ) {
+                            let dir = self.dirs.entry(msg.block).or_default().clone();
+                            if let DirState::Shared(mut s) = dir {
+                                if s.contains(msg.sender) && !self.overflowed.contains(&msg.block) {
+                                    s.remove(msg.sender);
+                                    let next = if s.is_empty() {
+                                        DirState::Idle
+                                    } else {
+                                        DirState::Shared(s)
+                                    };
+                                    let idle = next == DirState::Idle;
+                                    self.set_dir(msg.block, next);
+                                    if idle {
+                                        self.maybe_spec_push(msg.block, t + self.sys.handler_ns);
+                                    }
+                                    return Ok(());
+                                }
+                            }
+                        }
+                        if self.fault.is_some() {
+                            self.recovery.dups_absorbed += 1;
+                        }
+                        return Ok(());
+                    }
                     if self.fault.is_some()
                         && (msg.mtype != MsgType::InvalRwResponse
                             || self.cache_state(msg.sender, msg.block) != CacheState::Invalid)
@@ -1306,6 +1496,7 @@ impl ConcurrentMachine {
                     let dir = self.dirs.entry(msg.block).or_default().clone();
                     if dir.owner() == Some(msg.sender) {
                         self.set_dir(msg.block, DirState::Idle);
+                        self.maybe_spec_push(msg.block, t + self.sys.handler_ns);
                     }
                     // Otherwise stale: a later transaction already moved
                     // the entry on; nothing to do.
@@ -1313,6 +1504,35 @@ impl ConcurrentMachine {
             }
             Ok(())
         }
+    }
+
+    /// A waiting node just acknowledged an invalidation or recall for
+    /// the very block it is missing on: any grant transmitted *before*
+    /// that recall carries rights the directory has since reclaimed, so
+    /// raise the node's poison line to this delivery's sequence number.
+    /// Grants below the line are absorbed as stale; the miss recovers
+    /// through its retransmission timer. No-op unless the node is
+    /// waiting on `block` (the line is per-node, and poisoning across
+    /// an unrelated block's miss would discard a perfectly good grant).
+    fn poison_older_grants(&mut self, node: NodeId, block: BlockAddr, seq: u64) {
+        if self.waiting[node.index()].is_some_and(|(b, _, _)| b == block) {
+            let line = &mut self.grant_poison[node.index()];
+            *line = (*line).max(seq);
+        }
+    }
+
+    /// Whether a remote request is a stale retransmission: its sender is
+    /// no longer missing on this block with the matching operation, so
+    /// the original request was already serviced and its grant consumed.
+    fn request_is_stale(&self, msg: &Msg) -> bool {
+        !self.waiting[msg.sender.index()].is_some_and(|(b, op, _)| {
+            b == msg.block
+                && match msg.mtype {
+                    MsgType::GetRoRequest => op == ProcOp::Read,
+                    MsgType::GetRwRequest | MsgType::UpgradeRequest => op == ProcOp::Write,
+                    _ => true,
+                }
+        })
     }
 
     /// Fault-mode fast paths for a remote request: NAK it if the block
@@ -1346,6 +1566,14 @@ impl ConcurrentMachine {
         }
         let dir = self.dirs.entry(msg.block).or_default().clone();
         let regrant = match msg.mtype {
+            // The re-sent grant must carry the *recorded* rights, not the
+            // requested ones: a speculative exclusive grant upgrades a
+            // read miss to ownership, so when its response is lost the
+            // retransmitted `get_ro_request` finds this node recorded as
+            // owner and must be re-granted writable — a shared re-grant
+            // would leave the directory claiming an owner whose cache
+            // holds a read-only copy.
+            MsgType::GetRoRequest if dir.node_writable(msg.sender) => Some(MsgType::GetRwResponse),
             MsgType::GetRoRequest if dir.node_readable(msg.sender) => Some(MsgType::GetRoResponse),
             MsgType::GetRwRequest if dir.node_writable(msg.sender) => Some(MsgType::GetRwResponse),
             MsgType::UpgradeRequest if dir.node_writable(msg.sender) => {
@@ -1405,7 +1633,39 @@ impl ConcurrentMachine {
             home.raw(),
         );
 
-        let dir = self.dirs.entry(block).or_default().clone();
+        let mut dir = self.dirs.entry(block).or_default().clone();
+        // Speculative voluntary drops race their own acknowledgments: a
+        // node that early-acked or self-invalidated and immediately
+        // missed again on the same block sends its demand request while
+        // the entry still lists it (the ack may have been left aside
+        // because the sender was already in its next transient state).
+        // The request itself proves the sender's copy is gone — a holder
+        // never demand-misses on a block it holds — so strip the sender
+        // before consulting the transition table.
+        if self.policy.is_some()
+            && self.mutation != ProtocolMutation::SpeculateWithoutRollback
+            && !local
+            && matches!(msg.mtype, MsgType::GetRoRequest | MsgType::GetRwRequest)
+            && !self.overflowed.contains(&block)
+        {
+            let stripped = match &dir {
+                DirState::Shared(s) if s.contains(msg.sender) => {
+                    let mut s = s.clone();
+                    s.remove(msg.sender);
+                    Some(if s.is_empty() {
+                        DirState::Idle
+                    } else {
+                        DirState::Shared(s)
+                    })
+                }
+                DirState::Exclusive(owner) if *owner == msg.sender => Some(DirState::Idle),
+                _ => None,
+            };
+            if let Some(next) = stripped {
+                self.set_dir(block, next.clone());
+                dir = next;
+            }
+        }
         // The upgrade race: the requester lost its copy to a concurrent
         // writer while this request was queued; convert to a write miss.
         let mut effective = msg.mtype;
@@ -1475,6 +1735,7 @@ impl ConcurrentMachine {
             holders: holder_requests.clone(),
             acked: HashSet::new(),
             epoch: self.txn_epoch,
+            speculative: false,
             trace: msg.trace,
         };
         let epoch = txn.epoch;
@@ -1509,13 +1770,14 @@ impl ConcurrentMachine {
         self.set_dir(block, txn.next);
         if txn.local {
             self.complete_local(home, block, t)?;
-        } else {
-            let reply = txn.reply.expect("remote transactions reply");
+        } else if let Some(reply) = txn.reply {
             self.send(
                 t,
                 Msg::new(home, txn.requester, block, reply).with_trace(txn.trace),
             );
         }
+        // (A speculative push transaction has no reply: the target was
+        // granted — or refused — the copy by the push itself.)
         // The block is free: service the next queued request, if any.
         if let Some(next) = self.pending.get_mut(&block).and_then(VecDeque::pop_front) {
             let resume = next.arrived.max(t);
@@ -1557,7 +1819,7 @@ impl ConcurrentMachine {
         Ok(())
     }
 
-    fn on_cache_receive(&mut self, msg: &Msg, t: u64) -> Result<(), SimError> {
+    fn on_cache_receive(&mut self, msg: &Msg, seq: u64, t: u64) -> Result<(), SimError> {
         self.record(t, msg);
         let node = msg.receiver;
         let block = msg.block;
@@ -1591,6 +1853,12 @@ impl ConcurrentMachine {
                 // raced a retransmission and won, so this re-grant is
                 // stale — absorb it without touching the line.
                 MsgType::GetRoResponse | MsgType::GetRwResponse | MsgType::UpgradeResponse => {
+                    // A grant older than a recall this node already
+                    // acknowledged is poisoned: the directory reclaimed
+                    // the copy it carries (and may have granted it on),
+                    // so consuming it would mint a second owner. The
+                    // retransmission timer re-fetches with a fresh,
+                    // unpoisoned grant.
                     let consumable = matches!(
                         (state, msg.mtype),
                         (CacheState::IToS, MsgType::GetRoResponse)
@@ -1598,11 +1866,30 @@ impl ConcurrentMachine {
                             | (CacheState::IToE, MsgType::GetRwResponse)
                             | (CacheState::SToE, MsgType::UpgradeResponse)
                     ) && self.waiting[node.index()]
-                        .is_some_and(|(b, _, _)| b == block);
+                        .is_some_and(|(b, _, _)| b == block)
+                        && seq >= self.grant_poison[node.index()];
                     if !consumable {
                         self.recovery.stale_grants_absorbed += 1;
                         return Ok(());
                     }
+                }
+                // An owner recall reaching a cache still waiting for its
+                // upgrade grant: the grant was issued (the directory
+                // moved to Exclusive before recalling) but is delayed or
+                // lost behind this recall. Yield the copy and fall back
+                // to a write miss — the retried request re-fetches
+                // exclusivity, and the stale upgrade grant, arriving at
+                // I-to-E, is absorbed above.
+                MsgType::InvalRwRequest if state == CacheState::SToE => {
+                    self.cache_values[node.index()].remove(&block);
+                    self.set_cache_state(node, block, CacheState::IToE);
+                    self.poison_older_grants(node, block, seq);
+                    self.send(
+                        handled,
+                        Msg::new(node, msg.sender, block, MsgType::InvalRwResponse)
+                            .with_trace(msg.trace),
+                    );
+                    return Ok(());
                 }
                 // A re-sent owner recall that was already applied (the
                 // original ack was lost or is still in flight): the
@@ -1615,6 +1902,7 @@ impl ConcurrentMachine {
                         CacheState::Invalid | CacheState::IToS | CacheState::IToE
                     ) =>
                 {
+                    self.poison_older_grants(node, block, seq);
                     self.send(
                         handled,
                         Msg::new(node, msg.sender, block, MsgType::InvalRwResponse)
@@ -1663,11 +1951,29 @@ impl ConcurrentMachine {
                 CacheState::Invalid | CacheState::IToS | CacheState::IToE
             )
         {
+            if self.fault.is_some() {
+                self.poison_older_grants(node, block, seq);
+            }
             let home = msg.sender;
             self.send(
                 handled,
                 Msg::new(node, home, block, MsgType::InvalRoResponse).with_trace(msg.trace),
             );
+            return Ok(());
+        }
+
+        // A stale sharer-invalidation landing on a re-acquired exclusive
+        // copy: only possible with a speculation policy — the node's
+        // voluntary early ack satisfied the soliciting transaction (the
+        // home serialises transactions per block, so that transaction
+        // finished before any later grant), the node missed again and
+        // was granted ownership, and the superseded invalidation arrives
+        // last, delayed behind the cache's handler queue. Drop it: the
+        // copy is legitimate and the ack it asks for was already given.
+        if msg.mtype == MsgType::InvalRoRequest
+            && state == CacheState::Exclusive
+            && self.policy.is_some()
+        {
             return Ok(());
         }
 
@@ -1729,6 +2035,8 @@ impl ConcurrentMachine {
                 self.miss_trace[node.index()] = TraceId::NONE;
                 if op == ProcOp::Write {
                     self.maybe_self_invalidate(node, block, done);
+                } else {
+                    self.maybe_early_ack(node, block, done);
                 }
                 self.queue.push(done, Event::Issue(node));
             }
@@ -1780,6 +2088,243 @@ impl ConcurrentMachine {
         // the writeback's arrival — and the trace's end — is known now.
         self.spans.end_trace(tr, now + self.one_way(node, home));
         self.stats.voluntary_replacements += 1;
+    }
+
+    /// Early invalidation-ack: after a load, consult the policy and, if
+    /// it predicts this was the reader's last use before an invalidation,
+    /// drop the shared copy and acknowledge unsolicited. A correct
+    /// prediction removes the sharer from the next writer's critical
+    /// path; a wrong one costs this reader a re-fetch — never coherence.
+    fn maybe_early_ack(&mut self, node: NodeId, block: BlockAddr, now: u64) {
+        let home = home_of_block(block, &self.proto);
+        // Overflowed blocks keep their (imprecise, broadcast-serviced)
+        // sharer sets intact.
+        if node == home
+            || self.cache_state(node, block) != CacheState::Shared
+            || self.overflowed.contains(&block)
+        {
+            return;
+        }
+        let fire = self
+            .policy
+            .as_mut()
+            .is_some_and(|p| p.early_inval_ack(node, block));
+        if !fire {
+            return;
+        }
+        self.cache_values[node.index()].remove(&block);
+        self.set_cache_state(node, block, CacheState::Invalid);
+        self.ring.get_mut().push(
+            ObsEvent::new(now, Severity::Info, "policy.early_inval_ack")
+                .node(node.raw())
+                .block(block.number()),
+        );
+        // Over the reliable channel, like the voluntary writeback:
+        // nothing times out waiting for an unsolicited ack.
+        let tr = self
+            .spans
+            .begin_trace("early_inval_ack", now, node.raw(), block.number());
+        self.spans.annotate(tr, "speculative");
+        self.send_reliable(
+            now,
+            Msg::new(node, home, block, MsgType::InvalRoResponse).with_trace(tr),
+        );
+        self.spans.end_trace(tr, now + self.one_way(node, home));
+        self.rollback.early_acks += 1;
+    }
+
+    /// Speculative push: when a block goes idle at its home, consult the
+    /// policy for the predicted next reader/writer and, if it names one,
+    /// open a speculative transaction and push an unsolicited copy. The
+    /// transaction occupies the block, so demand traffic serialises
+    /// behind the push exactly as behind any other transaction; the
+    /// target's verdict ([`Self::on_spec_push_resp`]) either confirms the
+    /// provisional directory entry or rolls it back to idle.
+    fn maybe_spec_push(&mut self, block: BlockAddr, t: u64) {
+        if self.policy.is_none()
+            || self.txns.contains_key(&block)
+            || self.pending.get(&block).is_some_and(|q| !q.is_empty())
+            || self.dirs.get(&block).cloned().unwrap_or_default() != DirState::Idle
+        {
+            return;
+        }
+        let home = home_of_block(block, &self.proto);
+        let Some((target, kind)) = self
+            .policy
+            .as_mut()
+            .and_then(|p| p.forward_candidate(home, block))
+        else {
+            return;
+        };
+        // The home's own rights live in the directory entry; pushing to
+        // an unknown node would be a policy bug, not a protocol race.
+        if target == home || target.index() >= self.proto.nodes {
+            return;
+        }
+        let (mtype, next) = match kind {
+            ForwardKind::Shared => (
+                MsgType::GetRoResponse,
+                DirState::Shared(NodeSet::singleton(target)),
+            ),
+            ForwardKind::Exclusive => (MsgType::GetRwResponse, DirState::Exclusive(target)),
+        };
+        let tr = self
+            .spans
+            .begin_trace("spec_push", t, home.raw(), block.number());
+        self.spans.annotate(tr, "speculative");
+        self.txn_epoch += 1;
+        self.txns.insert(
+            block,
+            DirTxn {
+                requester: target,
+                reply: None,
+                next,
+                outstanding: 1,
+                local: false,
+                holders: Vec::new(),
+                acked: HashSet::new(),
+                epoch: self.txn_epoch,
+                speculative: true,
+                trace: tr,
+            },
+        );
+        self.rollback.pushes += 1;
+        self.ring.get_mut().push(
+            ObsEvent::new(t, Severity::Info, "policy.forward")
+                .node(target.raw())
+                .block(block.number()),
+        );
+        self.send_spec_push(t, Msg::new(home, target, block, mtype).with_trace(tr));
+    }
+
+    /// Sends a push over the reliable control channel (sequence-numbered
+    /// under faults so the receiver's watermark stays dense, but never
+    /// dropped: the push transaction has no timer, so its loss would
+    /// wedge the block).
+    fn send_spec_push(&mut self, at: u64, msg: Msg) {
+        let hop = self.one_way(msg.sender, msg.receiver);
+        self.stats.net_latency_ns.record(hop);
+        let seq = if self.fault.is_some() {
+            let s = self.next_seq_to[msg.receiver.index()];
+            self.next_seq_to[msg.receiver.index()] += 1;
+            s
+        } else {
+            0
+        };
+        self.spans.child(
+            msg.trace,
+            "net.push",
+            SpanKind::Speculation,
+            at,
+            at + hop,
+            msg.sender.raw(),
+        );
+        self.queue.push(at + hop, Event::SpecPush(msg, seq));
+    }
+
+    /// Sends the target's verdict back to the home, reliably.
+    fn send_spec_resp(&mut self, at: u64, msg: Msg, accepted: bool) {
+        let hop = self.one_way(msg.sender, msg.receiver);
+        self.stats.net_latency_ns.record(hop);
+        let seq = if self.fault.is_some() {
+            let s = self.next_seq_to[msg.receiver.index()];
+            self.next_seq_to[msg.receiver.index()] += 1;
+            s
+        } else {
+            0
+        };
+        self.spans.child(
+            msg.trace,
+            "net.push_ack",
+            SpanKind::Speculation,
+            at,
+            at + hop,
+            msg.sender.raw(),
+        );
+        self.queue
+            .push(at + hop, Event::SpecPushResp { msg, accepted, seq });
+    }
+
+    /// A pushed copy arrived at its target. Accept only into an `Invalid`
+    /// line: any transient state means the target's own request is in
+    /// flight and the demand path must win the race (the push transaction
+    /// holds the block, so that request is queued or NAKed behind it and
+    /// will be serviced with authoritative data after the rollback).
+    fn on_spec_push(&mut self, msg: &Msg, t: u64) {
+        let node = msg.receiver;
+        let block = msg.block;
+        // The cache's software handler serialises pushes like any
+        // other incoming message.
+        let service = t.max(self.cache_busy[node.index()]);
+        let handled = service + self.sys.handler_ns;
+        self.cache_busy[node.index()] = handled;
+        let accepted = self.cache_state(node, block) == CacheState::Invalid;
+        if accepted {
+            let state = match msg.mtype {
+                MsgType::GetRoResponse => CacheState::Shared,
+                MsgType::GetRwResponse => CacheState::Exclusive,
+                other => unreachable!("push grant {other}"),
+            };
+            // The speculative transaction holds the block at the home,
+            // so memory cannot change while the push is in flight: the
+            // value read at send time is still the value now.
+            let v = self.mem_values.get(&block).copied().unwrap_or(0);
+            self.cache_values[node.index()].insert(block, v);
+            self.set_cache_state(node, block, state);
+            self.spans.child(
+                msg.trace,
+                "push.fill",
+                SpanKind::Speculation,
+                service,
+                handled,
+                node.raw(),
+            );
+        } else {
+            self.spans.child(
+                msg.trace,
+                "push.reject",
+                SpanKind::Speculation,
+                service,
+                handled,
+                node.raw(),
+            );
+        }
+        self.send_spec_resp(
+            handled,
+            Msg::new(node, msg.sender, block, msg.mtype).with_trace(msg.trace),
+            accepted,
+        );
+    }
+
+    /// The target's verdict came back: commit the provisional directory
+    /// entry, or roll it back to idle as if the push never happened. The
+    /// seeded [`ProtocolMutation::SpeculateWithoutRollback`] bug skips
+    /// the rollback, leaving the directory believing in a copy the
+    /// target never installed.
+    fn on_spec_push_resp(&mut self, msg: &Msg, accepted: bool, t: u64) -> Result<(), SimError> {
+        let block = msg.block;
+        let Some(txn) = self.txns.get_mut(&block) else {
+            // The reliable channel cannot lose the response, so the
+            // push transaction is always still open when it arrives.
+            debug_assert!(false, "push response without its transaction");
+            return Ok(());
+        };
+        debug_assert!(txn.speculative, "push response found a demand transaction");
+        txn.outstanding = 0;
+        let tr = txn.trace;
+        if accepted {
+            self.rollback.confirmed += 1;
+        } else if self.mutation == ProtocolMutation::SpeculateWithoutRollback {
+            // Seeded bug: keep the speculative entry despite the
+            // rejection (see the mutation's doc comment).
+        } else {
+            txn.next = DirState::Idle;
+            self.rollback.rolled_back += 1;
+        }
+        let service = t + self.sys.handler_ns;
+        self.finish_txn(block, service)?;
+        self.spans.end_trace(tr, service);
+        Ok(())
     }
 
     fn commit_write(&mut self, node: NodeId, block: BlockAddr, local: bool) {

@@ -48,6 +48,7 @@ pub mod network;
 pub mod rng;
 pub mod shard;
 pub mod simcheck;
+pub mod speculate;
 pub mod stats;
 
 pub use arena::{Arena, ArenaId};
@@ -56,7 +57,8 @@ pub use config::SystemConfig;
 pub use driver::{Access, AccessOp, IterationPlan, Phase};
 pub use event::EventQueue;
 pub use fault::{FaultInjector, FaultPlan};
-pub use machine::{AccessOutcome, Machine, SimError, SpeculationPolicy};
+pub use machine::{AccessOutcome, ForwardKind, Machine, SimError, SpeculationPolicy};
 pub use network::Topology;
 pub use shard::ShardedMachine;
+pub use speculate::{EagerPolicy, SpecActions};
 pub use stats::MachineStats;

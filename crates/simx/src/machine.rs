@@ -10,8 +10,8 @@ use stache::directory::{self, DirOutcome};
 use stache::invariants::{check_block, InvariantViolation};
 use stache::placement::home_of_block;
 use stache::{
-    BlockAddr, CacheState, DedupFilter, DirState, MsgType, NodeId, ProcOp, ProtocolConfig,
-    ProtocolError, ProtocolTally, RecoveryTally,
+    BlockAddr, CacheState, DedupFilter, DirState, MsgType, NodeId, NodeSet, ProcOp, ProtocolConfig,
+    ProtocolError, ProtocolTally, RecoveryTally, RollbackTally,
 };
 use std::cell::RefCell;
 use std::collections::{HashMap, HashSet};
@@ -146,12 +146,22 @@ impl Leg {
     }
 }
 
+/// The flavour of a speculative push: hand the predicted next reader a
+/// shared copy, or the predicted next writer an exclusive one.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ForwardKind {
+    /// Push a shared (read-only) copy.
+    Shared,
+    /// Push an exclusive (writable) copy.
+    Exclusive,
+}
+
 /// A speculation policy: the §4 integration hook.
 ///
 /// The paper stops at measuring prediction accuracy; its §4 sketches how a
 /// predictor would *drive* the protocol. This trait is that coupling: the
-/// machine consults the policy at the two action points Table 2
-/// highlights, and feeds it every message reception for training.
+/// machine consults the policy at the action points §4 highlights, and
+/// feeds it every message reception for training.
 ///
 /// All methods have no-op defaults, so a policy can implement only the
 /// speculation it is directed at.
@@ -173,6 +183,33 @@ pub trait SpeculationPolicy: std::fmt::Debug {
     fn self_invalidate(&mut self, node: NodeId, block: BlockAddr) -> bool {
         let _ = (node, block);
         false
+    }
+
+    /// Cache-side early invalidation acknowledgment: after `node`
+    /// completes a load of `block` (now shared), return `true` to drop
+    /// the copy and acknowledge the *predicted* invalidation before it is
+    /// ever sent (betting the next writer shows up before the next local
+    /// read). A wrong bet costs `node` a fresh read miss; a right one
+    /// takes the invalidation round trip off the writer's critical path.
+    fn early_inval_ack(&mut self, node: NodeId, block: BlockAddr) -> bool {
+        let _ = (node, block);
+        false
+    }
+
+    /// Directory-side speculative forwarding: when `block`'s entry at
+    /// `home` goes idle, return the predicted next requester (and whether
+    /// to push a shared or exclusive copy) to grant it *unsolicited* —
+    /// the push races any demand miss; a target that already re-acquired
+    /// the block rejects it and the directory rolls back. A wrong bet
+    /// costs the pushed-to node nothing and the true next requester an
+    /// owner-recall round.
+    fn forward_candidate(
+        &mut self,
+        home: NodeId,
+        block: BlockAddr,
+    ) -> Option<(NodeId, ForwardKind)> {
+        let _ = (home, block);
+        None
     }
 
     /// Sees every message reception, for training.
@@ -235,6 +272,9 @@ pub struct Machine {
     next_seq_to: Vec<u64>,
     /// Everything the recovery layer did (all zero on a perfect fabric).
     recovery: RecoveryTally,
+    /// Everything the speculation layer did (all zero with no policy, or
+    /// with a policy that never fires).
+    rollback: RollbackTally,
     /// Causal span log: per-transaction trees over simulated time.
     /// Disabled by default — see [`Machine::enable_tracing`].
     spans: SpanLog,
@@ -266,6 +306,7 @@ impl Machine {
             dedup: vec![DedupFilter::new(); nodes],
             next_seq_to: vec![0; nodes],
             recovery: RecoveryTally::new(),
+            rollback: RollbackTally::new(),
             spans: SpanLog::new(),
         }
     }
@@ -302,6 +343,12 @@ impl Machine {
     /// Recovery-layer actions taken so far (quiet on a perfect fabric).
     pub fn recovery_tally(&self) -> &RecoveryTally {
         &self.recovery
+    }
+
+    /// Speculation-layer actions taken so far (quiet with no policy, or a
+    /// policy that never fires).
+    pub fn rollback_tally(&self) -> &RollbackTally {
+        &self.rollback
     }
 
     /// Installs a speculation policy (the §4 integration). The policy sees
@@ -432,6 +479,11 @@ impl Machine {
         if let Some(inj) = &self.fault {
             inj.tally().export_obs(&mut snap);
             self.recovery.export_obs(&mut snap);
+        }
+        // Rollback metrics appear only when speculation actually fired,
+        // so non-speculative runs keep their exact metric set.
+        if !self.rollback.is_quiet() {
+            self.rollback.export_obs(&mut snap);
         }
         // Span metrics appear only when tracing is on, so untraced runs
         // keep their exact metric set.
@@ -723,6 +775,28 @@ impl Machine {
                 self.replace_exclusive(node, block, iteration);
             }
         }
+        // Early invalidation acknowledgment: after a remote load, the
+        // policy may drop the fresh shared copy and acknowledge the
+        // predicted invalidation ahead of the writer that will send it.
+        if op == ProcOp::Read && node != home && self.cache_state(node, block) == CacheState::Shared
+        {
+            let wants = self
+                .policy
+                .as_mut()
+                .is_some_and(|p| p.early_inval_ack(node, block));
+            if wants {
+                self.ring.get_mut().push(
+                    Event::new(
+                        self.clocks[node.index()],
+                        Severity::Info,
+                        "policy.early_inval_ack",
+                    )
+                    .node(node.raw())
+                    .block(block.number()),
+                );
+                self.replace_shared(node, block, iteration);
+            }
+        }
         if self.paranoid {
             self.verify_block(block)?;
         }
@@ -776,7 +850,135 @@ impl Machine {
         // Posting the replacement does not stall the processor.
         self.clocks[node.index()] += self.sys.cache_hit_ns;
         self.stats.voluntary_replacements += 1;
+        // The entry just went idle: the predicted next requester may be
+        // granted the block unsolicited.
+        self.maybe_forward(block, t);
         true
+    }
+
+    /// Voluntarily drops `node`'s shared copy of `block`, acknowledging
+    /// the predicted invalidation ahead of time (an unsolicited
+    /// `inval_ro_response`) — the early-invalidation-ack action. Returns
+    /// `false` (and does nothing) if the node does not hold the block
+    /// shared, is the block's home, or the entry has overflowed its
+    /// pointer budget (an imprecise sharer set is left alone).
+    pub fn replace_shared(&mut self, node: NodeId, block: BlockAddr, iteration: u32) -> bool {
+        let home = home_of_block(block, &self.proto);
+        if node == home
+            || self.cache_state(node, block) != CacheState::Shared
+            || self.overflowed.contains(&block)
+        {
+            return false;
+        }
+        let t0 = self.clocks[node.index()];
+        let tr = self
+            .spans
+            .begin_trace("early_inval_ack", t0, node.raw(), block.number());
+        let t = t0 + self.one_way_rec(node, home);
+        self.spans.child(
+            tr,
+            "net.early_ack",
+            SpanKind::Speculation,
+            t0,
+            t,
+            node.raw(),
+        );
+        self.record(
+            t,
+            home,
+            block,
+            node,
+            MsgType::InvalRoResponse,
+            iteration,
+            tr,
+        );
+        self.cache_values[node.index()].remove(&block);
+        self.set_cache_state(node, block, CacheState::Invalid);
+        let went_idle = if let Some(DirState::Shared(s)) = self.dirs.get(&block) {
+            let mut s = s.clone();
+            s.remove(node);
+            let next = if s.is_empty() {
+                DirState::Idle
+            } else {
+                DirState::Shared(s)
+            };
+            let idle = next == DirState::Idle;
+            self.set_dir(block, next);
+            idle
+        } else {
+            false
+        };
+        self.spans.end_trace(tr, t);
+        // Posting the early ack does not stall the processor.
+        self.clocks[node.index()] += self.sys.cache_hit_ns;
+        self.rollback.early_acks += 1;
+        if went_idle {
+            self.maybe_forward(block, t);
+        }
+        true
+    }
+
+    /// Directory-side speculative forwarding: with `block`'s entry idle
+    /// at simulated time `now`, consult the policy for a predicted next
+    /// requester and push it an unsolicited grant. In this serialized
+    /// engine the target's state is current truth, so an accepted push is
+    /// decided synchronously (the concurrent engine races the push
+    /// against demand misses and rolls back rejects). Pushes are
+    /// recovery-style control traffic, excluded from the predictor-
+    /// visible trace like NAKs and §5.1 barrier messages.
+    fn maybe_forward(&mut self, block: BlockAddr, now: u64) {
+        let home = home_of_block(block, &self.proto);
+        if self.policy.is_none() || self.dirs.get(&block) != Some(&DirState::Idle) {
+            return;
+        }
+        let Some((target, kind)) = self
+            .policy
+            .as_mut()
+            .and_then(|p| p.forward_candidate(home, block))
+        else {
+            return;
+        };
+        if target == home
+            || target.index() >= self.proto.nodes
+            || self.cache_state(target, block) != CacheState::Invalid
+        {
+            return;
+        }
+        self.rollback.pushes += 1;
+        self.ring.get_mut().push(
+            Event::new(now, Severity::Info, "policy.forward")
+                .node(target.raw())
+                .block(block.number()),
+        );
+        let tr = self
+            .spans
+            .begin_trace("spec_push", now, home.raw(), block.number());
+        self.spans.annotate(tr, "speculative");
+        let t_arr = now + self.one_way_rec(home, target);
+        self.spans.child(
+            tr,
+            "net.push",
+            SpanKind::Speculation,
+            now,
+            t_arr,
+            home.raw(),
+        );
+        let (state, next) = match kind {
+            ForwardKind::Shared => (
+                CacheState::Shared,
+                DirState::Shared(NodeSet::singleton(target)),
+            ),
+            ForwardKind::Exclusive => (CacheState::Exclusive, DirState::Exclusive(target)),
+        };
+        // The entry was idle, so memory holds the current value; the push
+        // carries it. The target's processor is not stalled — the copy
+        // simply appears in its cache, like any asynchronous fill.
+        let v = self.mem_values.get(&block).copied().unwrap_or(0);
+        self.cache_values[target.index()].insert(block, v);
+        self.set_cache_state(target, block, state);
+        self.set_dir(block, next);
+        self.spans.end_trace(tr, t_arr);
+        self.rollback.confirmed += 1;
     }
 
     /// Access by the home node itself: no request/response messages, but

@@ -45,9 +45,14 @@
 //! configurations, and the first three mutate cross-shard state in
 //! ways that would serialise the windows anyway. (The value oracle is
 //! omitted because it is free of observable effects: it feeds no
-//! stat, trace, or fingerprint.) Clean-fabric runs use only
-//! [`Issue`](SEvent::Issue) and [`Deliver`](SEvent::Deliver) events,
-//! which is all this engine implements.
+//! stat, trace, or fingerprint.) In particular the prediction-actioned
+//! speculation layer (early invalidation-acks, speculative pushes with
+//! rollback — see `crates/simx/src/concurrent.rs`) is serialized-only:
+//! there is no `set_policy` here, and the directory's no-transaction
+//! arm guards against its voluntary messages rather than handling
+//! them. Clean-fabric runs use only [`Issue`](SEvent::Issue) and
+//! [`Deliver`](SEvent::Deliver) events, which is all this engine
+//! implements.
 
 use crate::arena::{Arena, ArenaId};
 use crate::config::SystemConfig;
@@ -458,8 +463,17 @@ impl Shard {
                     }
                 }
                 None => {
-                    // A voluntary writeback (only speculation policies
-                    // produce these; kept for protocol completeness).
+                    // Voluntary messages (writebacks, early acks) are
+                    // produced only by speculation policies, which this
+                    // engine has no way to install — the speculation
+                    // layer is serialized-engine-only. Guard the clean
+                    // path anyway: a writeback clears a matching owner,
+                    // an early ack is absorbed, so a future wiring
+                    // mistake degrades to a missed optimisation instead
+                    // of a corrupted directory.
+                    if msg.mtype == MsgType::InvalRoResponse {
+                        return Ok(());
+                    }
                     debug_assert_eq!(msg.mtype, MsgType::InvalRwResponse, "voluntary writeback");
                     let dir = self.dirs.entry(msg.block).or_default().clone();
                     if dir.owner() == Some(msg.sender) {

@@ -13,6 +13,7 @@ use super::CheckConfig;
 use crate::concurrent::ProtocolMutation;
 use crate::config::SystemConfig;
 use crate::driver::{Access, AccessOp, IterationPlan, Phase};
+use crate::speculate::SpecActions;
 use stache::{BlockAddr, NodeId, ProtocolConfig};
 use std::fmt;
 
@@ -29,6 +30,10 @@ pub struct ScheduleArtifact {
     /// The seeded protocol bug this schedule exposes (`None` for real
     /// bugs found in the unmutated protocol).
     pub mutation: ProtocolMutation,
+    /// The speculative actions armed when the schedule was found
+    /// (`None` replays with no policy installed — the pre-speculation
+    /// artifact format, whose files lack the key).
+    pub speculation: Option<SpecActions>,
     /// The access plan whose interleaving is forced.
     pub plan: IterationPlan,
     /// Rank chosen at each delivery step.
@@ -87,6 +92,7 @@ impl ScheduleArtifact {
             half_migratory: cfg.proto.half_migratory,
             limited_pointers: cfg.proto.limited_pointers,
             mutation: cfg.mutation,
+            speculation: cfg.speculation,
             plan: cfg.plan.clone(),
             schedule: v.schedule.clone(),
             violation_kind: v.kind.clone(),
@@ -108,6 +114,9 @@ impl ScheduleArtifact {
             None => out.push_str("limited_pointers=none\n"),
         }
         out.push_str(&format!("mutation={}\n", self.mutation.name()));
+        if let Some(actions) = self.speculation {
+            out.push_str(&format!("speculation={}\n", actions.name()));
+        }
         for phase in &self.plan.phases {
             let accesses: Vec<String> = phase
                 .per_node
@@ -139,6 +148,7 @@ impl ScheduleArtifact {
         let mut half_migratory = true;
         let mut limited_pointers: Option<usize> = None;
         let mut mutation = ProtocolMutation::None;
+        let mut speculation: Option<SpecActions> = None;
         let mut phases: Vec<Vec<(AccessOp, usize, u64)>> = Vec::new();
         let mut schedule: Option<Vec<usize>> = None;
         let mut violation_kind: Option<String> = None;
@@ -183,6 +193,12 @@ impl ScheduleArtifact {
                 "mutation" => {
                     mutation = ProtocolMutation::from_name(value)
                         .ok_or_else(|| err(format!("unknown mutation `{value}`")))?;
+                }
+                "speculation" => {
+                    speculation = Some(
+                        SpecActions::from_name(value)
+                            .ok_or_else(|| err(format!("unknown speculation `{value}`")))?,
+                    );
                 }
                 "phase" => {
                     let mut accesses = Vec::new();
@@ -248,6 +264,7 @@ impl ScheduleArtifact {
             half_migratory,
             limited_pointers,
             mutation,
+            speculation,
             plan,
             schedule,
             violation_kind,
@@ -267,6 +284,7 @@ impl ScheduleArtifact {
             sys: SystemConfig::paper(),
             plan: self.plan.clone(),
             mutation: self.mutation,
+            speculation: self.speculation,
             // Budgets are irrelevant on a fixed schedule; leave headroom
             // so a schedule ending exactly at the violation still runs.
             max_steps: self.schedule.len() + 4,
@@ -319,6 +337,7 @@ mod tests {
             half_migratory: true,
             limited_pointers: None,
             mutation: ProtocolMutation::AckWithoutInvalidate,
+            speculation: Some(SpecActions::all()),
             plan,
             schedule: vec![0, 0, 1, 0],
             violation_kind: "writer_with_readers".to_string(),

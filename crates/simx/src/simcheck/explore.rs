@@ -4,6 +4,7 @@
 use super::{CheckConfig, CheckReport, CheckStats};
 use crate::concurrent::ConcurrentMachine;
 use crate::machine::SimError;
+use crate::speculate::EagerPolicy;
 use stache::invariants::{check_swmr, check_watermark, InvariantViolation};
 use stache::placement::home_of_block;
 use std::collections::HashSet;
@@ -114,6 +115,9 @@ pub(crate) fn run_schedule(
     let mut m = ConcurrentMachine::new(cfg.proto.clone(), cfg.sys.clone());
     m.set_ring_enabled(false);
     m.set_mutation(cfg.mutation);
+    if let Some(actions) = cfg.speculation {
+        m.set_policy(Box::new(EagerPolicy::new(actions, cfg.proto.nodes)));
+    }
     let mut marks = m.dedup_watermarks();
     let mut consumed = 0usize;
     let mut sched: Vec<usize> = Vec::new();

@@ -51,6 +51,7 @@ pub use shrink::shrink;
 use crate::concurrent::ProtocolMutation;
 use crate::config::SystemConfig;
 use crate::driver::{Access, IterationPlan, Phase};
+use crate::speculate::SpecActions;
 use stache::{BlockAddr, NodeId, ProtocolConfig};
 
 /// What to explore and how hard to try.
@@ -65,6 +66,10 @@ pub struct CheckConfig {
     pub plan: IterationPlan,
     /// Seeded protocol bug, for checker self-validation.
     pub mutation: ProtocolMutation,
+    /// Speculative actions to arm (via the always-fire
+    /// [`EagerPolicy`](crate::speculate::EagerPolicy)); `None` explores
+    /// the engine with no policy installed at all.
+    pub speculation: Option<SpecActions>,
     /// Depth budget: the longest schedule (event count) explored.
     pub max_steps: usize,
     /// State budget: exploration stops after this many distinct states.
@@ -86,8 +91,20 @@ impl CheckConfig {
             sys: SystemConfig::paper(),
             plan: contention_plan(nodes, blocks),
             mutation: ProtocolMutation::None,
+            speculation: None,
             max_steps: 64,
             max_states: 200_000,
+        }
+    }
+
+    /// [`small`](Self::small) with every speculative action armed: each
+    /// explored schedule also interleaves early acks, voluntary
+    /// writebacks, and speculative pushes (with their rollbacks) against
+    /// the demand traffic.
+    pub fn speculative(nodes: usize, blocks: usize) -> Self {
+        CheckConfig {
+            speculation: Some(SpecActions::all()),
+            ..CheckConfig::small(nodes, blocks)
         }
     }
 }

@@ -99,3 +99,93 @@ fn committed_artifact_depends_on_its_mutation() {
         "the clean protocol must survive the same schedule"
     );
 }
+
+#[test]
+fn speculative_two_nodes_explores_to_exhaustion() {
+    for blocks in [1, 2] {
+        let report = explore(&CheckConfig::speculative(2, blocks));
+        assert!(report.stats.exhausted, "{:?}", report.stats);
+        assert!(
+            report.violation.is_none(),
+            "speculation must stay correct: {:?}",
+            report.violation
+        );
+        // The speculative actions genuinely change the reachable space:
+        // more states than the plain protocol over the same plan.
+        let plain = explore(&CheckConfig::small(2, blocks));
+        assert!(
+            report.stats.states_visited > plain.stats.states_visited,
+            "speculation explored {} states, plain {}",
+            report.stats.states_visited,
+            plain.stats.states_visited
+        );
+    }
+}
+
+#[test]
+fn speculative_three_nodes_explores_to_exhaustion() {
+    let report = explore(&CheckConfig::speculative(3, 2));
+    assert!(report.stats.exhausted, "{:?}", report.stats);
+    assert!(report.violation.is_none(), "{:?}", report.violation);
+    assert!(report.stats.terminal_states >= 1);
+}
+
+#[test]
+fn speculate_without_rollback_is_caught_and_shrunk() {
+    // Three nodes: the push target must be able to have its own miss in
+    // flight (so the push is rejected) while a third node keeps the
+    // block moving; two nodes never reject a push in this plan.
+    let mut cfg = CheckConfig::speculative(3, 1);
+    cfg.mutation = ProtocolMutation::SpeculateWithoutRollback;
+    let report = explore(&cfg);
+    assert_eq!(report.stats.violations, 1, "{:?}", report.stats);
+    let v = report.violation.expect("the seeded bug must be found");
+    assert!(report.stats.shrink_attempts > 0);
+    // The schedule ends at the rejected push the mutation fails to roll
+    // back; the directory is left believing in a copy the target never
+    // installed.
+    let artifact = ScheduleArtifact::from_check(&cfg, &v);
+    let parsed = ScheduleArtifact::parse(&artifact.render()).expect("round trip");
+    let replayed = parsed.replay().expect("must reproduce");
+    assert_eq!(replayed.kind, v.kind);
+    assert_eq!(replayed.schedule, v.schedule);
+}
+
+#[test]
+fn committed_speculation_artifact_replays() {
+    let text = include_str!("schedules/speculate_without_rollback.sched");
+    let artifact = ScheduleArtifact::parse(text).expect("committed artifact parses");
+    assert_eq!(
+        artifact.mutation,
+        ProtocolMutation::SpeculateWithoutRollback
+    );
+    assert!(artifact.speculation.is_some(), "speculation line present");
+    let v = artifact.replay().expect("committed artifact reproduces");
+    assert_eq!(v.kind, "protocol_error");
+    assert!(
+        v.detail.contains("Shared{P1}"),
+        "the stale speculative entry is the finding: {}",
+        v.detail
+    );
+    // The last two steps are the push and its rejected verdict.
+    assert!(
+        v.labels
+            .iter()
+            .any(|l| l.starts_with("spec_push_resp reject")),
+        "{:?}",
+        v.labels
+    );
+}
+
+#[test]
+fn committed_speculation_artifact_depends_on_its_mutation() {
+    // Rollback restored: the same schedule must be clean — proving the
+    // violation is the seeded missing-rollback, not speculation itself.
+    let text = include_str!("schedules/speculate_without_rollback.sched");
+    let mut artifact = ScheduleArtifact::parse(text).expect("parses");
+    artifact.mutation = ProtocolMutation::None;
+    assert!(
+        artifact.replay().is_err(),
+        "with rollback restored the same schedule must be clean"
+    );
+}

@@ -57,5 +57,5 @@ pub use directory::{DirOutcome, DirState};
 pub use error::ProtocolError;
 pub use ids::{BlockAddr, NodeId, NodeSet, PageId};
 pub use msg::{Msg, MsgType, ProcOp, Role};
-pub use recovery::{DedupFilter, RecoveryTally, RetryPolicy};
+pub use recovery::{DedupFilter, RecoveryTally, RetryPolicy, RollbackTally};
 pub use tally::ProtocolTally;

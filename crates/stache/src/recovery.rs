@@ -201,9 +201,90 @@ impl RecoveryTally {
     }
 }
 
+/// Counters for everything the *speculation* layer did: predictions
+/// turned into protocol actions, and how each bet resolved.
+///
+/// Speculative pushes are the only speculative action that can be
+/// "wrong" at delivery time (the target may have acquired the block
+/// through a demand miss while the push was in flight); a rejected push
+/// is NAK'd by the target and the directory rolls its entry back, so
+/// `pushes == confirmed + rolled_back` once the fabric is quiescent.
+/// Early acks and self-invalidations are always safe — a wrong bet only
+/// costs the speculating cache a fresh miss.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct RollbackTally {
+    /// Speculative pushes (unsolicited grants) sent by a directory to a
+    /// predicted next reader or writer.
+    pub pushes: u64,
+    /// Pushes accepted by the target cache (the bet paid off).
+    pub confirmed: u64,
+    /// Pushes rejected by the target and rolled back at the directory
+    /// (the bet lost; the protocol state is as if nothing happened).
+    pub rolled_back: u64,
+    /// Early invalidation acknowledgments: shared copies voluntarily
+    /// dropped ahead of a predicted invalidation.
+    pub early_acks: u64,
+}
+
+impl RollbackTally {
+    /// Creates an empty tally.
+    pub fn new() -> Self {
+        RollbackTally::default()
+    }
+
+    /// Whether any speculative action was taken at all.
+    pub fn is_quiet(&self) -> bool {
+        self.pushes == 0 && self.confirmed == 0 && self.rolled_back == 0 && self.early_acks == 0
+    }
+
+    /// Merges another tally into this one.
+    pub fn merge(&mut self, other: &RollbackTally) {
+        self.pushes = self.pushes.saturating_add(other.pushes);
+        self.confirmed = self.confirmed.saturating_add(other.confirmed);
+        self.rolled_back = self.rolled_back.saturating_add(other.rolled_back);
+        self.early_acks = self.early_acks.saturating_add(other.early_acks);
+    }
+
+    /// Exports the tally under `stache.rollback.*`.
+    pub fn export_obs(&self, snap: &mut obs::Snapshot) {
+        snap.counter("stache.rollback.pushes", self.pushes);
+        snap.counter("stache.rollback.confirmed", self.confirmed);
+        snap.counter("stache.rollback.rolled_back", self.rolled_back);
+        snap.counter("stache.rollback.early_acks", self.early_acks);
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn rollback_tally_merges_and_exports() {
+        let mut a = RollbackTally::new();
+        assert!(a.is_quiet());
+        a.pushes = 3;
+        a.confirmed = 2;
+        a.rolled_back = 1;
+        let mut b = RollbackTally::new();
+        b.early_acks = u64::MAX;
+        b.merge(&a);
+        assert_eq!(b.pushes, 3);
+        assert_eq!(b.confirmed, 2);
+        assert_eq!(b.rolled_back, 1);
+        assert_eq!(b.early_acks, u64::MAX, "saturating merge");
+        assert!(!b.is_quiet());
+
+        let mut snap = obs::Snapshot::new();
+        b.export_obs(&mut snap);
+        assert!(snap
+            .names()
+            .iter()
+            .all(|n| n.starts_with("stache.rollback.")));
+        assert!(matches!(
+            snap.get("stache.rollback.pushes"),
+            Some(obs::MetricValue::Counter(3))
+        ));
+    }
 
     #[test]
     fn backoff_doubles_and_caps() {

@@ -113,6 +113,20 @@ diff -u crates/bench-suite/tests/golden/scale_small.csv "$SMOKE_DIR/scale.csv"
 grep -q '"sim.throughput.msgs_per_sec_per_core"' "$SMOKE_DIR/BENCH_scale.json"
 echo "    scale CSV matches golden; throughput JSON emitted"
 
+# Speculation smoke: regenerate the measured-speedup report — every cell
+# runs the speculative machine clean *and* under the default fault plan
+# (drop=0.01,dup=0.005,reorder=3), so this exercises prediction-actioned
+# grants, self-invalidations, early acks, forwarding pushes, and the
+# rollback/recovery paths end to end — and diff the CSV against its
+# golden byte for byte.
+echo "==> speculation smoke (speedup report + golden CSV diff)"
+cargo run -q --release --offline -p bench-suite --bin repro -- \
+  --small --csv "$SMOKE_DIR" speedup > /dev/null
+diff -u crates/bench-suite/tests/golden/speedup_small.csv "$SMOKE_DIR/speedup.csv"
+grep -q '"stache.rollback.pushes"' "$SMOKE_DIR/speedup_obs.json"
+grep -q '"stache.rollback.early_acks"' "$SMOKE_DIR/speedup_obs.json"
+echo "    speedup CSV matches golden; rollback obs JSON emitted"
+
 # Proptest seed promotion: every saved counterexample hash in a
 # *.proptest-regressions file must have a matching `promoted: <hash>`
 # marker in a checked-in test, so the seeds keep running even in builds
