@@ -67,7 +67,7 @@ pub mod speculate;
 pub use confident_policy::ConfidentPolicy;
 pub use policy::CosmosPolicy;
 pub use runner::{
-    audit_actions, compare, compare_concurrent, run_concurrent_with_policy, run_with_policy,
-    ActionAudit, Comparison, RunSummary,
+    audit_actions, audit_actions_chunks, compare, compare_concurrent, run_concurrent_with_policy,
+    run_with_policy, ActionAudit, ActionAuditor, Comparison, RunSummary,
 };
 pub use speculate::SpeculatePolicy;

@@ -228,16 +228,57 @@ pub struct ActionAudit {
 /// regression tests pin the clean-run equality so any such drift in the
 /// runner is caught.
 pub fn audit_actions(bundle: &TraceBundle, depth: usize, filter_max: u8) -> ActionAudit {
-    let mut fleet: HashMap<(NodeId, Role), CosmosPredictor> = HashMap::new();
-    // Exclusive fills in flight, keyed (block, holder): genuine write
-    // requests plus reads the audit granted exclusively. Each one's
-    // arrival is a self-invalidation consult point.
-    let mut fills: HashSet<(BlockAddr, NodeId)> = HashSet::new();
-    let mut audit = ActionAudit::default();
-    for r in bundle.records() {
-        let predictor = fleet
+    let mut auditor = ActionAuditor::new(depth, filter_max);
+    auditor.push_all(bundle.records());
+    auditor.finish()
+}
+
+/// [`audit_actions`], fed a chunked record stream — the packed-trace
+/// replay form. Identical counts to auditing the concatenated chunks;
+/// only one chunk need be in memory at a time.
+pub fn audit_actions_chunks<'a>(
+    chunks: impl IntoIterator<Item = &'a [trace::MsgRecord]>,
+    depth: usize,
+    filter_max: u8,
+) -> ActionAudit {
+    let mut auditor = ActionAuditor::new(depth, filter_max);
+    for chunk in chunks {
+        auditor.push_all(chunk);
+    }
+    auditor.finish()
+}
+
+/// The push-based core of [`audit_actions`]: feed records in trace order,
+/// then [`finish`](ActionAuditor::finish). Lets the streaming replay path
+/// audit a trace it never holds whole.
+#[derive(Debug, Default)]
+pub struct ActionAuditor {
+    depth: usize,
+    filter_max: u8,
+    fleet: HashMap<(NodeId, Role), CosmosPredictor>,
+    /// Exclusive fills in flight, keyed (block, holder): genuine write
+    /// requests plus reads the audit granted exclusively. Each one's
+    /// arrival is a self-invalidation consult point.
+    fills: HashSet<(BlockAddr, NodeId)>,
+    audit: ActionAudit,
+}
+
+impl ActionAuditor {
+    /// Starts an audit with a fleet of the given depth and filter.
+    pub fn new(depth: usize, filter_max: u8) -> Self {
+        ActionAuditor {
+            depth,
+            filter_max,
+            ..Default::default()
+        }
+    }
+
+    /// Feeds one record in trace order.
+    pub fn push(&mut self, r: &trace::MsgRecord) {
+        let predictor = self
+            .fleet
             .entry((r.node, r.role))
-            .or_insert_with(|| CosmosPredictor::new(depth, filter_max));
+            .or_insert_with(|| CosmosPredictor::new(self.depth, self.filter_max));
         // The machine records a reception (training the policy) before it
         // consults any action for it, so observe first.
         predictor.observe(r.block, PredTuple::new(r.sender, r.mtype));
@@ -246,14 +287,14 @@ pub fn audit_actions(bundle: &TraceBundle, depth: usize, filter_max: u8) -> Acti
                 if predictor.predict(r.block)
                     == Some(PredTuple::new(r.sender, MsgType::UpgradeRequest)) =>
             {
-                audit.exclusive_grants += 1;
-                fills.insert((r.block, r.sender));
+                self.audit.exclusive_grants += 1;
+                self.fills.insert((r.block, r.sender));
             }
             (Role::Directory, MsgType::GetRwRequest | MsgType::UpgradeRequest) => {
-                fills.insert((r.block, r.sender));
+                self.fills.insert((r.block, r.sender));
             }
             (Role::Cache, MsgType::GetRwResponse | MsgType::UpgradeResponse)
-                if fills.remove(&(r.block, r.node))
+                if self.fills.remove(&(r.block, r.node))
                     && matches!(
                         predictor.predict(r.block),
                         Some(PredTuple {
@@ -262,12 +303,23 @@ pub fn audit_actions(bundle: &TraceBundle, depth: usize, filter_max: u8) -> Acti
                         })
                     ) =>
             {
-                audit.voluntary_replacements += 1;
+                self.audit.voluntary_replacements += 1;
             }
             _ => {}
         }
     }
-    audit
+
+    /// Feeds a batch (typically one decoded chunk).
+    pub fn push_all(&mut self, records: &[trace::MsgRecord]) {
+        for r in records {
+            self.push(r);
+        }
+    }
+
+    /// Returns the recovered action counts.
+    pub fn finish(self) -> ActionAudit {
+        self.audit
+    }
 }
 
 /// [`compare`], on the concurrent engine.

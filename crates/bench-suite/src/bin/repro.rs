@@ -13,7 +13,11 @@
 //!   tournament   (predictor competition: accuracy-vs-bits frontier)
 //!   scale        (sharded-engine 64-1024 node throughput sweep;
 //!                 run explicitly — `all` does not include it)
-//!   all          (default) everything above except `scale`
+//!   tracepack    (packed-trace codec throughput, SimPoint-sampled
+//!                 accuracy, and the streaming ≥1e8-message cell;
+//!                 run explicitly — `all` does not include it)
+//!   all          (default) everything above except `scale` and
+//!                `tracepack`
 //!
 //! Repeated targets run once: the list is deduplicated preserving the
 //! first occurrence's position, so `repro table5 all` never evaluates a
@@ -73,14 +77,19 @@ const TARGETS: &[&str] = &[
     "tracespans",
     "tournament",
     "scale",
+    "tracepack",
 ];
 
-/// Targets `all` expands to. The `scale` sweep is excluded: it exists to
-/// measure the simulator itself at 64–1024 nodes (minutes of wall clock
-/// at paper scale) and is run explicitly — `repro all` wall-clock stays
-/// a property of the paper reproduction alone.
+/// Targets `all` expands to. The `scale` sweep and the `tracepack`
+/// codec report are excluded: both exist to measure the simulator and
+/// its trace pipeline (minutes of wall clock at paper scale — the
+/// tracepack streaming cell alone simulates ≥10⁸ messages) and are run
+/// explicitly — `repro all` wall-clock stays a property of the paper
+/// reproduction alone.
 fn all_targets() -> impl Iterator<Item = &'static &'static str> {
-    TARGETS.iter().filter(|t| **t != "scale")
+    TARGETS
+        .iter()
+        .filter(|t| **t != "scale" && **t != "tracepack")
 }
 
 fn main() -> ExitCode {
@@ -255,6 +264,7 @@ fn main() -> ExitCode {
                 | "persistence"
                 | "lookahead"
                 | "tournament"
+                | "tracepack"
         )
     });
     let mut bench = bench_json.as_ref().map(|_| BenchTimer::new());
@@ -435,6 +445,18 @@ fn main() -> ExitCode {
                     &csv_dir,
                     "BENCH_scale.json",
                     &sc::export_obs(&rows).to_json(),
+                );
+            }
+            "tracepack" => {
+                use bench_suite::tracepack as tp;
+                eprintln!("running packed-trace pipeline report ({scale:?} scale)...");
+                let report = tp::tracepack(set.unwrap(), scale);
+                println!("{}", tp::render_tracepack(&report));
+                write_csv(&csv_dir, "tracepack.csv", &tp::csv_tracepack(&report));
+                write_csv(
+                    &csv_dir,
+                    "BENCH_trace.json",
+                    &tp::export_obs(&report).to_json(),
                 );
             }
             "simcheck" => {

@@ -27,6 +27,7 @@
 //! | Schedule-exploration model check | [`modelcheck::simcheck_report`] |
 //! | Predictor tournament (accuracy-vs-bits frontier) | [`tournament::tournament`] |
 //! | Measured speculation speedup vs Figure 5 | [`speedup::speedup_report`] |
+//! | Packed-trace codec + SimPoint sampling | [`tracepack::tracepack`] |
 //!
 //! The `repro` binary drives them from the command line; the [`Harness`]
 //! benches under `benches/` time the underlying machinery. The
@@ -48,6 +49,7 @@ pub mod spans;
 pub mod speedup;
 pub mod tables;
 pub mod tournament;
+pub mod tracepack;
 pub mod traces;
 
 pub use bench_report::BenchTimer;

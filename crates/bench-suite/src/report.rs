@@ -7,7 +7,8 @@
 //!   flight-recorder volume;
 //! * `stache.*` — per-transition protocol tallies and invariant-check
 //!   counts;
-//! * `trace.*` — captured message-mix statistics;
+//! * `trace.*` — captured message-mix statistics and the packed-codec
+//!   byte totals (`trace.pack.*`);
 //! * `cosmos.depth<d>.*` — predictor accuracy, coverage, and memory at
 //!   MHR depths 1 and 2;
 //! * `accel.*` — the baseline-vs-speculation comparison.
@@ -28,6 +29,12 @@ use crate::Scale;
 
 /// MHR depths the report evaluates the predictor at.
 pub const REPORT_DEPTHS: [usize; 2] = [1, 2];
+
+/// Chunk size the report packs the captured trace at (matches the
+/// `tracepack` target's per-scale choice so the two agree byte-for-byte).
+pub fn report_chunk_records(scale: Scale) -> u32 {
+    crate::tracepack::chunk_records(scale)
+}
 
 /// The benchmark names [`obs_report`] accepts.
 pub fn report_apps() -> Vec<String> {
@@ -70,6 +77,15 @@ pub fn obs_report(scale: Scale, app: &str) -> obs::Snapshot {
     let mut snap = machine.obs_snapshot();
     TraceStats::compute(machine.trace()).export_obs(&mut snap);
 
+    // The packed-codec totals over the same captured trace: byte volumes
+    // and compression ratio are pure functions of the record stream, so
+    // they belong in the deterministic report (wall-clock packing speed
+    // does not — that lives in `BENCH_trace.json`).
+    let (_, pack_stats) =
+        trace::pack::pack_bundle_with_stats(machine.trace(), report_chunk_records(scale))
+            .unwrap_or_else(|e| panic!("{app} trace failed to pack: {e}"));
+    pack_stats.export_obs(&mut snap);
+
     // Predictor accuracy and memory over the captured trace.
     for depth in REPORT_DEPTHS {
         evaluate_cosmos(machine.trace(), depth, 0).export_obs(depth, &mut snap);
@@ -100,7 +116,14 @@ mod tests {
             snap.len(),
             snap.names()
         );
-        for prefix in ["simx.", "stache.", "trace.", "cosmos.", "accel."] {
+        for prefix in [
+            "simx.",
+            "stache.",
+            "trace.",
+            "trace.pack.",
+            "cosmos.",
+            "accel.",
+        ] {
             assert!(
                 snap.names().iter().any(|n| n.starts_with(prefix)),
                 "no {prefix} metrics in {:?}",

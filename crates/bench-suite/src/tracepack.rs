@@ -1,0 +1,711 @@
+//! The `repro tracepack` target: packed-trace codec throughput and
+//! SimPoint-style sampled evaluation (DESIGN.md §6j).
+//!
+//! Three questions, one report:
+//!
+//! 1. **How small** — each benchmark's trace is packed with the chunked
+//!    columnar codec ([`trace::pack`]) and the byte totals are compared
+//!    against the flat 26-byte record codec. The compression ratio is a
+//!    pure function of the record stream, so it is CSV-golden material.
+//! 2. **How accurate when sampled** — each packed trace is fingerprinted
+//!    per fixed interval, clustered with seeded k-means
+//!    ([`trace::simpoint`]), and turned into a variance-budgeted scoring
+//!    plan: tight clusters contribute one representative, high-spread
+//!    clusters are scored exactly. One streaming pass replays the whole
+//!    trace through the Cosmos fleet — every record trains (functional
+//!    warming), only records in planned intervals score — so a scored
+//!    interval's accuracy is *identical* to the full replay restricted
+//!    to it, and the only estimator error is cluster representativeness.
+//!    The report pins the sampled-vs-full accuracy error per benchmark ×
+//!    MHR depth — the evidence that phase sampling is safe for
+//!    billion-message runs where full replay is not an option.
+//! 3. **How fast** — a streaming [`workloads::Scale`] cell runs on the
+//!    sharded engine with its per-iteration trace drained straight into a
+//!    [`trace::pack::PackedTraceWriter`] (the full record set is never
+//!    materialised), then decoded chunk-parallel over [`crate::par::sweep`]
+//!    and replayed chunk-by-chunk through a predictor fleet. Encode /
+//!    decode / replay wall-clock throughputs are machine-dependent and go
+//!    to `BENCH_trace.json`, never the CSV.
+//!
+//! Artefact split, as everywhere in the suite: `tracepack.csv` carries
+//! only simulation-deterministic columns (golden-diffed in CI as
+//! `tracepack_small.csv`); `BENCH_trace.json` carries the wall-clock
+//! side and is recorded, never diffed.
+
+use crate::traces::Scale as RunScale;
+use crate::TraceSet;
+use cosmos::eval::{evaluate_cosmos, Counts};
+use cosmos::{CosmosPredictor, EvictingCosmos, MessagePredictor, StreamEval};
+use simx::SystemConfig;
+use std::io::Cursor;
+use std::time::{Duration, Instant};
+use trace::pack::{PackStats, PackedTraceReader, PackedTraceWriter};
+use trace::simpoint::{self, SamplePlan};
+use trace::{MsgRecord, TraceBundle};
+use workloads::{run_sharded_streaming, Scale as ScaleWorkload, Workload};
+
+/// MHR depths the sampled-vs-full comparison covers.
+pub const SAMPLE_DEPTHS: [usize; 4] = [1, 2, 3, 4];
+
+/// k-means cluster count. High on purpose: with the position guide
+/// dimension in the fingerprints, many clusters stratify the run into
+/// fine phase × position cells, which is what keeps the estimator's
+/// within-cluster dispersion under the 1 pp acceptance bar.
+pub const SIMPOINT_K: usize = 64;
+
+/// Target ceiling on the fraction of records the scoring plan replays
+/// scored — [`trace::simpoint::plan`] spends it on exhaustively scoring
+/// the highest-spread clusters.
+pub const SAMPLE_BUDGET: f64 = 0.55;
+
+/// Fixed k-means seed: the sampled rows are deterministic by
+/// construction, not by luck.
+pub const SIMPOINT_SEED: u64 = 0x51_3b_0a_7d;
+
+/// Records per packed chunk. Sized for codec efficiency (dictionary and
+/// LZ context amortise over the chunk), not for sampling granularity —
+/// that is [`sample_interval`]'s job.
+pub fn chunk_records(scale: RunScale) -> u32 {
+    match scale {
+        RunScale::Small => 256,
+        RunScale::Paper => 4096,
+    }
+}
+
+/// Records per SimPoint fingerprint interval. Finer than the packed
+/// chunk at small scale: estimator error shrinks with interval size
+/// (each cluster cell gets more homogeneous), and since the sampled
+/// pass streams records — not chunks — the interval does not need to
+/// match the chunk boundary.
+pub fn sample_interval(scale: RunScale) -> u64 {
+    match scale {
+        RunScale::Small => 32,
+        RunScale::Paper => 4096,
+    }
+}
+
+/// One benchmark's packing outcome: deterministic byte totals plus the
+/// (machine-dependent) encode/decode wall times.
+#[derive(Debug, Clone)]
+pub struct PackRow {
+    /// Benchmark name.
+    pub app: String,
+    /// Codec byte totals (records, chunks, flat vs packed bytes).
+    pub stats: PackStats,
+    /// Wall time to encode the trace (excluded from the CSV).
+    pub encode_wall: Duration,
+    /// Wall time to decode all chunks in parallel (excluded from the CSV).
+    pub decode_wall: Duration,
+}
+
+/// One benchmark × depth sampled-accuracy outcome. All columns are
+/// deterministic: the traces, the fingerprints, the seeded clustering,
+/// and both replays are pure functions of the workload parameters.
+#[derive(Debug, Clone)]
+pub struct SampleRow {
+    /// Benchmark name.
+    pub app: String,
+    /// Cosmos MHR depth.
+    pub depth: usize,
+    /// Full-replay accuracy (percent).
+    pub full_pct: f64,
+    /// Weighted representative-chunk accuracy (percent).
+    pub sampled_pct: f64,
+    /// Intervals the scoring plan replays scored.
+    pub picks: usize,
+    /// Fraction of the trace the scored intervals cover.
+    pub sampled_fraction: f64,
+}
+
+impl SampleRow {
+    /// Absolute sampled-vs-full error in percentage points — the
+    /// headline number phase sampling must keep small.
+    pub fn error_pp(&self) -> f64 {
+        (self.full_pct - self.sampled_pct).abs()
+    }
+}
+
+/// The streaming cell's outcome: deterministic stream/codec totals plus
+/// the wall-clock throughput measurements.
+#[derive(Debug, Clone)]
+pub struct StreamRow {
+    /// Nodes in the streamed cell.
+    pub nodes: usize,
+    /// Workload iterations.
+    pub iterations: u32,
+    /// Codec totals for the streamed trace.
+    pub stats: PackStats,
+    /// Largest per-iteration drain handed to the writer — the actual
+    /// peak record-buffer footprint of the streaming encode path.
+    pub max_drain: usize,
+    /// Records replayed through the predictor fleet chunk-by-chunk.
+    pub replayed: u64,
+    /// Replay accuracy (percent) of the bounded-memory fleet — pinned so
+    /// the streaming path provably feeds real records, not padding.
+    pub replay_pct: f64,
+    /// Wall time of the whole simulate-and-encode loop (excluded from
+    /// the CSV, like every wall-clock column).
+    pub sim_wall: Duration,
+    /// Wall time spent inside the packed writer alone.
+    pub encode_wall: Duration,
+    /// Wall time for the window-parallel chunk decode.
+    pub decode_wall: Duration,
+    /// Wall time for the chunked predictor replay.
+    pub replay_wall: Duration,
+}
+
+/// The whole `tracepack` report.
+#[derive(Debug, Clone)]
+pub struct TracepackReport {
+    /// Per-benchmark packing rows, Table 4 order.
+    pub pack: Vec<PackRow>,
+    /// Per-benchmark × depth sampled-accuracy rows.
+    pub samples: Vec<SampleRow>,
+    /// The streaming scale cell.
+    pub stream: StreamRow,
+}
+
+/// Packs a bundle into memory, returning the packed bytes, the codec
+/// stats, and the encode wall time.
+fn pack_timed(bundle: &TraceBundle, chunk: u32) -> (Vec<u8>, PackStats, Duration) {
+    let t0 = Instant::now();
+    let meta = bundle.meta().clone();
+    let mut w = PackedTraceWriter::new(Cursor::new(Vec::new()), &meta, chunk)
+        .unwrap_or_else(|e| panic!("{}: pack writer failed: {e}", meta.app));
+    w.push_all(bundle.records())
+        .unwrap_or_else(|e| panic!("{}: pack failed: {e}", meta.app));
+    let (cursor, stats) = w
+        .finish()
+        .unwrap_or_else(|e| panic!("{}: pack finish failed: {e}", meta.app));
+    (cursor.into_inner(), stats, t0.elapsed())
+}
+
+/// Decodes every chunk of a packed trace, fanning the chunks out over
+/// the shared worker pool ([`crate::par::sweep`]); chunks decode
+/// independently (own dictionary, own CRC), which is the format feature
+/// this path exists to exploit. Returns the chunks in stream order.
+pub fn decode_parallel(bytes: &[u8]) -> (Vec<Vec<MsgRecord>>, Duration) {
+    let t0 = Instant::now();
+    // One reader pulls the raw (still-compressed) chunks in order — that
+    // part is a cheap index walk — and only the LZ + column decode fans
+    // out. Opening a reader per chunk would re-parse the whole index
+    // each time, which is quadratic in chunk count.
+    let mut r = PackedTraceReader::new(Cursor::new(bytes))
+        .unwrap_or_else(|e| panic!("packed trace unreadable: {e}"));
+    let raw: Vec<_> = (0..r.chunk_count())
+        .map(|i| {
+            r.read_chunk_raw(i)
+                .unwrap_or_else(|e| panic!("chunk {i} unreadable: {e}"))
+        })
+        .collect();
+    let chunks = crate::par::sweep(raw.len(), |i| {
+        raw[i]
+            .decode()
+            .unwrap_or_else(|e| panic!("chunk {i} failed to decode: {e}"))
+    });
+    (chunks, t0.elapsed())
+}
+
+/// Sampled evaluation in one streaming pass: every record trains the
+/// fleet (functional warming — predictor state at any point equals the
+/// full replay's), records inside planned intervals also score, and the
+/// running counters are diffed at interval boundaries to attribute
+/// scores per interval. Per-cluster scored hit rates combine by the
+/// plan's record-share weights into the full-trace estimate.
+pub fn sampled_pct(
+    chunks: &[Vec<MsgRecord>],
+    plan: &SamplePlan,
+    interval: u64,
+    depth: usize,
+) -> f64 {
+    let scored = plan.scored_flags();
+    let mut ev = StreamEval::new(Default::default(), |_, _| {
+        Box::new(CosmosPredictor::new(depth, 0)) as Box<dyn MessagePredictor>
+    });
+    let mut per_interval = vec![Counts::default(); plan.intervals];
+    let mut prev = Counts::default();
+    let mut cur = 0usize;
+    let mut idx = 0u64;
+    for chunk in chunks {
+        for r in chunk {
+            let iv = (idx / interval) as usize;
+            if iv != cur {
+                let now = ev.counts_so_far();
+                per_interval[cur] = Counts {
+                    hits: now.hits - prev.hits,
+                    total: now.total - prev.total,
+                };
+                prev = now;
+                cur = iv;
+            }
+            if scored[iv] {
+                ev.push(r);
+            } else {
+                ev.observe_only(r);
+            }
+            idx += 1;
+        }
+    }
+    let now = ev.counts_so_far();
+    per_interval[cur] = Counts {
+        hits: now.hits - prev.hits,
+        total: now.total - prev.total,
+    };
+    plan.groups
+        .iter()
+        .map(|g| {
+            let mut c = Counts::default();
+            for &i in &g.scored {
+                c.merge(per_interval[i]);
+            }
+            g.weight * c.percent()
+        })
+        .sum()
+}
+
+/// The streaming cell per scale: small is the CI smoke (deterministic
+/// golden columns); paper is the ≥10⁸-message cell that motivates the
+/// format — its flat record set (~2.6 GB) is never materialised: records
+/// stream from the engine into the packed writer per iteration, and the
+/// replay decodes a bounded window of chunks at a time.
+pub fn stream_cell(scale: RunScale) -> (usize, usize, u32) {
+    match scale {
+        RunScale::Small => (64, 2, 4),
+        RunScale::Paper => (512, 0, 100_000),
+    }
+}
+
+/// Chunks decoded per parallel window during the streamed replay. Bounds
+/// replay memory at `window × chunk_records` records while still giving
+/// [`crate::par::sweep`] a batch to fan out.
+pub const DECODE_WINDOW: usize = 64;
+
+/// Per-agent MHT capacity of the bounded-memory replay fleet. The
+/// streamed cell touches millions of distinct blocks; an unbounded fleet
+/// would grow a table entry for every one of them, so the replay uses
+/// [`EvictingCosmos`] — predictor memory stays O(fleet × capacity)
+/// regardless of trace length.
+pub const REPLAY_MHT_CAPACITY: usize = 8192;
+
+/// Runs the streaming cell: simulate on the sharded engine, drain each
+/// iteration's records straight into a packed writer over a temporary
+/// file, then decode in chunk-parallel windows feeding a chunk-by-chunk
+/// predictor replay. At no point does the full record set exist in
+/// memory — the peaks are one iteration's drain (encode side) and
+/// [`DECODE_WINDOW`] chunks (replay side).
+pub fn run_stream_cell(scale: RunScale) -> StreamRow {
+    let (nodes, private_per_node, iterations) = stream_cell(scale);
+    let chunk = chunk_records(scale);
+    let mut w = ScaleWorkload::new(nodes, private_per_node, iterations);
+    let proto = w.proto();
+    let meta = trace::TraceMeta::new(w.name(), proto.nodes, iterations);
+    let shards = crate::scale::default_shards(nodes);
+    let path = std::env::temp_dir().join(format!(
+        "tracepack_stream_{}_{nodes}n.cpk",
+        std::process::id()
+    ));
+
+    let file =
+        std::fs::File::create(&path).unwrap_or_else(|e| panic!("creating {}: {e}", path.display()));
+    let mut writer = PackedTraceWriter::new(std::io::BufWriter::new(file), &meta, chunk)
+        .unwrap_or_else(|e| panic!("stream writer failed: {e}"));
+    let mut max_drain = 0usize;
+    let mut encode_wall = Duration::ZERO;
+    let t0 = Instant::now();
+    run_sharded_streaming(
+        &mut w,
+        proto,
+        SystemConfig::paper(),
+        shards,
+        Some(4096),
+        |m| {
+            m.set_ring_enabled(false);
+            m.set_audit_barriers(false);
+        },
+        |batch| {
+            max_drain = max_drain.max(batch.len());
+            let w0 = Instant::now();
+            let out = writer.push_all(&batch);
+            encode_wall += w0.elapsed();
+            out
+        },
+    )
+    .unwrap_or_else(|e| panic!("stream cell failed: {e}"));
+    let w0 = Instant::now();
+    let (buf, stats) = writer
+        .finish()
+        .unwrap_or_else(|e| panic!("stream finish failed: {e}"));
+    let file = buf
+        .into_inner()
+        .unwrap_or_else(|e| panic!("flushing {}: {e}", path.display()));
+    file.sync_all()
+        .unwrap_or_else(|e| panic!("syncing {}: {e}", path.display()));
+    encode_wall += w0.elapsed();
+    let sim_wall = t0.elapsed();
+
+    // Windowed replay: one reader streams the raw (still-compressed)
+    // chunks of each DECODE_WINDOW in order — sequential I/O plus an
+    // index lookup — the LZ + column decode fans out in parallel, the
+    // window feeds the fleet in stream order, is dropped, repeat.
+    // (Opening a reader per chunk would re-read the whole chunk index
+    // each time: quadratic in chunk count, ruinous at 10^8 records.)
+    let mut reader = PackedTraceReader::open(&path)
+        .unwrap_or_else(|e| panic!("reopening {}: {e}", path.display()));
+    let chunk_count = reader.chunk_count();
+    let mut decode_wall = Duration::ZERO;
+    let mut replay_wall = Duration::ZERO;
+    let mut ev = StreamEval::new(Default::default(), |_, _| {
+        Box::new(EvictingCosmos::new(2, 0, REPLAY_MHT_CAPACITY)) as Box<dyn MessagePredictor>
+    });
+    let mut lo = 0usize;
+    while lo < chunk_count {
+        let hi = (lo + DECODE_WINDOW).min(chunk_count);
+        let d0 = Instant::now();
+        let raw: Vec<_> = (lo..hi)
+            .map(|i| {
+                reader
+                    .read_chunk_raw(i)
+                    .unwrap_or_else(|e| panic!("chunk {i} unreadable: {e}"))
+            })
+            .collect();
+        let window = crate::par::sweep(hi - lo, |i| {
+            raw[i]
+                .decode()
+                .unwrap_or_else(|e| panic!("chunk {} failed to decode: {e}", lo + i))
+        });
+        decode_wall += d0.elapsed();
+        let r0 = Instant::now();
+        for chunk in &window {
+            ev.push_all(chunk);
+        }
+        replay_wall += r0.elapsed();
+        lo = hi;
+    }
+    let report = ev.finish();
+    let _ = std::fs::remove_file(&path);
+
+    StreamRow {
+        nodes,
+        iterations,
+        stats,
+        max_drain,
+        replayed: report.overall.total,
+        replay_pct: report.overall.percent(),
+        sim_wall,
+        encode_wall,
+        decode_wall,
+        replay_wall,
+    }
+}
+
+/// Builds the full report from the shared trace set.
+pub fn tracepack(set: &TraceSet, scale: RunScale) -> TracepackReport {
+    let chunk = chunk_records(scale);
+    let mut pack = Vec::new();
+    let mut samples = Vec::new();
+    for bundle in set.traces() {
+        let app = bundle.meta().app.clone();
+        eprintln!("  tracepack: packing {app}...");
+        let (bytes, stats, encode_wall) = pack_timed(bundle, chunk);
+        let (chunks, decode_wall) = decode_parallel(&bytes);
+        let decoded: usize = chunks.iter().map(Vec::len).sum();
+        assert_eq!(decoded as u64, stats.records, "{app}: decode lost records");
+        let interval = sample_interval(scale);
+        let plan = simpoint::sample_plan(
+            chunks.iter().map(Vec::as_slice),
+            interval,
+            SIMPOINT_K,
+            SIMPOINT_SEED,
+            SAMPLE_BUDGET,
+        );
+        for depth in SAMPLE_DEPTHS {
+            let full = evaluate_cosmos(bundle, depth, 0).overall.percent();
+            let sampled = sampled_pct(&chunks, &plan, interval, depth);
+            samples.push(SampleRow {
+                app: app.clone(),
+                depth,
+                full_pct: full,
+                sampled_pct: sampled,
+                picks: plan.scored_intervals(),
+                sampled_fraction: plan.sampled_fraction(),
+            });
+        }
+        pack.push(PackRow {
+            app,
+            stats,
+            encode_wall,
+            decode_wall,
+        });
+    }
+    eprintln!(
+        "  tracepack: streaming scale cell ({} nodes)...",
+        stream_cell(scale).0
+    );
+    let stream = run_stream_cell(scale);
+    TracepackReport {
+        pack,
+        samples,
+        stream,
+    }
+}
+
+/// Renders the report for humans (wall-clock columns included).
+pub fn render_tracepack(r: &TracepackReport) -> String {
+    let mut out = String::new();
+    out.push_str("Packed-trace codec (chunked columnar + LZ) vs flat 26-byte records\n");
+    out.push_str(
+        "  app            records  chunks  flat_bytes  packed_bytes  ratio  enc_ms  dec_ms\n",
+    );
+    for p in &r.pack {
+        out.push_str(&format!(
+            "  {:<12}  {:>8}  {:>6}  {:>10}  {:>12}  {:>5.2}  {:>6.1}  {:>6.1}\n",
+            p.app,
+            p.stats.records,
+            p.stats.chunks,
+            p.stats.flat_bytes,
+            p.stats.packed_bytes,
+            p.stats.ratio(),
+            p.encode_wall.as_secs_f64() * 1e3,
+            p.decode_wall.as_secs_f64() * 1e3,
+        ));
+    }
+    out.push_str("\nSimPoint-sampled vs full Cosmos accuracy\n");
+    out.push_str("  app           depth  full_%  sampled_%  err_pp  picks  sampled_frac\n");
+    for s in &r.samples {
+        out.push_str(&format!(
+            "  {:<12}  {:>5}  {:>6.2}  {:>9.2}  {:>6.2}  {:>5}  {:>12.3}\n",
+            s.app,
+            s.depth,
+            s.full_pct,
+            s.sampled_pct,
+            s.error_pp(),
+            s.picks,
+            s.sampled_fraction,
+        ));
+    }
+    let st = &r.stream;
+    out.push_str("\nStreaming scale cell (per-iteration drain -> packed writer)\n");
+    out.push_str(&format!(
+        "  {} nodes x {} iters: {} records in {} chunks, {} -> {} bytes (ratio {:.2}), \
+         peak drain {} records\n",
+        st.nodes,
+        st.iterations,
+        st.stats.records,
+        st.stats.chunks,
+        st.stats.flat_bytes,
+        st.stats.packed_bytes,
+        st.stats.ratio(),
+        st.max_drain,
+    ));
+    let tput = |recs: u64, d: Duration| {
+        let s = d.as_secs_f64();
+        if s > 0.0 {
+            recs as f64 / s
+        } else {
+            0.0
+        }
+    };
+    out.push_str(&format!(
+        "  simulate+encode {:.2}s (encode alone {:.3}s, {:.0} rec/s), decode {:.3}s \
+         ({:.0} rec/s), replay {:.3}s ({:.0} rec/s, depth-2 accuracy {:.2}%)\n",
+        st.sim_wall.as_secs_f64(),
+        st.encode_wall.as_secs_f64(),
+        tput(st.stats.records, st.encode_wall),
+        st.decode_wall.as_secs_f64(),
+        tput(st.stats.records, st.decode_wall),
+        st.replay_wall.as_secs_f64(),
+        tput(st.replayed, st.replay_wall),
+        st.replay_pct,
+    ));
+    out
+}
+
+/// The deterministic CSV artefact (`tracepack.csv`): every column is a
+/// pure function of workload parameters, so the small run golden-diffs.
+pub fn csv_tracepack(r: &TracepackReport) -> String {
+    let mut out = String::from(
+        "section,app,depth,records,chunks,flat_bytes,packed_bytes,ratio,\
+         full_pct,sampled_pct,error_pp,picks,sampled_frac\n",
+    );
+    for p in &r.pack {
+        out.push_str(&format!(
+            "pack,{},,{},{},{},{},{:.4},,,,,\n",
+            p.app,
+            p.stats.records,
+            p.stats.chunks,
+            p.stats.flat_bytes,
+            p.stats.packed_bytes,
+            p.stats.ratio(),
+        ));
+    }
+    for s in &r.samples {
+        out.push_str(&format!(
+            "sample,{},{},,,,,,{:.4},{:.4},{:.4},{},{:.4}\n",
+            s.app,
+            s.depth,
+            s.full_pct,
+            s.sampled_pct,
+            s.error_pp(),
+            s.picks,
+            s.sampled_fraction,
+        ));
+    }
+    let st = &r.stream;
+    out.push_str(&format!(
+        "stream,scale_n{},,{},{},{},{},{:.4},,,,,\n",
+        st.nodes,
+        st.stats.records,
+        st.stats.chunks,
+        st.stats.flat_bytes,
+        st.stats.packed_bytes,
+        st.stats.ratio(),
+    ));
+    out
+}
+
+/// The wall-clock side as an `obs.v1` snapshot (`BENCH_trace.json`):
+/// per-benchmark codec totals plus encode/decode/replay throughput of
+/// the streaming cell.
+pub fn export_obs(r: &TracepackReport) -> obs::Snapshot {
+    let mut snap = obs::Snapshot::new();
+    let mut total = PackStats::default();
+    for p in &r.pack {
+        let s = &p.stats;
+        total.records += s.records;
+        total.flat_bytes += s.flat_bytes;
+        total.packed_bytes += s.packed_bytes;
+        total.chunks += s.chunks;
+        total.raw_payload_bytes += s.raw_payload_bytes;
+        total.comp_payload_bytes += s.comp_payload_bytes;
+        snap.counter(&format!("bench.tracepack.{}.records", p.app), s.records);
+        snap.counter(
+            &format!("bench.tracepack.{}.packed_bytes", p.app),
+            s.packed_bytes,
+        );
+        snap.gauge(&format!("bench.tracepack.{}.ratio", p.app), s.ratio());
+        snap.counter(
+            &format!("bench.tracepack.{}.encode_wall_ns", p.app),
+            p.encode_wall.as_nanos() as u64,
+        );
+        snap.counter(
+            &format!("bench.tracepack.{}.decode_wall_ns", p.app),
+            p.decode_wall.as_nanos() as u64,
+        );
+    }
+    total.export_obs(&mut snap);
+    let worst = r
+        .samples
+        .iter()
+        .map(SampleRow::error_pp)
+        .fold(0.0f64, f64::max);
+    snap.gauge("bench.tracepack.sample.worst_error_pp", worst);
+    let st = &r.stream;
+    snap.counter("bench.tracepack.stream.records", st.stats.records);
+    snap.counter("bench.tracepack.stream.packed_bytes", st.stats.packed_bytes);
+    snap.gauge("bench.tracepack.stream.ratio", st.stats.ratio());
+    snap.counter("bench.tracepack.stream.max_drain", st.max_drain as u64);
+    let tput = |recs: u64, d: Duration| {
+        let s = d.as_secs_f64();
+        if s > 0.0 {
+            recs as f64 / s
+        } else {
+            0.0
+        }
+    };
+    snap.counter(
+        "bench.tracepack.stream.sim_wall_ns",
+        st.sim_wall.as_nanos() as u64,
+    );
+    snap.counter(
+        "bench.tracepack.stream.encode_wall_ns",
+        st.encode_wall.as_nanos() as u64,
+    );
+    snap.counter(
+        "bench.tracepack.stream.decode_wall_ns",
+        st.decode_wall.as_nanos() as u64,
+    );
+    snap.counter(
+        "bench.tracepack.stream.replay_wall_ns",
+        st.replay_wall.as_nanos() as u64,
+    );
+    snap.gauge(
+        "bench.tracepack.stream.encode_recs_per_sec",
+        tput(st.stats.records, st.encode_wall),
+    );
+    snap.gauge(
+        "bench.tracepack.stream.decode_recs_per_sec",
+        tput(st.stats.records, st.decode_wall),
+    );
+    snap.gauge(
+        "bench.tracepack.stream.replay_recs_per_sec",
+        tput(st.replayed, st.replay_wall),
+    );
+    snap
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn small_report_is_deterministic_and_accurate() {
+        let set = TraceSet::generate(RunScale::Small);
+        let a = tracepack(&set, RunScale::Small);
+        let b = tracepack(&set, RunScale::Small);
+        assert_eq!(
+            csv_tracepack(&a),
+            csv_tracepack(&b),
+            "CSV columns must be machine-deterministic"
+        );
+        assert_eq!(a.pack.len(), 5);
+        assert_eq!(a.samples.len(), 5 * SAMPLE_DEPTHS.len());
+        for p in &a.pack {
+            assert!(
+                p.stats.ratio() >= 2.0,
+                "{}: ratio {:.2} below the 2x floor",
+                p.app,
+                p.stats.ratio()
+            );
+        }
+        for s in &a.samples {
+            assert!(
+                s.error_pp() <= 1.0,
+                "{} depth {}: sampled {:.2}% vs full {:.2}% ({}pp)",
+                s.app,
+                s.depth,
+                s.sampled_pct,
+                s.full_pct,
+                s.error_pp()
+            );
+            assert!(
+                s.sampled_fraction < 1.0,
+                "{} depth {}: sampling replayed the whole trace",
+                s.app,
+                s.depth
+            );
+        }
+    }
+
+    #[test]
+    fn stream_cell_stays_bounded_and_replays() {
+        let row = run_stream_cell(RunScale::Small);
+        assert!(row.stats.records > 0);
+        assert!(
+            (row.max_drain as u64) < row.stats.records,
+            "the streaming path must never hold the whole trace"
+        );
+        assert!(row.replayed > 0);
+        assert!(row.stats.ratio() >= 2.0);
+    }
+
+    #[test]
+    fn parallel_decode_matches_sequential() {
+        let set = TraceSet::generate(RunScale::Small);
+        let bundle = set.by_name("dsmc").unwrap();
+        let (bytes, stats, _) = pack_timed(bundle, 128);
+        assert_eq!(stats.records, bundle.records().len() as u64);
+        let (chunks, _) = decode_parallel(&bytes);
+        let flat: Vec<MsgRecord> = chunks.into_iter().flatten().collect();
+        assert_eq!(flat, bundle.records(), "parallel decode must be lossless");
+    }
+}

@@ -295,87 +295,104 @@ impl AccuracyReport {
     }
 }
 
-/// Replays a trace through a fleet of predictors built by `factory` (one
-/// per `(node, role)`), scoring as the paper does.
-pub fn evaluate<F>(bundle: &TraceBundle, opts: &EvalOptions, mut factory: F) -> AccuracyReport
+/// One agent's predictor plus its replay-local state, held in a flat
+/// vector indexed by [`agent_index`] — the hot loop does two Vec
+/// indexings instead of hashing a `(NodeId, Role)` tuple per record.
+struct AgentSlot {
+    node: NodeId,
+    role: Role,
+    predictor: Box<dyn MessagePredictor>,
+    /// Last message type seen per block at this agent (arc tracking).
+    prev_type: FastMap<BlockAddr, MsgType>,
+    counts: Counts,
+}
+
+/// A push-based evaluation in progress: feed records one at a time (or a
+/// chunk at a time) and [`finish`](StreamEval::finish) into the same
+/// [`AccuracyReport`] the one-shot [`evaluate`] produces. This is the
+/// engine behind the packed-trace replay path — a billion-message trace
+/// streams through chunk by chunk without a bundle ever existing — and
+/// behind SimPoint sampling, which warms a fleet on one interval
+/// ([`observe_only`](StreamEval::observe_only)) and scores the next.
+pub struct StreamEval<F>
 where
     F: FnMut(NodeId, Role) -> Box<dyn MessagePredictor>,
 {
-    /// One agent's predictor plus its replay-local state, held in a flat
-    /// vector indexed by [`agent_index`] — the hot loop does two Vec
-    /// indexings instead of hashing a `(NodeId, Role)` tuple per record.
-    struct AgentSlot {
-        node: NodeId,
-        role: Role,
-        predictor: Box<dyn MessagePredictor>,
-        /// Last message type seen per block at this agent (arc tracking).
-        prev_type: FastMap<BlockAddr, MsgType>,
-        counts: Counts,
+    factory: F,
+    opts: EvalOptions,
+    fleet: Vec<Option<AgentSlot>>,
+    per_arc: FastMap<ArcKey, Counts>,
+    per_arc_by_iteration: FastMap<ArcKey, BTreeMap<u32, Counts>>,
+    predictor: String,
+    overall: Counts,
+    cache: Counts,
+    directory: Counts,
+    coverage: Counts,
+    per_iteration: BTreeMap<u32, Counts>,
+}
+
+impl<F> StreamEval<F>
+where
+    F: FnMut(NodeId, Role) -> Box<dyn MessagePredictor>,
+{
+    /// Starts an evaluation with the given options and per-agent factory.
+    pub fn new(opts: EvalOptions, factory: F) -> Self {
+        StreamEval {
+            factory,
+            opts,
+            fleet: Vec::new(),
+            per_arc: FastMap::default(),
+            per_arc_by_iteration: FastMap::default(),
+            predictor: String::new(),
+            overall: Counts::default(),
+            cache: Counts::default(),
+            directory: Counts::default(),
+            coverage: Counts::default(),
+            per_iteration: BTreeMap::new(),
+        }
     }
 
-    let mut fleet: Vec<Option<AgentSlot>> = Vec::new();
-    let mut per_arc: FastMap<ArcKey, Counts> = FastMap::default();
-    let mut per_arc_by_iteration: FastMap<ArcKey, BTreeMap<u32, Counts>> = FastMap::default();
-
-    let mut report = AccuracyReport {
-        predictor: String::new(),
-        overall: Counts::default(),
-        cache: Counts::default(),
-        directory: Counts::default(),
-        coverage: Counts::default(),
-        per_arc: HashMap::new(),
-        per_agent: HashMap::new(),
-        per_iteration: BTreeMap::new(),
-        per_arc_by_iteration: HashMap::new(),
-        memory: MemoryFootprint::default(),
-        core: CoreStats::default(),
-        storage_bits: 0,
-    };
-
-    for r in bundle.records() {
+    fn feed(&mut self, r: &trace::MsgRecord, score: bool) {
         let idx = agent_index(r.node, r.role);
-        if idx >= fleet.len() {
-            fleet.resize_with(idx + 1, || None);
+        if idx >= self.fleet.len() {
+            self.fleet.resize_with(idx + 1, || None);
         }
-        let slot = fleet[idx].get_or_insert_with(|| AgentSlot {
+        let factory = &mut self.factory;
+        let slot = self.fleet[idx].get_or_insert_with(|| AgentSlot {
             node: r.node,
             role: r.role,
             predictor: factory(r.node, r.role),
             prev_type: FastMap::default(),
             counts: Counts::default(),
         });
-        if report.predictor.is_empty() {
-            report.predictor = slot.predictor.name().to_string();
+        if self.predictor.is_empty() {
+            self.predictor = slot.predictor.name().to_string();
         }
         let observed = PredTuple::new(r.sender, r.mtype);
         let predicted = slot.predictor.predict(r.block);
 
-        if r.iteration >= opts.score_from_iteration {
-            let hit = if opts.type_only {
+        if score && r.iteration >= self.opts.score_from_iteration {
+            let hit = if self.opts.type_only {
                 predicted.is_some_and(|p| p.mtype == observed.mtype)
             } else {
                 predicted == Some(observed)
             };
-            report.overall.add(hit);
+            self.overall.add(hit);
             match r.role {
-                Role::Cache => report.cache.add(hit),
-                Role::Directory => report.directory.add(hit),
+                Role::Cache => self.cache.add(hit),
+                Role::Directory => self.directory.add(hit),
             }
-            report.coverage.add(predicted.is_some());
+            self.coverage.add(predicted.is_some());
             slot.counts.add(hit);
-            report
-                .per_iteration
-                .entry(r.iteration)
-                .or_default()
-                .add(hit);
+            self.per_iteration.entry(r.iteration).or_default().add(hit);
             if let Some(prev) = slot.prev_type.get(&r.block) {
                 let key = ArcKey {
                     role: r.role,
                     prev: *prev,
                     next: r.mtype,
                 };
-                per_arc.entry(key).or_default().add(hit);
-                per_arc_by_iteration
+                self.per_arc.entry(key).or_default().add(hit);
+                self.per_arc_by_iteration
                     .entry(key)
                     .or_default()
                     .entry(r.iteration)
@@ -387,24 +404,112 @@ where
         slot.predictor.observe(r.block, observed);
     }
 
-    report.per_arc = per_arc.into_iter().collect();
-    report.per_arc_by_iteration = per_arc_by_iteration.into_iter().collect();
-    for slot in fleet.iter().flatten() {
-        report.memory = report.memory + slot.predictor.memory();
-        report.core.merge(slot.predictor.core_stats());
-        report.storage_bits += slot.predictor.storage_bits();
-        // Agents that only saw warmup records never scored anything and
-        // get no per-agent entry, matching the map-keyed accounting.
-        if slot.counts.total > 0 {
-            report.per_agent.insert((slot.node, slot.role), slot.counts);
+    /// Feeds and scores one record (subject to the warmup option).
+    pub fn push(&mut self, r: &trace::MsgRecord) {
+        self.feed(r, true);
+    }
+
+    /// Feeds and scores a batch (typically one decoded chunk).
+    pub fn push_all(&mut self, records: &[trace::MsgRecord]) {
+        for r in records {
+            self.feed(r, true);
         }
     }
-    report
+
+    /// Feeds one record without scoring it — predictors train and arc
+    /// state advances, but no counter moves. SimPoint warmup uses this to
+    /// warm a cold fleet on the interval preceding a representative.
+    pub fn observe_only(&mut self, r: &trace::MsgRecord) {
+        self.feed(r, false);
+    }
+
+    /// Feeds a batch without scoring.
+    pub fn observe_only_all(&mut self, records: &[trace::MsgRecord]) {
+        for r in records {
+            self.feed(r, false);
+        }
+    }
+
+    /// The running overall hit/total counters. A sampling driver diffs
+    /// this at interval boundaries to attribute scores per interval in
+    /// a single streaming pass — no second replay, no fleet cloning.
+    pub fn counts_so_far(&self) -> Counts {
+        self.overall
+    }
+
+    /// Closes the evaluation and builds the report.
+    pub fn finish(self) -> AccuracyReport {
+        let mut report = AccuracyReport {
+            predictor: self.predictor,
+            overall: self.overall,
+            cache: self.cache,
+            directory: self.directory,
+            coverage: self.coverage,
+            per_arc: self.per_arc.into_iter().collect(),
+            per_agent: HashMap::new(),
+            per_iteration: self.per_iteration,
+            per_arc_by_iteration: self.per_arc_by_iteration.into_iter().collect(),
+            memory: MemoryFootprint::default(),
+            core: CoreStats::default(),
+            storage_bits: 0,
+        };
+        for slot in self.fleet.iter().flatten() {
+            report.memory = report.memory + slot.predictor.memory();
+            report.core.merge(slot.predictor.core_stats());
+            report.storage_bits += slot.predictor.storage_bits();
+            // Agents that only saw warmup records never scored anything and
+            // get no per-agent entry, matching the map-keyed accounting.
+            if slot.counts.total > 0 {
+                report.per_agent.insert((slot.node, slot.role), slot.counts);
+            }
+        }
+        report
+    }
+}
+
+/// Replays a trace through a fleet of predictors built by `factory` (one
+/// per `(node, role)`), scoring as the paper does.
+pub fn evaluate<F>(bundle: &TraceBundle, opts: &EvalOptions, factory: F) -> AccuracyReport
+where
+    F: FnMut(NodeId, Role) -> Box<dyn MessagePredictor>,
+{
+    let mut eval = StreamEval::new(opts.clone(), factory);
+    eval.push_all(bundle.records());
+    eval.finish()
+}
+
+/// Replays a chunked record stream — the packed-trace form — through a
+/// fleet. Identical accounting to [`evaluate`] on the concatenated
+/// chunks; only one chunk need be in memory at a time.
+pub fn evaluate_chunks<'a, F>(
+    chunks: impl IntoIterator<Item = &'a [trace::MsgRecord]>,
+    opts: &EvalOptions,
+    factory: F,
+) -> AccuracyReport
+where
+    F: FnMut(NodeId, Role) -> Box<dyn MessagePredictor>,
+{
+    let mut eval = StreamEval::new(opts.clone(), factory);
+    for chunk in chunks {
+        eval.push_all(chunk);
+    }
+    eval.finish()
 }
 
 /// Evaluates a Cosmos fleet of the given depth and filter over a trace.
 pub fn evaluate_cosmos(bundle: &TraceBundle, depth: usize, filter_max: u8) -> AccuracyReport {
     evaluate(bundle, &EvalOptions::default(), |_, _| {
+        Box::new(CosmosPredictor::new(depth, filter_max))
+    })
+}
+
+/// Evaluates a Cosmos fleet over a chunked record stream.
+pub fn evaluate_cosmos_chunks<'a>(
+    chunks: impl IntoIterator<Item = &'a [trace::MsgRecord]>,
+    depth: usize,
+    filter_max: u8,
+) -> AccuracyReport {
+    evaluate_chunks(chunks, &EvalOptions::default(), |_, _| {
         Box::new(CosmosPredictor::new(depth, filter_max))
     })
 }
@@ -636,6 +741,43 @@ mod tests {
         assert_eq!(verdicts[0], Verdict::NoPrediction);
         assert_eq!(Verdict::Hit.label(), "predicted");
         assert_eq!(Verdict::Miss.label(), "mispredicted");
+    }
+
+    #[test]
+    fn chunked_evaluation_matches_whole_bundle() {
+        let bundle = cyclic_bundle(40);
+        let whole = evaluate_cosmos(&bundle, 2, 0);
+        for chunk_len in [1usize, 3, 7, 80] {
+            let chunks = bundle.records().chunks(chunk_len);
+            let chunked = evaluate_cosmos_chunks(chunks, 2, 0);
+            assert_eq!(chunked.overall, whole.overall, "chunk_len {chunk_len}");
+            assert_eq!(chunked.cache, whole.cache);
+            assert_eq!(chunked.coverage, whole.coverage);
+            assert_eq!(chunked.per_arc, whole.per_arc);
+            assert_eq!(chunked.per_iteration, whole.per_iteration);
+            assert_eq!(chunked.per_agent, whole.per_agent);
+            assert_eq!(chunked.storage_bits, whole.storage_bits);
+        }
+    }
+
+    #[test]
+    fn observe_only_trains_without_scoring() {
+        let bundle = cyclic_bundle(30);
+        let records = bundle.records();
+        let split = records.len() / 2;
+        // Warm on the first half unscored, score the second half.
+        let mut eval = StreamEval::new(EvalOptions::default(), |_, _| {
+            Box::new(CosmosPredictor::new(1, 0)) as Box<dyn MessagePredictor>
+        });
+        eval.observe_only_all(&records[..split]);
+        eval.push_all(&records[split..]);
+        let warmed = eval.finish();
+        assert_eq!(warmed.overall.total, (records.len() - split) as u64);
+        // The warmed fleet is perfect on the steady-state cycle; a cold
+        // fleet scoring everything pays the cold-start misses.
+        assert_eq!(warmed.overall.hits, warmed.overall.total);
+        let cold = evaluate_cosmos(&bundle, 1, 0);
+        assert!(cold.overall.rate() < warmed.overall.rate());
     }
 
     #[test]

@@ -25,17 +25,27 @@ use stache::BlockAddr;
 struct BlockState {
     mhr: Mhr,
     pht: Option<Pht>,
-    last_used: u64,
+    /// Neighbour toward the MRU end of the intrusive recency list.
+    prev: Option<BlockAddr>,
+    /// Neighbour toward the LRU end of the intrusive recency list.
+    next: Option<BlockAddr>,
 }
 
 /// A Cosmos predictor whose MHT holds at most `capacity` blocks (LRU).
+///
+/// Recency is an intrusive doubly-linked list threaded through the
+/// block states (`head` = most recent, `tail` = victim), so a full
+/// table evicts in O(1) — a min-scan over `capacity` entries per insert
+/// melts down exactly in the regime this type exists for, a streaming
+/// trace that touches far more blocks than the table holds.
 #[derive(Debug, Clone)]
 pub struct EvictingCosmos {
     depth: usize,
     filter_max: u8,
     capacity: usize,
     blocks: FastMap<BlockAddr, BlockState>,
-    clock: u64,
+    head: Option<BlockAddr>,
+    tail: Option<BlockAddr>,
     /// Blocks whose history was discarded under capacity pressure.
     pub evictions: u64,
 }
@@ -54,7 +64,8 @@ impl EvictingCosmos {
             filter_max,
             capacity,
             blocks: FastMap::default(),
-            clock: 0,
+            head: None,
+            tail: None,
             evictions: 0,
         }
     }
@@ -64,15 +75,41 @@ impl EvictingCosmos {
         self.capacity
     }
 
-    fn evict_lru(&mut self) {
-        // `last_used` stamps are unique (one clock tick per observe), so
-        // the victim is deterministic regardless of table iteration order.
-        if let Some(victim) = self
-            .blocks
-            .iter()
-            .min_by_key(|(_, s)| s.last_used)
-            .map(|(b, _)| *b)
+    fn unlink(&mut self, block: BlockAddr) {
+        let (prev, next) = {
+            let s = &self.blocks[&block];
+            (s.prev, s.next)
+        };
+        match prev {
+            Some(p) => self.blocks.get_mut(&p).expect("list link").next = next,
+            None => self.head = next,
+        }
+        match next {
+            Some(n) => self.blocks.get_mut(&n).expect("list link").prev = prev,
+            None => self.tail = prev,
+        }
+    }
+
+    fn push_front(&mut self, block: BlockAddr) {
+        let old = self.head;
         {
+            let s = self.blocks.get_mut(&block).expect("pushed block exists");
+            s.prev = None;
+            s.next = old;
+        }
+        match old {
+            Some(o) => self.blocks.get_mut(&o).expect("list link").prev = Some(block),
+            None => self.tail = Some(block),
+        }
+        self.head = Some(block);
+    }
+
+    fn evict_lru(&mut self) {
+        // The tail is the least recently *observed* block (predictions
+        // don't touch recency), matching the timestamp-scan this
+        // replaced: deterministic regardless of table iteration order.
+        if let Some(victim) = self.tail {
+            self.unlink(victim);
             self.blocks.remove(&victim);
             self.evictions += 1;
         }
@@ -91,18 +128,24 @@ impl MessagePredictor for EvictingCosmos {
     }
 
     fn observe(&mut self, block: BlockAddr, tuple: PredTuple) {
-        self.clock += 1;
-        if !self.blocks.contains_key(&block) && self.blocks.len() >= self.capacity {
-            self.evict_lru();
+        if self.blocks.contains_key(&block) {
+            self.unlink(block);
+        } else {
+            if self.blocks.len() >= self.capacity {
+                self.evict_lru();
+            }
+            self.blocks.insert(
+                block,
+                BlockState {
+                    mhr: Mhr::new(self.depth),
+                    pht: None,
+                    prev: None,
+                    next: None,
+                },
+            );
         }
-        let depth = self.depth;
-        let clock = self.clock;
-        let state = self.blocks.entry(block).or_insert_with(|| BlockState {
-            mhr: Mhr::new(depth),
-            pht: None,
-            last_used: clock,
-        });
-        state.last_used = clock;
+        self.push_front(block);
+        let state = self.blocks.get_mut(&block).expect("just inserted");
         if let Some(key) = state.mhr.key() {
             state
                 .pht

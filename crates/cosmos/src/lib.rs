@@ -69,7 +69,7 @@ pub mod tage;
 pub mod tuple;
 
 pub use confidence::ConfidenceCosmos;
-pub use eval::{AccuracyReport, Counts, EvalOptions, Verdict};
+pub use eval::{AccuracyReport, Counts, EvalOptions, StreamEval, Verdict};
 pub use evicting::EvictingCosmos;
 pub use fasthash::{FastMap, FastSet, FxHasher};
 pub use hybrid::HybridCosmos;

@@ -802,6 +802,15 @@ impl ShardedMachine {
         self.trace
     }
 
+    /// Takes the records captured since the last drain, leaving the
+    /// machine's bundle empty. The streaming middle ground between full
+    /// capture and `set_capture_trace(false)`: drained after every
+    /// iteration and handed to a packed-trace writer, peak memory is one
+    /// iteration's records instead of the whole run's.
+    pub fn drain_trace_records(&mut self) -> Vec<trace::MsgRecord> {
+        self.trace.take_records()
+    }
+
     /// Machine statistics, merged across shards.
     pub fn stats(&self) -> MachineStats {
         let mut s = self.coord_stats.clone();

@@ -79,6 +79,14 @@ impl TraceBundle {
         self.records.extend(records);
     }
 
+    /// Takes the records out, leaving the bundle empty (metadata intact).
+    /// The drain half of the streaming pipeline: callers hand the batch to
+    /// a [`crate::pack::PackedTraceWriter`] and let it go, so memory stays
+    /// bounded by the batch rather than the whole run.
+    pub fn take_records(&mut self) -> Vec<MsgRecord> {
+        std::mem::take(&mut self.records)
+    }
+
     /// Records received by a particular agent.
     pub fn for_receiver(&self, node: NodeId, role: Role) -> impl Iterator<Item = &MsgRecord> {
         self.records

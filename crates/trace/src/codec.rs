@@ -290,16 +290,24 @@ pub fn from_text(text: &str) -> Result<TraceBundle, DecodeError> {
             .copied()
             .find(|t| t.paper_name() == fields[5])
             .ok_or(DecodeError::BadField { field: "mtype" })?;
+        // Checked: `NodeId::new` panics above the 12-bit id space, so an
+        // out-of-range node in a text trace used to abort instead of
+        // reporting the malformed field.
+        let parse_node = |s: &str, f: &'static str| {
+            parse_u64(s, f)
+                .and_then(|v| u16::try_from(v).map_err(|_| DecodeError::BadField { field: f }))
+                .and_then(|v| NodeId::from_raw(v).ok_or(DecodeError::BadField { field: f }))
+        };
         bundle.push(MsgRecord {
             time_ns: parse_u64(fields[0], "time")?,
-            node: NodeId::new(parse_u64(fields[1], "node")? as usize),
+            node: parse_node(fields[1], "node")?,
             role: match fields[2] {
                 "C" => Role::Cache,
                 "D" => Role::Directory,
                 _ => return Err(DecodeError::BadField { field: "role" }),
             },
             block: BlockAddr::new(parse_u64(fields[3], "block")?),
-            sender: NodeId::new(parse_u64(fields[4], "sender")? as usize),
+            sender: parse_node(fields[4], "sender")?,
             mtype,
             // Checked: a parsed value above u32::MAX used to wrap via `as`.
             iteration: u32::try_from(parse_u64(fields[6], "iteration")?)
@@ -374,6 +382,30 @@ mod tests {
             decode(&bytes),
             Err(DecodeError::BadField { field: "mtype" })
         );
+    }
+
+    #[test]
+    fn text_out_of_range_node_is_rejected_not_a_panic() {
+        // Regression: `NodeId::new(v as usize)` panicked for ids >= 4096.
+        for line in [
+            "0 4096 C 0 0 get_ro_request 0",
+            "0 0 C 0 99999999999 get_ro_request 0",
+        ] {
+            let text = format!("# app=x nodes=1 iterations=1\n{line}\n");
+            let err = from_text(&text).unwrap_err();
+            assert!(
+                matches!(
+                    err,
+                    DecodeError::BadField {
+                        field: "node" | "sender"
+                    }
+                ),
+                "line {line:?} gave {err:?}"
+            );
+        }
+        // The boundary id still parses.
+        let ok = "# app=x nodes=1 iterations=1\n0 4095 C 0 4095 get_ro_request 0\n";
+        assert_eq!(from_text(ok).unwrap().records()[0].node.index(), 4095);
     }
 
     #[test]

@@ -67,6 +67,19 @@ impl From<DecodeError> for TraceIoError {
     }
 }
 
+/// `read_exact` with EOF mapped to the typed truncation error: running
+/// out of bytes mid-structure means the *stream* is malformed, which
+/// callers want to distinguish from a genuine I/O fault.
+fn read_exact_typed<R: Read>(source: &mut R, buf: &mut [u8]) -> Result<(), TraceIoError> {
+    source.read_exact(buf).map_err(|e| {
+        if e.kind() == io::ErrorKind::UnexpectedEof {
+            TraceIoError::Decode(DecodeError::Truncated)
+        } else {
+            TraceIoError::Io(e)
+        }
+    })
+}
+
 /// Streams records into any seekable writer.
 ///
 /// The format keeps the record count in the header (byte-compatible with
@@ -167,26 +180,27 @@ impl<R: Read> TraceReader<R> {
     ///
     /// # Errors
     ///
-    /// Fails on reader errors or a malformed header.
+    /// Fails on reader errors or a malformed header; a stream that ends
+    /// mid-header reports [`DecodeError::Truncated`], not an I/O error.
     pub fn new(mut source: R) -> Result<Self, TraceIoError> {
         let mut magic = [0u8; 4];
-        source.read_exact(&mut magic)?;
+        read_exact_typed(&mut source, &mut magic)?;
         if &magic != MAGIC {
             return Err(DecodeError::BadMagic.into());
         }
         let mut b2 = [0u8; 2];
-        source.read_exact(&mut b2)?;
+        read_exact_typed(&mut source, &mut b2)?;
         let app_len = u16::from_be_bytes(b2) as usize;
         let mut app = vec![0u8; app_len];
-        source.read_exact(&mut app)?;
+        read_exact_typed(&mut source, &mut app)?;
         let app = String::from_utf8(app).map_err(|_| DecodeError::BadField { field: "app" })?;
         let mut b4 = [0u8; 4];
-        source.read_exact(&mut b4)?;
+        read_exact_typed(&mut source, &mut b4)?;
         let nodes = u32::from_be_bytes(b4) as usize;
-        source.read_exact(&mut b4)?;
+        read_exact_typed(&mut source, &mut b4)?;
         let iterations = u32::from_be_bytes(b4);
         let mut b8 = [0u8; 8];
-        source.read_exact(&mut b8)?;
+        read_exact_typed(&mut source, &mut b8)?;
         let remaining = u64::from_be_bytes(b8);
         Ok(TraceReader {
             source,
@@ -209,13 +223,16 @@ impl<R: Read> TraceReader<R> {
     ///
     /// # Errors
     ///
-    /// Fails on reader errors or malformed records.
+    /// Fails on reader errors or malformed records; a stream that ends
+    /// before the header's record count is satisfied (e.g. a corrupt
+    /// count field, or a truncated file) reports
+    /// [`DecodeError::Truncated`].
     pub fn read_record(&mut self) -> Result<Option<MsgRecord>, TraceIoError> {
         if self.remaining == 0 {
             return Ok(None);
         }
         let mut buf = [0u8; RECORD_BYTES];
-        self.source.read_exact(&mut buf)?;
+        read_exact_typed(&mut self.source, &mut buf)?;
         self.remaining -= 1;
         let node = NodeId::from_raw(u16::from_be_bytes([buf[8], buf[9]]))
             .ok_or(DecodeError::BadField { field: "node" })?;
@@ -374,7 +391,9 @@ mod tests {
     }
 
     #[test]
-    fn truncated_stream_is_an_io_error() {
+    fn truncated_records_are_a_typed_decode_error() {
+        // Regression: mid-record EOF used to surface as an opaque
+        // `TraceIoError::Io(UnexpectedEof)` instead of `Truncated`.
         let b = sample(5);
         let mut bytes = TraceWriter::write_bundle(&b).unwrap();
         bytes.truncate(bytes.len() - 10);
@@ -386,6 +405,58 @@ mod tests {
                 break;
             }
         }
-        assert!(matches!(result, Err(TraceIoError::Io(_))));
+        assert!(matches!(
+            result,
+            Err(TraceIoError::Decode(DecodeError::Truncated))
+        ));
+    }
+
+    #[test]
+    fn truncated_header_is_a_typed_decode_error() {
+        let b = sample(5);
+        let bytes = TraceWriter::write_bundle(&b).unwrap();
+        // Cut inside the magic, the app-name field, and the count field.
+        for cut in [2usize, 8, 20] {
+            let err = match TraceReader::new(std::io::Cursor::new(bytes[..cut].to_vec())) {
+                Err(e) => e,
+                Ok(_) => panic!("cut at {cut} must fail"),
+            };
+            assert!(
+                matches!(err, TraceIoError::Decode(DecodeError::Truncated)),
+                "cut at {cut} gave {err:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn corrupt_count_field_is_a_typed_decode_error() {
+        // Inflate the header's record count past the actual payload: the
+        // reader must report truncation when the stream runs dry, not
+        // panic or return a short bundle silently.
+        let b = sample(4);
+        let mut bytes = TraceWriter::write_bundle(&b).unwrap();
+        let count_pos = bytes.len() - 4 * RECORD_BYTES - 8;
+        bytes[count_pos..count_pos + 8].copy_from_slice(&1000u64.to_be_bytes());
+        let reader = TraceReader::new(std::io::Cursor::new(bytes)).unwrap();
+        assert_eq!(reader.remaining(), 1000);
+        let err = reader.read_bundle().unwrap_err();
+        assert!(matches!(err, TraceIoError::Decode(DecodeError::Truncated)));
+    }
+
+    #[test]
+    fn genuine_io_faults_stay_io_errors() {
+        // A reader that fails with a non-EOF kind must not be relabeled
+        // as a decode problem.
+        struct Broken;
+        impl Read for Broken {
+            fn read(&mut self, _: &mut [u8]) -> io::Result<usize> {
+                Err(io::Error::new(io::ErrorKind::ConnectionReset, "boom"))
+            }
+        }
+        let err = match TraceReader::new(Broken) {
+            Err(e) => e,
+            Ok(_) => panic!("must fail"),
+        };
+        assert!(matches!(err, TraceIoError::Io(_)));
     }
 }

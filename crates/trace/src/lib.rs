@@ -14,6 +14,12 @@
 //!   encoding) for writing traces to disk and reading them back;
 //! * [`io`] — streaming readers/writers over `std::io` in the same binary
 //!   format, for traces too large to hold in memory;
+//! * [`pack`] — the chunked, compressed packed-trace format: streaming
+//!   writers, indexed readers, and independent per-chunk decode for
+//!   parallel replay with bounded memory;
+//! * [`simpoint`] — SimPoint-style phase sampling: interval fingerprints
+//!   over message-signature arcs, deterministic k-means clustering, and
+//!   weighted representative selection;
 //! * [`stats`] — message mix and volume statistics;
 //! * [`signature`] — extraction of *message signatures*: the arcs
 //!   (consecutive incoming-message pairs per block) whose reference shares
@@ -42,8 +48,10 @@
 pub mod bundle;
 pub mod codec;
 pub mod io;
+pub mod pack;
 pub mod record;
 pub mod signature;
+pub mod simpoint;
 pub mod stats;
 
 pub use bundle::{TraceBundle, TraceMeta};

@@ -1,0 +1,866 @@
+//! `simpoint` — SimPoint-style phase sampling over packed traces.
+//!
+//! SimPoint (Sherwood et al.) observed that long program executions are
+//! built from a small number of recurring *phases*, so a handful of
+//! representative intervals, weighted by how much of the run their phase
+//! covers, reproduce whole-program behaviour. Coherence-message traffic
+//! has the same structure — workload phases induce recognisable message
+//! mixes — so the same trick lets a predictor be *evaluated* on a few
+//! percent of a billion-message trace.
+//!
+//! The pipeline, all deterministic:
+//!
+//! 1. **Fingerprint** ([`Fingerprinter`]): the trace is cut into
+//!    fixed-length intervals (a divisor of the packed chunk length, so
+//!    chunk-at-a-time decoding feeds it naturally). Each interval gets a
+//!    vector analogous to SimPoint's basic-block vector: normalized
+//!    counts over the [`crate::signature`] arc space — `(role, prev
+//!    mtype, next mtype)` triples, the same arcs the paper's Figures 6–7
+//!    report — plus one dimension for first-touch (cold) records.
+//!    Per-`(node, role, block)` last-message state carries *across*
+//!    interval boundaries, exactly as [`crate::signature::ArcTable`]
+//!    would observe the stream. Two *guide* dimensions are appended
+//!    (see [`GUIDE_DIMS`]): the hit rate of a tiny depth-1 reference
+//!    predictor over the interval, and the interval's position in the
+//!    run. Arc mixes alone cannot separate intervals that look alike
+//!    but predict differently — a fleet early in its learning curve and
+//!    the same fleet warmed see identical message mixes — so the guides
+//!    inject exactly the two covariates accuracy actually follows.
+//! 2. **Cluster** ([`kmeans`]): seeded k-means over the vectors with
+//!    k-means++ initialisation driven by a splitmix64 stream;
+//!    lowest-index tie-breaking everywhere, so the clustering is a pure
+//!    function of `(vectors, k, seed)`.
+//! 3. **Pick** ([`choose`]) or **plan** ([`plan`]): `choose` is classic
+//!    SimPoint — per cluster, the member closest to the centroid
+//!    becomes the representative, weighted by the cluster's share of
+//!    trace records. `plan` adds Neyman-style variance targeting: tight
+//!    clusters keep a single representative, while the clusters with
+//!    the largest record-weighted spread (where one representative is a
+//!    poor stand-in) are scored exhaustively, up to a scoring budget.
+//!    Evaluating a predictor on the scored intervals only — training it
+//!    on everything, scoring the selected intervals, in one streaming
+//!    pass — and combining per-cluster rates by weight estimates the
+//!    full-trace number.
+
+use crate::record::MsgRecord;
+use stache::msg::ALL_MSG_TYPES;
+use stache::{BlockAddr, NodeId, Role};
+use std::collections::HashMap;
+
+/// Arc-space dimensions: role (2) × prev (12) × next (12).
+const ARC_DIMS: usize = 2 * ALL_MSG_TYPES.len() * ALL_MSG_TYPES.len();
+/// One extra dimension counting first-touch (no-previous-message) records.
+pub const FINGERPRINT_DIMS: usize = ARC_DIMS + 1;
+/// Guide dimensions appended after the normalized arc vector: the
+/// depth-1 reference-predictor hit rate (weighted [`WEIGHT_RATE`]) and
+/// the interval's position in the run (weighted [`WEIGHT_POSITION`]).
+/// Full vectors are `FINGERPRINT_DIMS + GUIDE_DIMS` wide.
+pub const GUIDE_DIMS: usize = 2;
+/// Weight on the reference-rate guide dimension, relative to the
+/// normalized (unit-sum) arc vector.
+pub const WEIGHT_RATE: f64 = 2.0;
+/// Weight on the position guide dimension. Deliberately the largest
+/// scale in the vector: predictor accuracy follows the learning curve,
+/// so clusters should stratify the run by position before anything else.
+pub const WEIGHT_POSITION: f64 = 4.0;
+
+/// One interval's fingerprint vector.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Fingerprint {
+    /// Normalized arc-share vector (first [`FINGERPRINT_DIMS`] entries
+    /// sum to 1 for non-empty intervals) followed by [`GUIDE_DIMS`]
+    /// weighted guide entries (reference rate, position).
+    pub vector: Vec<f64>,
+    /// Records in the interval (the final interval may be short).
+    pub records: u64,
+}
+
+/// Per-`(node, role, block)` key of the reference predictor's tables.
+type RefKey = (NodeId, Role, BlockAddr);
+/// The reference predictor's `(sender, type)` observation tuple.
+type RefObs = (NodeId, stache::MsgType);
+
+/// Streams records and emits one [`Fingerprint`] per fixed-length
+/// interval. Feed it the decoded chunks of a packed trace in order.
+#[derive(Debug)]
+pub struct Fingerprinter {
+    interval_records: u64,
+    last: HashMap<RefKey, stache::MsgType>,
+    counts: Vec<u64>,
+    seen: u64,
+    /// Depth-1 reference predictor, carried across intervals like
+    /// `last`: last `(sender, type)` per key, and a pattern table from
+    /// `(key, previous tuple)` to the tuple that followed. Its hit rate
+    /// per interval is the first guide dimension — a cheap proxy for
+    /// how predictable the interval actually is, which the arc mix
+    /// alone cannot express.
+    ref_last: HashMap<RefKey, RefObs>,
+    ref_pht: HashMap<(RefKey, RefObs), RefObs>,
+    ref_hits: u64,
+    done: Vec<Fingerprint>,
+}
+
+impl Fingerprinter {
+    /// Creates a fingerprinter cutting intervals of `interval_records`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `interval_records` is zero.
+    pub fn new(interval_records: u64) -> Self {
+        assert!(interval_records > 0, "interval length must be nonzero");
+        Fingerprinter {
+            interval_records,
+            last: HashMap::new(),
+            counts: vec![0; FINGERPRINT_DIMS],
+            seen: 0,
+            ref_last: HashMap::new(),
+            ref_pht: HashMap::new(),
+            ref_hits: 0,
+            done: Vec::new(),
+        }
+    }
+
+    /// Observes one record.
+    pub fn push(&mut self, r: &MsgRecord) {
+        let key = (r.node, r.role, r.block);
+        let dim = match self.last.insert(key, r.mtype) {
+            Some(prev) => {
+                let role = match r.role {
+                    Role::Cache => 0usize,
+                    Role::Directory => 1usize,
+                };
+                role * ALL_MSG_TYPES.len() * ALL_MSG_TYPES.len()
+                    + prev.code() as usize * ALL_MSG_TYPES.len()
+                    + r.mtype.code() as usize
+            }
+            None => ARC_DIMS,
+        };
+        self.counts[dim] += 1;
+        let obs: RefObs = (r.sender, r.mtype);
+        if let Some(prev) = self.ref_last.insert(key, obs) {
+            if self.ref_pht.get(&(key, prev)) == Some(&obs) {
+                self.ref_hits += 1;
+            }
+            self.ref_pht.insert((key, prev), obs);
+        }
+        self.seen += 1;
+        if self.seen == self.interval_records {
+            self.seal();
+        }
+    }
+
+    /// Observes a batch (typically one decoded chunk).
+    pub fn push_all(&mut self, records: &[MsgRecord]) {
+        for r in records {
+            self.push(r);
+        }
+    }
+
+    fn seal(&mut self) {
+        let total = self.seen as f64;
+        let mut vector = self
+            .counts
+            .iter()
+            .map(|&c| c as f64 / total)
+            .collect::<Vec<f64>>();
+        vector.push(WEIGHT_RATE * self.ref_hits as f64 / total);
+        self.done.push(Fingerprint {
+            vector,
+            records: self.seen,
+        });
+        self.counts.iter_mut().for_each(|c| *c = 0);
+        self.seen = 0;
+        self.ref_hits = 0;
+    }
+
+    /// Seals the trailing partial interval (if any) and returns the
+    /// fingerprints, one per interval in trace order. The position
+    /// guide dimension is appended here, once the interval count is
+    /// known.
+    pub fn finish(mut self) -> Vec<Fingerprint> {
+        if self.seen > 0 {
+            self.seal();
+        }
+        let n = self.done.len();
+        for (i, f) in self.done.iter_mut().enumerate() {
+            f.vector.push(WEIGHT_POSITION * i as f64 / n as f64);
+        }
+        self.done
+    }
+}
+
+// ---------------------------------------------------------------------
+// Deterministic k-means.
+// ---------------------------------------------------------------------
+
+/// splitmix64 — the workspace's standard seed-expansion stream.
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+fn dist2(a: &[f64], b: &[f64]) -> f64 {
+    a.iter().zip(b).map(|(x, y)| (x - y) * (x - y)).sum()
+}
+
+/// A k-means clustering of interval fingerprints.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Clustering {
+    /// Cluster id per interval.
+    pub assignment: Vec<usize>,
+    /// Final centroids (k × dims).
+    pub centroids: Vec<Vec<f64>>,
+    /// Lloyd iterations run before convergence (or the cap).
+    pub iterations: usize,
+}
+
+/// Seeded deterministic k-means++ / Lloyd over the fingerprint vectors.
+///
+/// `k` is clamped to the number of intervals. Ties (equidistant
+/// centroids, equal weights) break toward the lowest index, and the
+/// k-means++ sampling consumes a splitmix64 stream from `seed`, so the
+/// result is a pure function of `(points, k, seed)` on every platform.
+///
+/// # Panics
+///
+/// Panics if `points` is empty or `k` is zero.
+pub fn kmeans(points: &[Fingerprint], k: usize, seed: u64) -> Clustering {
+    assert!(!points.is_empty(), "kmeans needs at least one interval");
+    assert!(k > 0, "kmeans needs k >= 1");
+    let k = k.min(points.len());
+    let dims = points[0].vector.len();
+    let mut rng = seed;
+
+    // k-means++ initialisation: first centroid uniform, the rest D²-weighted.
+    let mut centroids: Vec<Vec<f64>> = Vec::with_capacity(k);
+    let first = (splitmix64(&mut rng) % points.len() as u64) as usize;
+    centroids.push(points[first].vector.clone());
+    let mut d2: Vec<f64> = points
+        .iter()
+        .map(|p| dist2(&p.vector, &centroids[0]))
+        .collect();
+    while centroids.len() < k {
+        let total: f64 = d2.iter().sum();
+        let next = if total <= 0.0 {
+            // All points coincide with a centroid; fall back to uniform.
+            (splitmix64(&mut rng) % points.len() as u64) as usize
+        } else {
+            // Map a 53-bit uniform draw onto the D² mass.
+            let u = (splitmix64(&mut rng) >> 11) as f64 / (1u64 << 53) as f64;
+            let target = u * total;
+            let mut acc = 0.0;
+            let mut chosen = points.len() - 1;
+            for (i, &d) in d2.iter().enumerate() {
+                acc += d;
+                if acc >= target {
+                    chosen = i;
+                    break;
+                }
+            }
+            chosen
+        };
+        centroids.push(points[next].vector.clone());
+        for (i, p) in points.iter().enumerate() {
+            let d = dist2(&p.vector, centroids.last().expect("just pushed"));
+            if d < d2[i] {
+                d2[i] = d;
+            }
+        }
+    }
+
+    // Lloyd iterations to a fixed point (or a generous cap).
+    let mut assignment = vec![0usize; points.len()];
+    let mut iterations = 0;
+    const MAX_ITERS: usize = 100;
+    loop {
+        let mut changed = false;
+        for (i, p) in points.iter().enumerate() {
+            let mut best = 0usize;
+            let mut best_d = f64::INFINITY;
+            for (c, centroid) in centroids.iter().enumerate() {
+                let d = dist2(&p.vector, centroid);
+                if d < best_d {
+                    best_d = d;
+                    best = c;
+                }
+            }
+            if assignment[i] != best {
+                assignment[i] = best;
+                changed = true;
+            }
+        }
+        if !changed && iterations > 0 {
+            break;
+        }
+        iterations += 1;
+        if iterations > MAX_ITERS {
+            break;
+        }
+        let mut sums = vec![vec![0.0f64; dims]; centroids.len()];
+        let mut sizes = vec![0u64; centroids.len()];
+        for (i, p) in points.iter().enumerate() {
+            sizes[assignment[i]] += 1;
+            for (s, v) in sums[assignment[i]].iter_mut().zip(&p.vector) {
+                *s += v;
+            }
+        }
+        for (c, sum) in sums.into_iter().enumerate() {
+            if sizes[c] > 0 {
+                centroids[c] = sum.into_iter().map(|s| s / sizes[c] as f64).collect();
+            }
+            // Empty clusters keep their centroid: deterministic, and the
+            // pick phase simply never selects from them.
+        }
+    }
+    Clustering {
+        assignment,
+        centroids,
+        iterations,
+    }
+}
+
+// ---------------------------------------------------------------------
+// Representative selection.
+// ---------------------------------------------------------------------
+
+/// One selected representative interval.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Pick {
+    /// Zero-based interval (= packed chunk) number.
+    pub interval: usize,
+    /// Intervals in this pick's cluster.
+    pub cluster_size: usize,
+    /// This pick's share of the whole trace (cluster records / total
+    /// records — record-weighted so a short tail interval is not
+    /// over-counted).
+    pub weight: f64,
+    /// Records in the pick's own interval.
+    pub records: u64,
+}
+
+/// The output of a sampling pass: the picks, heaviest first.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SimPoints {
+    /// Selected representatives, sorted by descending weight then
+    /// ascending interval.
+    pub picks: Vec<Pick>,
+    /// Total intervals fingerprinted.
+    pub intervals: usize,
+    /// Total records fingerprinted.
+    pub total_records: u64,
+}
+
+impl SimPoints {
+    /// Fraction of the trace the picks' own intervals cover — the replay
+    /// cost of the sampled evaluation relative to full replay.
+    pub fn sampled_fraction(&self) -> f64 {
+        if self.total_records == 0 {
+            return 0.0;
+        }
+        let sampled: u64 = self.picks.iter().map(|p| p.records).sum();
+        sampled as f64 / self.total_records as f64
+    }
+}
+
+/// Selects per-cluster representatives: the member interval closest to
+/// its centroid (lowest index on ties), weighted by the cluster's share
+/// of trace records.
+pub fn choose(points: &[Fingerprint], clustering: &Clustering) -> SimPoints {
+    let total_records: u64 = points.iter().map(|p| p.records).sum();
+    let k = clustering.centroids.len();
+    let mut best: Vec<Option<(usize, f64)>> = vec![None; k];
+    let mut cluster_records = vec![0u64; k];
+    let mut cluster_sizes = vec![0usize; k];
+    for (i, p) in points.iter().enumerate() {
+        let c = clustering.assignment[i];
+        cluster_records[c] += p.records;
+        cluster_sizes[c] += 1;
+        let d = dist2(&p.vector, &clustering.centroids[c]);
+        match best[c] {
+            Some((_, bd)) if bd <= d => {}
+            _ => best[c] = Some((i, d)),
+        }
+    }
+    let mut picks: Vec<Pick> = (0..k)
+        .filter_map(|c| {
+            best[c].map(|(i, _)| Pick {
+                interval: i,
+                cluster_size: cluster_sizes[c],
+                weight: if total_records == 0 {
+                    0.0
+                } else {
+                    cluster_records[c] as f64 / total_records as f64
+                },
+                records: points[i].records,
+            })
+        })
+        .collect();
+    picks.sort_by(|a, b| {
+        b.weight
+            .partial_cmp(&a.weight)
+            .expect("weights are finite")
+            .then(a.interval.cmp(&b.interval))
+    });
+    SimPoints {
+        picks,
+        intervals: points.len(),
+        total_records,
+    }
+}
+
+// ---------------------------------------------------------------------
+// Variance-budgeted scoring plans.
+// ---------------------------------------------------------------------
+
+/// One cluster's scoring assignment in a [`SamplePlan`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct SampleGroup {
+    /// Interval indices to score for this cluster — a single
+    /// centroid-closest representative for tight clusters, every member
+    /// for the high-spread clusters the budget covers.
+    pub scored: Vec<usize>,
+    /// Intervals in the cluster.
+    pub cluster_size: usize,
+    /// The cluster's share of trace records. The estimator combines
+    /// per-group scored hit rates with these weights.
+    pub weight: f64,
+    /// Records covered by the scored intervals.
+    pub scored_records: u64,
+}
+
+/// A variance-budgeted scoring plan: which intervals to score, grouped
+/// by cluster, plus the weights that turn per-group rates into a
+/// full-trace estimate.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SamplePlan {
+    /// One group per non-empty cluster, in cluster-id order.
+    pub groups: Vec<SampleGroup>,
+    /// Total intervals fingerprinted.
+    pub intervals: usize,
+    /// Total records fingerprinted.
+    pub total_records: u64,
+}
+
+impl SamplePlan {
+    /// Fraction of the trace the scored intervals cover.
+    pub fn sampled_fraction(&self) -> f64 {
+        if self.total_records == 0 {
+            return 0.0;
+        }
+        let scored: u64 = self.groups.iter().map(|g| g.scored_records).sum();
+        scored as f64 / self.total_records as f64
+    }
+
+    /// Scored intervals across all groups.
+    pub fn scored_intervals(&self) -> usize {
+        self.groups.iter().map(|g| g.scored.len()).sum()
+    }
+
+    /// Per-interval scored flags, indexed by interval number.
+    pub fn scored_flags(&self) -> Vec<bool> {
+        let mut flags = vec![false; self.intervals];
+        for g in &self.groups {
+            for &i in &g.scored {
+                flags[i] = true;
+            }
+        }
+        flags
+    }
+}
+
+/// Builds a variance-budgeted scoring plan from a clustering.
+///
+/// Every cluster first gets its centroid-closest member (lowest index
+/// on ties) as a lone representative, exactly like [`choose`]. Then
+/// clusters are ranked by record-weighted spread — the sum over members
+/// of squared centroid distance times records, i.e. how badly a single
+/// representative misrepresents the cluster — and, in descending spread
+/// order, each cluster is upgraded to exhaustive scoring if that keeps
+/// the scored-record fraction within `budget`. Tight clusters stay
+/// cheap; the heterogeneous ones that dominate estimator error get
+/// scored exactly. Deterministic: ties break toward the lower cluster
+/// id, and no randomness is consumed.
+///
+/// `budget` is the target ceiling on the scored fraction; the baseline
+/// one-representative-per-cluster floor is kept even if it alone
+/// exceeds the budget.
+pub fn plan(points: &[Fingerprint], clustering: &Clustering, budget: f64) -> SamplePlan {
+    let total_records: u64 = points.iter().map(|p| p.records).sum();
+    let k = clustering.centroids.len();
+    let mut members: Vec<Vec<usize>> = vec![Vec::new(); k];
+    for (i, &c) in clustering.assignment.iter().enumerate() {
+        members[c].push(i);
+    }
+    let cluster_records: Vec<u64> = members
+        .iter()
+        .map(|ms| ms.iter().map(|&i| points[i].records).sum())
+        .collect();
+    let dist = |i: usize, c: usize| dist2(&points[i].vector, &clustering.centroids[c]);
+
+    // Baseline: the centroid-closest member of each non-empty cluster.
+    let mut scored: Vec<Vec<usize>> = members
+        .iter()
+        .enumerate()
+        .map(|(c, ms)| {
+            let mut best: Option<(usize, f64)> = None;
+            for &i in ms {
+                let d = dist(i, c);
+                match best {
+                    Some((_, bd)) if bd <= d => {}
+                    _ => best = Some((i, d)),
+                }
+            }
+            best.map(|(i, _)| vec![i]).unwrap_or_default()
+        })
+        .collect();
+
+    // Record-weighted spread, descending; lowest cluster id on ties.
+    let mut spread: Vec<(f64, usize)> = (0..k)
+        .map(|c| {
+            let v: f64 = members[c]
+                .iter()
+                .map(|&i| dist(i, c) * points[i].records as f64)
+                .sum();
+            (v, c)
+        })
+        .collect();
+    spread.sort_by(|a, b| {
+        b.0.partial_cmp(&a.0)
+            .expect("spreads are finite")
+            .then(a.1.cmp(&b.1))
+    });
+
+    let mut used: u64 = scored.iter().flatten().map(|&i| points[i].records).sum();
+    for &(_, c) in &spread {
+        let have: u64 = scored[c].iter().map(|&i| points[i].records).sum();
+        let extra = cluster_records[c] - have;
+        if total_records == 0 || (used + extra) as f64 / total_records as f64 > budget {
+            continue;
+        }
+        scored[c] = members[c].clone();
+        used += extra;
+    }
+
+    let groups = (0..k)
+        .filter(|&c| !scored[c].is_empty())
+        .map(|c| SampleGroup {
+            scored: scored[c].clone(),
+            cluster_size: members[c].len(),
+            weight: if total_records == 0 {
+                0.0
+            } else {
+                cluster_records[c] as f64 / total_records as f64
+            },
+            scored_records: scored[c].iter().map(|&i| points[i].records).sum(),
+        })
+        .collect();
+    SamplePlan {
+        groups,
+        intervals: points.len(),
+        total_records,
+    }
+}
+
+/// One-call pipeline: fingerprint → cluster → choose.
+///
+/// `records_per_interval` should divide the packed trace's chunk size so
+/// chunk-at-a-time decoding aligns with interval boundaries.
+///
+/// # Panics
+///
+/// Panics if the record stream is empty or `k` is zero.
+pub fn sample<'a>(
+    chunks: impl IntoIterator<Item = &'a [MsgRecord]>,
+    records_per_interval: u64,
+    k: usize,
+    seed: u64,
+) -> SimPoints {
+    let mut fp = Fingerprinter::new(records_per_interval);
+    for chunk in chunks {
+        fp.push_all(chunk);
+    }
+    let points = fp.finish();
+    let clustering = kmeans(&points, k, seed);
+    choose(&points, &clustering)
+}
+
+/// One-call pipeline: fingerprint → cluster → [`plan`].
+///
+/// # Panics
+///
+/// Panics if the record stream is empty or `k` is zero.
+pub fn sample_plan<'a>(
+    chunks: impl IntoIterator<Item = &'a [MsgRecord]>,
+    records_per_interval: u64,
+    k: usize,
+    seed: u64,
+    budget: f64,
+) -> SamplePlan {
+    let mut fp = Fingerprinter::new(records_per_interval);
+    for chunk in chunks {
+        fp.push_all(chunk);
+    }
+    let points = fp.finish();
+    let clustering = kmeans(&points, k, seed);
+    plan(&points, &clustering, budget)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use stache::MsgType;
+
+    fn rec(i: u64, block: u64, mtype: MsgType) -> MsgRecord {
+        MsgRecord {
+            time_ns: 10 * i,
+            node: NodeId::new(0),
+            role: Role::Cache,
+            block: BlockAddr::new(block),
+            sender: NodeId::new(1),
+            mtype,
+            iteration: 0,
+        }
+    }
+
+    /// Two alternating synthetic phases with distinct message mixes.
+    fn two_phase_trace(intervals: usize, len: u64) -> Vec<MsgRecord> {
+        let mut out = Vec::new();
+        let mut t = 0u64;
+        for phase in 0..intervals {
+            for j in 0..len {
+                let m = if phase % 2 == 0 {
+                    MsgType::GetRoResponse
+                } else {
+                    MsgType::InvalRoRequest
+                };
+                out.push(rec(t, j % 4, m));
+                t += 1;
+            }
+        }
+        out
+    }
+
+    /// Arc-share part of a fingerprint, guide dims stripped.
+    fn arcs(p: &Fingerprint) -> &[f64] {
+        &p.vector[..FINGERPRINT_DIMS]
+    }
+
+    #[test]
+    fn fingerprints_cut_fixed_intervals() {
+        let records = two_phase_trace(6, 50);
+        let mut fp = Fingerprinter::new(50);
+        fp.push_all(&records);
+        let points = fp.finish();
+        assert_eq!(points.len(), 6);
+        assert!(points.iter().all(|p| p.records == 50));
+        for p in &points {
+            assert_eq!(p.vector.len(), FINGERPRINT_DIMS + GUIDE_DIMS);
+            let sum: f64 = arcs(p).iter().sum();
+            assert!((sum - 1.0).abs() < 1e-12, "normalized arc part sums to 1");
+        }
+        // Interval 0 is cold (first touches); from interval 1 on, phases of
+        // the same parity share a mix and opposite parities differ.
+        assert!(dist2(arcs(&points[1]), arcs(&points[3])) < 1e-9);
+        assert!(dist2(arcs(&points[2]), arcs(&points[4])) < 1e-9);
+        assert!(dist2(arcs(&points[1]), arcs(&points[2])) > 0.1);
+    }
+
+    #[test]
+    fn guide_dims_track_predictability_and_position() {
+        // A strictly periodic single-block stream: once the reference
+        // predictor has seen one period it never misses again.
+        let records: Vec<MsgRecord> = (0..200u64)
+            .map(|i| {
+                let m = if i % 2 == 0 {
+                    MsgType::GetRoResponse
+                } else {
+                    MsgType::InvalRoRequest
+                };
+                rec(i, 0, m)
+            })
+            .collect();
+        let mut fp = Fingerprinter::new(50);
+        fp.push_all(&records);
+        let points = fp.finish();
+        let rate_dim = FINGERPRINT_DIMS;
+        let pos_dim = FINGERPRINT_DIMS + 1;
+        // First interval is cold; later intervals approach the full rate.
+        assert!(points[0].vector[rate_dim] < points[3].vector[rate_dim]);
+        assert!(points[3].vector[rate_dim] > 0.9 * WEIGHT_RATE);
+        // Position climbs linearly from 0.
+        assert_eq!(points[0].vector[pos_dim], 0.0);
+        for w in points.windows(2) {
+            assert!(w[0].vector[pos_dim] < w[1].vector[pos_dim]);
+        }
+        let n = points.len() as f64;
+        let last = points.last().unwrap().vector[pos_dim];
+        assert!((last - WEIGHT_POSITION * (n - 1.0) / n).abs() < 1e-12);
+    }
+
+    #[test]
+    fn trailing_partial_interval_is_kept() {
+        let records = two_phase_trace(1, 30);
+        let mut fp = Fingerprinter::new(20);
+        fp.push_all(&records);
+        let points = fp.finish();
+        assert_eq!(points.len(), 2);
+        assert_eq!(points[1].records, 10);
+    }
+
+    #[test]
+    fn arc_state_carries_across_intervals() {
+        // Block 0 gets one record per interval: without carried state every
+        // record would be a first touch; with it, later intervals see arcs.
+        let records: Vec<MsgRecord> = (0..4).map(|i| rec(i, 0, MsgType::GetRoResponse)).collect();
+        let mut fp = Fingerprinter::new(1);
+        fp.push_all(&records);
+        let points = fp.finish();
+        assert_eq!(points[0].vector[ARC_DIMS], 1.0, "first touch is cold");
+        for p in &points[1..] {
+            assert_eq!(p.vector[ARC_DIMS], 0.0, "carried state sees the arc");
+        }
+    }
+
+    /// Strips guide dims so a test can cluster on arc mixes alone.
+    fn arc_only(points: Vec<Fingerprint>) -> Vec<Fingerprint> {
+        points
+            .into_iter()
+            .map(|mut p| {
+                p.vector.truncate(FINGERPRINT_DIMS);
+                p
+            })
+            .collect()
+    }
+
+    #[test]
+    fn kmeans_separates_clear_phases() {
+        let records = two_phase_trace(8, 100);
+        let mut fp = Fingerprinter::new(100);
+        fp.push_all(&records);
+        let points = arc_only(fp.finish());
+        let c = kmeans(&points, 2, 42);
+        // Even intervals one cluster, odd the other.
+        assert_eq!(c.assignment[0], c.assignment[2]);
+        assert_eq!(c.assignment[1], c.assignment[3]);
+        assert_ne!(c.assignment[0], c.assignment[1]);
+    }
+
+    #[test]
+    fn kmeans_is_deterministic_and_seed_sensitive() {
+        let records = two_phase_trace(6, 40);
+        let mut fp = Fingerprinter::new(40);
+        fp.push_all(&records);
+        let points = fp.finish();
+        let a = kmeans(&points, 3, 7);
+        let b = kmeans(&points, 3, 7);
+        assert_eq!(a, b, "same seed, same clustering");
+        // A different seed may legitimately converge to the same optimum on
+        // this tiny input, so only check it runs and stays well-formed.
+        let c = kmeans(&points, 3, 8);
+        assert_eq!(c.assignment.len(), points.len());
+    }
+
+    #[test]
+    fn kmeans_handles_k_exceeding_points_and_identical_points() {
+        let records = two_phase_trace(1, 50);
+        let mut fp = Fingerprinter::new(10);
+        fp.push_all(&records);
+        let points = fp.finish();
+        let c = kmeans(&points, 30, 1);
+        assert!(c.centroids.len() <= points.len());
+        // All-identical vectors: degenerate D² mass, must still terminate.
+        let same: Vec<Fingerprint> = (0..5)
+            .map(|_| Fingerprint {
+                vector: vec![0.5; 4],
+                records: 10,
+            })
+            .collect();
+        let c = kmeans(&same, 3, 9);
+        assert_eq!(c.assignment.len(), 5);
+    }
+
+    #[test]
+    fn choose_weights_sum_to_one_and_rank_by_mass() {
+        let records = two_phase_trace(10, 60);
+        let mut fp = Fingerprinter::new(60);
+        fp.push_all(&records);
+        let points = fp.finish();
+        let clustering = kmeans(&points, 2, 3);
+        let sp = choose(&points, &clustering);
+        assert_eq!(sp.intervals, 10);
+        assert_eq!(sp.total_records, 600);
+        let total_weight: f64 = sp.picks.iter().map(|p| p.weight).sum();
+        assert!((total_weight - 1.0).abs() < 1e-12);
+        assert!(sp.picks.windows(2).all(|w| w[0].weight >= w[1].weight));
+        let covered: usize = sp.picks.iter().map(|p| p.cluster_size).sum();
+        assert_eq!(covered, 10, "every interval belongs to some pick");
+        assert!(sp.sampled_fraction() <= 1.0 && sp.sampled_fraction() > 0.0);
+    }
+
+    #[test]
+    fn sample_end_to_end_picks_representatives_covering_the_run() {
+        let records = two_phase_trace(12, 80);
+        let chunks: Vec<&[MsgRecord]> = records.chunks(80).collect();
+        let sp = sample(chunks, 80, 2, 17);
+        assert_eq!(sp.picks.len(), 2);
+        // With the position guide dominating, two clusters stratify the
+        // run: the picks come from different halves.
+        let mut intervals: Vec<usize> = sp.picks.iter().map(|p| p.interval).collect();
+        intervals.sort_unstable();
+        assert!(intervals[0] < 6 && intervals[1] >= 6, "picks {intervals:?}");
+        let total_weight: f64 = sp.picks.iter().map(|p| p.weight).sum();
+        assert!((total_weight - 1.0).abs() < 1e-12);
+        let covered: usize = sp.picks.iter().map(|p| p.cluster_size).sum();
+        assert_eq!(covered, 12);
+    }
+
+    #[test]
+    fn plan_upgrades_high_spread_clusters_within_budget() {
+        let records = two_phase_trace(12, 80);
+        let mut fp = Fingerprinter::new(80);
+        fp.push_all(&records);
+        let points = fp.finish();
+        let clustering = kmeans(&points, 4, 17);
+        let sp = plan(&points, &clustering, 0.6);
+        // Structural invariants.
+        let total_weight: f64 = sp.groups.iter().map(|g| g.weight).sum();
+        assert!((total_weight - 1.0).abs() < 1e-12);
+        let covered: usize = sp.groups.iter().map(|g| g.cluster_size).sum();
+        assert_eq!(covered, 12);
+        assert_eq!(sp.intervals, 12);
+        assert_eq!(sp.total_records, 960);
+        let flags = sp.scored_flags();
+        assert_eq!(flags.iter().filter(|&&f| f).count(), sp.scored_intervals());
+        // Budget respected, baseline floor present.
+        assert!(sp.sampled_fraction() <= 0.6 + 1e-12);
+        assert!(sp.groups.iter().all(|g| !g.scored.is_empty()));
+        // At least one cluster got upgraded beyond its lone representative
+        // (the budget leaves room) and at least one stayed cheap.
+        assert!(sp.groups.iter().any(|g| g.scored.len() > 1));
+        assert!(sp.scored_intervals() < 12, "must not score everything");
+        // Deterministic.
+        let again = plan(&points, &clustering, 0.6);
+        assert_eq!(sp, again);
+    }
+
+    #[test]
+    fn plan_with_tiny_budget_degenerates_to_choose() {
+        let records = two_phase_trace(10, 60);
+        let mut fp = Fingerprinter::new(60);
+        fp.push_all(&records);
+        let points = fp.finish();
+        let clustering = kmeans(&points, 3, 17);
+        let sp = plan(&points, &clustering, 0.0);
+        let picks = choose(&points, &clustering);
+        // Same representatives, same weights — just grouped per cluster.
+        let mut plan_reps: Vec<usize> = sp.groups.iter().flat_map(|g| g.scored.clone()).collect();
+        plan_reps.sort_unstable();
+        let mut choose_reps: Vec<usize> = picks.picks.iter().map(|p| p.interval).collect();
+        choose_reps.sort_unstable();
+        assert_eq!(plan_reps, choose_reps);
+        assert!((sp.sampled_fraction() - picks.sampled_fraction()).abs() < 1e-12);
+    }
+}

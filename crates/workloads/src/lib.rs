@@ -206,6 +206,88 @@ pub fn run_sharded<W: Workload + ?Sized>(
     simx::shard::run_workload_sharded(name, iterations, |it| workload.plan(it), proto, sys, shards)
 }
 
+/// A failure inside [`run_sharded_streaming`]: either the simulation
+/// itself, or the caller's record sink (e.g. a packed-trace writer
+/// hitting a full disk).
+#[derive(Debug)]
+pub enum StreamingRunError<E> {
+    /// The simulation failed.
+    Sim(SimError),
+    /// The record sink failed; the run stops at the failing iteration.
+    Sink(E),
+}
+
+impl<E: std::fmt::Display> std::fmt::Display for StreamingRunError<E> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            StreamingRunError::Sim(e) => write!(f, "simulation failed: {e}"),
+            StreamingRunError::Sink(e) => write!(f, "trace sink failed: {e}"),
+        }
+    }
+}
+
+impl<E: std::error::Error + 'static> std::error::Error for StreamingRunError<E> {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            StreamingRunError::Sim(e) => Some(e),
+            StreamingRunError::Sink(e) => Some(e),
+        }
+    }
+}
+
+/// Runs a workload on the sharded engine, draining the captured trace
+/// into `sink` after every iteration instead of accumulating it — the
+/// producer half of the packed-trace streaming pipeline. Peak memory is
+/// one iteration's records, so runs whose full traces would never fit in
+/// RAM (the ≥10⁸-message `scale` configurations) stream straight to
+/// disk. Record order across drains is exactly the order
+/// [`run_sharded`]'s accumulated bundle would hold.
+///
+/// `configure` runs once on the fresh machine before iteration 0 — scale
+/// runs use it to disable the event ring and per-barrier audits.
+/// `verify_sample` bounds the end-of-run coherence audit (`None` = walk
+/// every block, `Some(n)` = sample `n`), since a full walk at scale
+/// costs more than the run.
+///
+/// # Errors
+///
+/// Propagates simulation errors and sink errors, tagged by origin.
+pub fn run_sharded_streaming<W: Workload + ?Sized, E>(
+    workload: &mut W,
+    proto: ProtocolConfig,
+    sys: SystemConfig,
+    shards: usize,
+    verify_sample: Option<usize>,
+    configure: impl FnOnce(&mut simx::ShardedMachine),
+    mut sink: impl FnMut(Vec<trace::MsgRecord>) -> Result<(), E>,
+) -> Result<simx::ShardedMachine, StreamingRunError<E>> {
+    assert!(
+        workload.nodes() <= proto.nodes,
+        "workload needs {} nodes but machine has {}",
+        workload.nodes(),
+        proto.nodes
+    );
+    let mut machine = simx::ShardedMachine::new(proto, sys, shards);
+    machine.set_app(workload.name(), workload.iterations());
+    configure(&mut machine);
+    for it in 0..workload.iterations() {
+        let plan = workload.plan(it);
+        machine
+            .run_plan(&plan, it)
+            .map_err(StreamingRunError::Sim)?;
+        let records = machine.drain_trace_records();
+        if !records.is_empty() {
+            sink(records).map_err(StreamingRunError::Sink)?;
+        }
+    }
+    match verify_sample {
+        None => machine.verify_coherence(),
+        Some(n) => machine.verify_coherence_sampled(n),
+    }
+    .map_err(StreamingRunError::Sim)?;
+    Ok(machine)
+}
+
 /// Like [`run_to_trace`] but with causal span tracing enabled: returns
 /// the trace bundle *and* the run's [`obs::SpanLog`] — one span tree per
 /// coherence transaction, stamped with the serialized engine's exact
@@ -313,6 +395,66 @@ mod tests {
                 .unwrap_or_else(|e| panic!("{} failed: {e}", w.name()));
             assert!(!trace.is_empty(), "{} produced no messages", w.name());
         }
+    }
+
+    #[test]
+    fn streaming_drains_match_the_accumulated_bundle() {
+        let make = || micro::ProducerConsumer {
+            blocks: 3,
+            iterations: 6,
+            ..Default::default()
+        };
+        let whole = run_sharded(
+            &mut make(),
+            ProtocolConfig::paper(),
+            SystemConfig::paper(),
+            1,
+        )
+        .unwrap()
+        .into_trace();
+        let mut streamed: Vec<trace::MsgRecord> = Vec::new();
+        let mut drains = 0usize;
+        let machine = run_sharded_streaming(
+            &mut make(),
+            ProtocolConfig::paper(),
+            SystemConfig::paper(),
+            1,
+            None,
+            |_| {},
+            |batch| {
+                drains += 1;
+                streamed.extend(batch);
+                Ok::<(), std::convert::Infallible>(())
+            },
+        )
+        .unwrap();
+        assert_eq!(streamed, whole.records(), "same records, same order");
+        assert!(drains > 1, "drained per iteration, not once at the end");
+        assert!(
+            machine.trace().is_empty(),
+            "nothing left accumulated in the machine"
+        );
+    }
+
+    #[test]
+    fn streaming_sink_errors_stop_the_run() {
+        let mut w = micro::ProducerConsumer {
+            blocks: 2,
+            iterations: 5,
+            ..Default::default()
+        };
+        let err = run_sharded_streaming(
+            &mut w,
+            ProtocolConfig::paper(),
+            SystemConfig::paper(),
+            1,
+            Some(16),
+            |_| {},
+            |_| Err("disk full"),
+        )
+        .unwrap_err();
+        assert!(matches!(err, StreamingRunError::Sink("disk full")));
+        assert!(err.to_string().contains("disk full"));
     }
 
     #[test]

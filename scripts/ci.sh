@@ -127,6 +127,23 @@ grep -q '"stache.rollback.pushes"' "$SMOKE_DIR/speedup_obs.json"
 grep -q '"stache.rollback.early_acks"' "$SMOKE_DIR/speedup_obs.json"
 echo "    speedup CSV matches golden; rollback obs JSON emitted"
 
+# Packed-trace smoke: run the streaming pack/sample pipeline at small
+# scale and diff the deterministic CSV against its golden. The CSV pins
+# the codec byte totals, compression ratios, SimPoint-sampled vs full
+# accuracy, and the streamed cell's record totals; the wall-clock side
+# lands in BENCH_trace.json (recorded, never diffed). The committed
+# repo-root BENCH_trace.json is the paper-scale counterpart.
+echo "==> tracepack smoke (packed pipeline + golden CSV diff)"
+cargo run -q --release --offline -p bench-suite --bin repro -- \
+  --small --csv "$SMOKE_DIR" tracepack > /dev/null
+diff -u crates/bench-suite/tests/golden/tracepack_small.csv \
+  "$SMOKE_DIR/tracepack.csv"
+grep -q '"bench.tracepack.stream.encode_recs_per_sec"' \
+  "$SMOKE_DIR/BENCH_trace.json"
+grep -q '"bench.tracepack.sample.worst_error_pp"' "$SMOKE_DIR/BENCH_trace.json"
+test -s BENCH_trace.json
+echo "    tracepack CSV matches golden; trace bench JSON emitted"
+
 # Proptest seed promotion: every saved counterexample hash in a
 # *.proptest-regressions file must have a matching `promoted: <hash>`
 # marker in a checked-in test, so the seeds keep running even in builds
